@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table or figure.  The experiment
+functions simulate full inference phases, so each benchmark runs its
+experiment exactly once (``rounds=1``) through ``pytest-benchmark`` and then
+prints the same rows/series the paper reports, so the output can be compared
+with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,24 @@
+"""Figure 1: Llama2-70B GPU throughput and memory requirement vs batch size."""
+
+from repro.evaluation import figure1_gpu_throughput, format_table
+
+
+def test_fig01_gpu_throughput(benchmark, once, capsys):
+    rows = once(benchmark, figure1_gpu_throughput)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 1: GPU throughput and memory requirement"))
+    # Throughput saturates once the memory requirement exceeds GPU memory:
+    # every batch size beyond the capacity limit delivers the same (plateau)
+    # throughput, and longer contexts hit the plateau at smaller batches.
+    for context in {row["context"] for row in rows}:
+        context_rows = [row for row in rows if row["context"] == context]
+        infeasible = [row for row in context_rows if not row["fits_in_memory"]]
+        plateau = {round(row["throughput_tokens_per_s"], 3) for row in infeasible}
+        assert len(plateau) <= 1
+    largest_feasible = {
+        context: max((row["batch"] for row in rows
+                      if row["context"] == context and row["fits_in_memory"]), default=0)
+        for context in {row["context"] for row in rows}
+    }
+    assert largest_feasible[32768] < largest_feasible[4096]

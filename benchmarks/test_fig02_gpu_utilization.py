@@ -1,0 +1,19 @@
+"""Figure 2: GPU query latency vs batch and compute utilisation."""
+
+from repro.evaluation import figure2_gpu_utilization, format_table
+
+
+def test_fig02_gpu_utilization(benchmark, once, capsys):
+    result = once(benchmark, figure2_gpu_utilization)
+    with capsys.disabled():
+        print()
+        print(format_table(result["query_latency"], "Figure 2a: query latency vs batch"))
+        print()
+        print(format_table(result["utilization"], "Figure 2b: GPU compute utilisation"))
+    latencies = [row["query_latency_min"] for row in result["query_latency"]]
+    assert latencies == sorted(latencies), "query latency must grow with batch size"
+    utilization = {row["model"]: row["gpu_utilization_percent"]
+                   for row in result["utilization"]}
+    # The decoder-only LLM utilises far less compute than the GEMM-heavy proxies.
+    assert utilization["Llama2-70B"] < 40.0
+    assert utilization["BERT"] > 2 * utilization["Llama2-70B"]

@@ -1,0 +1,19 @@
+"""Figure 12: CXL controller cost breakdown and cost versus volume."""
+
+from repro.evaluation import figure12_controller_cost, format_table
+
+
+def test_fig12_controller_cost(benchmark, once, capsys):
+    result = once(benchmark, figure12_controller_cost)
+    with capsys.disabled():
+        print()
+        print(format_table(result["nre_breakdown"], "Figure 12: NRE cost breakdown (M$)"))
+        print()
+        print(format_table(result["cost_vs_volume"], "Figure 12: controller cost vs volume"))
+    nre_total = next(row for row in result["nre_breakdown"] if row["component"] == "total")
+    assert 15.0 < nre_total["cost_musd"] < 30.0
+    volume_rows = {row["volume_millions"]: row for row in result["cost_vs_volume"]}
+    # Per-unit cost falls with volume; at the projected 3M volume the paper
+    # reports ~$11.9 per controller.
+    assert volume_rows[1.0]["total_cost_usd"] > volume_rows[5.0]["total_cost_usd"]
+    assert 8.0 < volume_rows[3.0]["total_cost_usd"] < 16.0

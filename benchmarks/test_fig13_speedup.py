@@ -1,0 +1,41 @@
+"""Figure 13: CENT speedups over the GPU baseline (latency, throughput, $)."""
+
+from repro.evaluation import figure13_speedups, format_table
+
+
+def test_fig13_speedups(benchmark, once, capsys):
+    result = once(benchmark, figure13_speedups)
+    with capsys.disabled():
+        print()
+        print(format_table(result["latency_critical"],
+                           "Figure 13a: latency-critical speedup (batch 1)"))
+        print()
+        print(format_table(result["throughput_critical"],
+                           "Figure 13b: throughput-critical speedup (max batch)"))
+        print()
+        print(format_table(result["tokens_per_dollar"],
+                           "Figure 13c: tokens per dollar"))
+
+    latency = {row["model"]: row for row in result["latency_critical"]}
+    throughput = {row["model"]: row for row in result["throughput_critical"]}
+    cost = {row["model"]: row for row in result["tokens_per_dollar"]}
+
+    # Latency-critical: CENT (tensor parallel) beats the GPU for every model.
+    for model in ("Llama2-7B", "Llama2-13B", "Llama2-70B"):
+        assert latency[model]["speedup"] > 1.0
+
+    # Throughput-critical: CENT wins end-to-end for every model; the GPU wins
+    # the compute-bound prefill stage; the 70B advantage is the smallest
+    # because grouped-query attention helps the GPU (paper: 1.2x).
+    for model in ("Llama2-7B", "Llama2-13B", "Llama2-70B"):
+        assert throughput[model]["end_to_end_speedup"] > 1.0
+        assert throughput[model]["prefill_speedup"] < 1.0
+    assert throughput["Llama2-70B"]["end_to_end_speedup"] < \
+        throughput["Llama2-7B"]["end_to_end_speedup"]
+    assert throughput["Llama2-70B"]["end_to_end_speedup"] < 2.0
+    assert throughput["geomean"]["end_to_end_speedup"] > 1.5
+
+    # Cost efficiency: CENT generates more tokens per dollar across the board.
+    for model in ("Llama2-7B", "Llama2-13B", "Llama2-70B"):
+        assert cost[model]["tokens_per_dollar_ratio"] > 1.0
+    assert cost["geomean"]["tokens_per_dollar_ratio"] > 2.0

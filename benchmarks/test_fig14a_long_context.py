@@ -1,0 +1,16 @@
+"""Figure 14a: decoding-throughput speedup versus context length."""
+
+from repro.evaluation import figure14a_long_context, format_table
+
+
+def test_fig14a_long_context(benchmark, once, capsys):
+    rows = once(benchmark, figure14a_long_context)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 14a: decoding throughput speedup vs context"))
+    by_context = {row["context"]: row for row in rows}
+    # The GPU's feasible batch shrinks as the context grows, so CENT's
+    # decoding-throughput advantage grows with context length.
+    assert by_context[32768]["decode_speedup"] > by_context[4096]["decode_speedup"]
+    assert by_context[32768]["gpu_batch"] < by_context[4096]["gpu_batch"]
+    assert by_context[4096]["decode_speedup"] > 0.8

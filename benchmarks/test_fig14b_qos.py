@@ -1,0 +1,29 @@
+"""Figure 14b: QoS — query latency versus throughput operating points."""
+
+from repro.evaluation import figure14b_qos, format_table
+from repro.workloads.sla import evaluate_sla
+
+
+def test_fig14b_qos(benchmark, once, capsys):
+    result = once(benchmark, figure14b_qos)
+    with capsys.disabled():
+        print()
+        print(format_table(result["cent"], "Figure 14b: CENT mappings"))
+        print()
+        print(format_table(result["gpu"], "Figure 14b: GPU batch sweep"))
+
+    # At comparable throughput CENT offers lower query latency than the GPU.
+    gpu_best = max(row["throughput_queries_per_min"] for row in result["gpu"])
+    comparable = [row for row in result["cent"]
+                  if row["throughput_queries_per_min"] >= 0.5 * gpu_best]
+    assert comparable, "some CENT mapping must reach at least half the GPU throughput"
+    gpu_latency_at_best = min(
+        row["query_latency_min"] for row in result["gpu"]
+        if row["throughput_queries_per_min"] >= 0.9 * gpu_best)
+    assert min(row["query_latency_min"] for row in comparable) < gpu_latency_at_best
+
+    # The SLA helper classifies the same operating points consistently.
+    points = [(row["query_latency_min"] * 60.0, row["throughput_queries_per_min"])
+              for row in result["cent"] + result["gpu"]]
+    report = evaluate_sla(points, sla_latency_s=10 * 60.0)
+    assert len(report.compliant_points) + len(report.violating_points) == len(points)

@@ -1,0 +1,25 @@
+"""Figure 14c: CENT latency breakdown across TP/PP mappings."""
+
+from repro.evaluation import figure14c_latency_breakdown, format_table
+
+
+def test_fig14c_latency_breakdown(benchmark, once, capsys):
+    rows = once(benchmark, figure14c_latency_breakdown)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 14c: latency breakdown per mapping"))
+    by_mapping = {row["mapping"]: row for row in rows}
+    pure_pp = by_mapping["PP=80"]
+    pure_tp = by_mapping["TP=32"]
+    # PIM latency dominates every mapping.
+    for row in rows:
+        assert row["pim_fraction"] > 0.5
+    # Tensor parallelism reduces the per-token latency but increases the CXL
+    # communication share (broadcast/gather per FC layer).
+    assert pure_tp["token_latency_ms"] < pure_pp["token_latency_ms"]
+    assert pure_tp["cxl_fraction"] > pure_pp["cxl_fraction"]
+    # Fractions are a valid partition of the total.
+    for row in rows:
+        total = (row["pim_fraction"] + row["cxl_fraction"]
+                 + row["pnm_fraction"] + row["host_fraction"])
+        assert abs(total - 1.0) < 1e-6

@@ -1,0 +1,21 @@
+"""Figure 14d: prefill/decoding latency comparison at maximum batch sizes."""
+
+from repro.evaluation import figure14d_query_latency, format_table
+
+
+def test_fig14d_query_latency(benchmark, once, capsys):
+    rows = once(benchmark, figure14d_query_latency)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 14d: prefill/decoding latency vs output size"))
+    # Decoding dominates the end-to-end latency, and CENT's decoding latency
+    # is lower than the GPU's while its prefill latency is higher (the GPU's
+    # prefill is compute-bound and the GPU has more compute throughput).
+    longest = max(rows, key=lambda row: row["output_tokens"])
+    assert longest["cent_decode_min"] < longest["gpu_decode_min"]
+    assert longest["gpu_decode_min"] > longest["gpu_prefill_min"]
+    # Decoding latency grows with the output size on both systems.
+    decode_cent = [row["cent_decode_min"] for row in rows]
+    decode_gpu = [row["gpu_decode_min"] for row in rows]
+    assert decode_cent == sorted(decode_cent)
+    assert decode_gpu == sorted(decode_gpu)

@@ -1,0 +1,17 @@
+"""Figure 15a: power consumption of CENT and GPU deployments."""
+
+from repro.evaluation import figure15a_power, format_table
+
+
+def test_fig15a_power(benchmark, once, capsys):
+    rows = once(benchmark, figure15a_power)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 15a: average power consumption"))
+    for row in rows:
+        # One A100 draws several times more power than one CENT device
+        # (the paper reports roughly 8x).
+        assert row["gpu_power_per_device_w"] > 3 * row["cent_power_per_device_w"]
+        # The deployments are sized for comparable total power (same order of
+        # magnitude, within ~3x of each other).
+        assert 0.3 < row["cent_power_w"] / row["gpu_power_w"] < 3.0

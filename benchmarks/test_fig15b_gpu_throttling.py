@@ -1,0 +1,21 @@
+"""Figure 15b: GPU SM-clock and board-power behaviour across phases."""
+
+from repro.evaluation import figure15b_gpu_throttling, format_table
+
+
+def test_fig15b_gpu_throttling(benchmark, once, capsys):
+    rows = once(benchmark, figure15b_gpu_throttling)
+    with capsys.disabled():
+        print()
+        print(format_table(rows[:6] + rows[-6:], "Figure 15b: GPU clock/power trace (ends)"))
+    phases = {row["phase"] for row in rows}
+    assert {"init", "prefill", "decode"} <= phases
+    by_phase = {phase: [row for row in rows if row["phase"] == phase] for phase in phases}
+    # Initialisation runs at the maximum clock and low power; prefill throttles
+    # the clock to stay inside the TDP; decoding raises the clock again while
+    # power stays near the TDP.
+    assert by_phase["init"][0]["sm_clock_mhz"] == 1410.0
+    assert by_phase["prefill"][0]["sm_clock_mhz"] < by_phase["decode"][0]["sm_clock_mhz"]
+    assert by_phase["prefill"][0]["board_power_w"] <= 300.0
+    assert by_phase["decode"][0]["board_power_w"] > 0.9 * 300.0
+    assert by_phase["init"][0]["board_power_w"] < by_phase["prefill"][0]["board_power_w"]

@@ -1,0 +1,18 @@
+"""Figure 15c: energy efficiency (tokens per Joule), CENT normalised to GPU."""
+
+from repro.evaluation import figure15c_energy_efficiency, format_table
+
+
+def test_fig15c_energy(benchmark, once, capsys):
+    rows = once(benchmark, figure15c_energy_efficiency)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 15c: tokens per Joule (CENT / GPU)"))
+    by_model = {row["model"]: row for row in rows}
+    # CENT is more energy efficient end-to-end for every model, and the
+    # advantage is smallest for Llama2-70B (grouped-query attention).
+    for model in ("Llama2-7B", "Llama2-13B", "Llama2-70B"):
+        assert by_model[model]["normalized_tokens_per_joule"] > 1.0
+    assert (by_model["Llama2-70B"]["normalized_tokens_per_joule"]
+            < by_model["Llama2-7B"]["normalized_tokens_per_joule"])
+    assert by_model["geomean"]["normalized_tokens_per_joule"] > 1.5

@@ -1,0 +1,25 @@
+"""Figure 17: CENT versus the CXL-PNM baseline on OPT-66B."""
+
+from repro.evaluation import figure17_cxl_pnm, format_table
+
+
+def test_fig17_cxl_pnm(benchmark, once, capsys):
+    rows = once(benchmark, figure17_cxl_pnm)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 17: CENT vs CXL-PNM (OPT-66B)"))
+    cent = next(row for row in rows if row["system"] == "CENT")
+    pnm_rows = [row for row in rows if row["system"] == "CXL-PNM"]
+    best_pnm = max(pnm_rows, key=lambda row: row["tokens_per_s"])
+    # CENT provides much higher aggregate bandwidth and higher throughput than
+    # any evaluated CXL-PNM configuration (the paper reports 4.5x over the
+    # largest one), while CXL-PNM offers more memory capacity per device.
+    assert cent["tokens_per_s"] > 1.5 * best_pnm["tokens_per_s"]
+    eight_device = next(row for row in pnm_rows if row["devices"] == 8)
+    assert cent["tokens_per_s"] > 3.0 * eight_device["tokens_per_s"]
+    assert cent["memory_bandwidth_tbps"] > 5 * best_pnm["memory_bandwidth_tbps"]
+    single_device = next(row for row in pnm_rows if row["devices"] == 1)
+    assert single_device["memory_capacity_gb"] > 500 - 1
+    # CXL-PNM throughput grows with its device count.
+    throughputs = [row["tokens_per_s"] for row in sorted(pnm_rows, key=lambda r: r["devices"])]
+    assert throughputs == sorted(throughputs)

@@ -1,0 +1,23 @@
+"""Figure 18: CENT versus the AttAcc and NeuPIM GPU-PIM baselines."""
+
+from repro.evaluation import figure18_gpu_pim, format_table
+
+
+def test_fig18_gpu_pim(benchmark, once, capsys):
+    result = once(benchmark, figure18_gpu_pim)
+    with capsys.disabled():
+        print()
+        print(format_table(result["attacc"], "Figure 18a: CENT vs AttAcc (GPT3-175B)"))
+        print()
+        print(format_table(result["neupim"], "Figure 18b: CENT vs NeuPIM (GPT3-175B)"))
+    # Cost efficiency: CENT processes more tokens per dollar than both
+    # GPU-PIM baselines in every scenario (paper: 1.8-3.7x and 1.8-5.3x).
+    for row in result["attacc"]:
+        assert row["tokens_per_dollar_ratio"] > 1.0
+    for row in result["neupim"]:
+        assert row["tokens_per_dollar_ratio"] > 1.0
+    # Raw throughput is mixed: the GPU-PIM systems can win at short sequence
+    # lengths where batching boosts the FC layers, so CENT's throughput ratio
+    # against AttAcc stays within the same order of magnitude.
+    ratios = [row["throughput_ratio"] for row in result["attacc"]]
+    assert min(ratios) > 0.2 and max(ratios) < 6.0

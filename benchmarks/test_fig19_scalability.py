@@ -1,0 +1,21 @@
+"""Figure 19: CENT scalability on Llama2-70B from 16 to 128 devices."""
+
+from repro.evaluation import figure19_scalability, format_table
+
+
+def test_fig19_scalability(benchmark, once, capsys):
+    rows = once(benchmark, figure19_scalability)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 19: scalability on Llama2-70B"))
+    by_devices = {row["devices"]: row for row in rows}
+    # Throughput grows with the device count overall (128 devices deliver
+    # several times the 16-device throughput).
+    assert by_devices[128]["tokens_per_s"] > 3.0 * by_devices[16]["tokens_per_s"]
+    # Throughput never decreases when devices are added.
+    ordered = [row["tokens_per_s"] for row in sorted(rows, key=lambda r: r["devices"])]
+    for previous, current in zip(ordered, ordered[1:]):
+        assert current >= previous * 0.99
+    # Plateaus exist: at 44 devices the extra devices beyond 40 idle rather
+    # than splitting a block across devices, so utilisation drops.
+    assert by_devices[44]["device_utilization"] < 1.0

@@ -1,0 +1,15 @@
+"""Table 1: PIM prototypes versus GPU hardware comparison."""
+
+from repro.evaluation import format_table, table1_hardware_comparison
+
+
+def test_tab01_hardware_comparison(benchmark, once, capsys):
+    rows = once(benchmark, table1_hardware_comparison)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table 1: hardware system comparison"))
+    by_name = {row["system"]: row for row in rows}
+    # PIM internal bandwidth far exceeds the GPU's external bandwidth.
+    assert by_name["AiM"]["internal_bw_tbps"] > by_name["A100"]["external_bw_tbps"] * 4
+    # The GPU has vastly higher compute intensity (Ops/Byte).
+    assert by_name["A100"]["ops_per_byte"] > 100 * by_name["AiM"]["ops_per_byte"]

@@ -1,0 +1,22 @@
+"""Table 4: evaluated system configurations, including 3-year TCO."""
+
+from repro.evaluation import format_table, table4_system_configurations
+
+
+def test_tab04_system_config(benchmark, once, capsys):
+    rows = once(benchmark, table4_system_configurations)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table 4: system configurations"))
+    cent = next(row for row in rows if row["system"] == "CENT")
+    gpu = next(row for row in rows if row["system"] == "GPU")
+    # CENT: more memory capacity and internal bandwidth, lower TCO;
+    # GPU: higher compute throughput.
+    assert cent["memory_gb"] > gpu["memory_gb"]
+    assert cent["peak_bandwidth_tbps"] > 50 * gpu["peak_bandwidth_tbps"]
+    assert gpu["compute_tflops"] > cent["compute_tflops"]
+    assert cent["owned_tco_per_hour"] < gpu["owned_tco_per_hour"]
+    assert cent["rental_tco_per_hour"] < gpu["rental_tco_per_hour"]
+    # Absolute rates land near the paper's 0.73 / 1.76 $/hour.
+    assert 0.5 < cent["owned_tco_per_hour"] < 1.1
+    assert 1.3 < gpu["owned_tco_per_hour"] < 2.3

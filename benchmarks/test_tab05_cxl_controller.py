@@ -1,0 +1,16 @@
+"""Table 5: CXL controller custom logic area and power."""
+
+from repro.evaluation import format_table, table5_cxl_controller
+
+
+def test_tab05_cxl_controller(benchmark, once, capsys):
+    rows = once(benchmark, table5_cxl_controller)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table 5: CXL controller area and power (28 nm)"))
+    total = next(row for row in rows if row["component"] == "total")
+    die = next(row for row in rows if row["component"] == "total_7nm_die")
+    # Paper: 7.85 mm^2 / 1.06 W of custom logic, ~19 mm^2 total die at 7 nm.
+    assert abs(total["area_mm2"] - 7.85) < 0.1
+    assert abs(total["power_w"] - 1.06) < 0.05
+    assert 15.0 < die["area_mm2"] < 23.0

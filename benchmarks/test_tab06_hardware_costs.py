@@ -1,0 +1,17 @@
+"""Table 6: hardware costs of the CENT and GPU systems."""
+
+from repro.evaluation import format_table, table6_hardware_costs
+
+
+def test_tab06_hardware_costs(benchmark, once, capsys):
+    rows = once(benchmark, table6_hardware_costs)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table 6: hardware costs"))
+    totals = {row["system"]: row["cost_usd"] for row in rows if row["component"] == "total"}
+    cent_total = next(v for k, v in totals.items() if k.startswith("CENT"))
+    gpu_total = next(v for k, v in totals.items() if k.startswith("GPU"))
+    # Paper: $14,873 vs $42,128 — CENT is roughly 2.5-3x cheaper to build.
+    assert 12_000 < cent_total < 18_000
+    assert 38_000 < gpu_total < 46_000
+    assert gpu_total / cent_total > 2.3

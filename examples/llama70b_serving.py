@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Serving Llama2-70B: comparing parallelisation strategies against a GPU.
+
+Reproduces the paper's serving scenario (512-token prompts, 3584 generated
+tokens) on a 32-device CENT system, sweeping the mapping from pure pipeline
+parallelism (best throughput) over hybrid TP-PP configurations to pure tensor
+parallelism (best latency), and compares against the 4x A100 vLLM baseline.
+
+Run with::
+
+    python examples/llama70b_serving.py
+"""
+
+from repro import CentConfig, CentSystem, LLAMA2_70B
+from repro.baselines.gpu import GPUSystem
+from repro.evaluation.analysis import cent_mappings_for
+from repro.workloads.batching import max_feasible_batch
+
+PROMPT_TOKENS = 512
+DECODE_TOKENS = 3584
+
+
+def main() -> None:
+    config = CentConfig(num_devices=32, context_samples=3)
+    system = CentSystem(config, LLAMA2_70B)
+
+    print(f"{'mapping':<14} {'batch':>5} {'tokens/s':>10} {'query latency':>14} "
+          f"{'PIM':>6} {'CXL':>6} {'PNM':>6}")
+    for name, plan in cent_mappings_for(LLAMA2_70B, config.num_devices).items():
+        result = system.run_inference(PROMPT_TOKENS, DECODE_TOKENS, plan=plan,
+                                      with_power=False)
+        fractions = result.token_latency_breakdown.fractions()
+        print(f"{name:<14} {result.queries_in_flight:>5} "
+              f"{result.end_to_end_throughput_tokens_per_s:>10,.0f} "
+              f"{result.query_latency_s / 60:>12.2f} m "
+              f"{100 * fractions['pim']:>5.1f}% "
+              f"{100 * fractions['cxl']:>5.1f}% "
+              f"{100 * fractions['pnm']:>5.1f}%")
+
+    gpu = GPUSystem(LLAMA2_70B, num_gpus=4)
+    average_context = PROMPT_TOKENS + DECODE_TOKENS // 2
+    batch = max_feasible_batch(LLAMA2_70B, gpu.total_memory_bytes, average_context,
+                               requested_batch=128)
+    latency = gpu.query_latency_s(batch, PROMPT_TOKENS, DECODE_TOKENS)
+    throughput = batch * DECODE_TOKENS / latency
+    print()
+    print(f"{'GPU 4xA100':<14} {batch:>5} {throughput:>10,.0f} {latency / 60:>12.2f} m")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate Llama2-7B inference on a small CENT system.
+
+Builds an 8-device CENT deployment, lets the planner pick the throughput
+mapping, runs one batch of queries (512 prompt / 512 output tokens) and
+prints throughput, latency, power and the per-token latency breakdown.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CentConfig, CentSystem, LLAMA2_7B
+
+
+def main() -> None:
+    config = CentConfig(num_devices=8, context_samples=3)
+    system = CentSystem(config, LLAMA2_7B)
+
+    print(f"Model:                {LLAMA2_7B.name} "
+          f"({LLAMA2_7B.total_params / 1e9:.1f} B parameters)")
+    print(f"CENT devices:         {config.num_devices} "
+          f"({config.total_channels} GDDR6-PIM channels)")
+    print(f"Memory capacity:      {system.memory_capacity_bytes / 2**30:.0f} GiB")
+    print(f"Peak internal BW:     {system.peak_internal_bandwidth_tbps:.0f} TB/s")
+    print(f"Peak PIM compute:     {system.peak_pim_tflops:.0f} TFLOPS")
+    print()
+
+    plan = system.throughput_plan(context_length=1024)
+    result = system.run_inference(prompt_tokens=512, decode_tokens=512, plan=plan)
+
+    print(f"Parallelism plan:     {result.plan_name}")
+    print(f"Queries in flight:    {result.queries_in_flight}")
+    print(f"Devices used:         {result.devices_used}")
+    print(f"Decode throughput:    {result.decode_throughput_tokens_per_s:,.0f} tokens/s")
+    print(f"Prefill throughput:   {result.prefill_throughput_tokens_per_s:,.0f} tokens/s")
+    print(f"Query latency:        {result.query_latency_s:.2f} s")
+    print(f"Average power:        {result.average_power_w:,.0f} W")
+    print(f"Energy per token:     {result.energy_per_token_j * 1000:.1f} mJ")
+    print()
+    print("Per-token latency breakdown:")
+    for component, fraction in result.token_latency_breakdown.fractions().items():
+        print(f"  {component:>5}: {100 * fraction:5.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Total-cost-of-ownership explorer.
+
+Walks through the paper's cost model: the per-unit cost of the CENT CXL
+controller (die, packaging, NRE amortised over production volume), the bill
+of materials of the CENT and GPU systems, their owned/rental 3-year TCO, and
+the resulting tokens-per-dollar for Llama2-70B serving.
+
+Run with::
+
+    python examples/tco_explorer.py
+"""
+
+from repro import CentConfig, CentSystem, LLAMA2_70B
+from repro.baselines.gpu import GPUSystem
+from repro.cost.tco import (
+    CENT_SYSTEM_COST,
+    GPU_SYSTEM_COST,
+    TcoModel,
+    cent_controller_unit_cost,
+)
+from repro.mapping.parallelism import PipelineParallel
+from repro.workloads.batching import max_feasible_batch
+
+
+def main() -> None:
+    print("CXL controller cost vs production volume")
+    for volume in (1_000_000, 2_000_000, 3_000_000, 5_000_000):
+        breakdown = cent_controller_unit_cost(production_volume=volume)
+        print(f"  {volume / 1e6:.0f} M units: die ${breakdown['die']:.2f} + "
+              f"packaging ${breakdown['packaging']:.2f} + NRE ${breakdown['nre']:.2f} "
+              f"= ${breakdown['total']:.2f}")
+    print()
+
+    print("Hardware bill of materials")
+    for system in (CENT_SYSTEM_COST, GPU_SYSTEM_COST):
+        print(f"  {system.name}: ${system.hardware_cost_usd:,.0f}")
+        for component, cost in system.components_usd.items():
+            print(f"    {component:<16} ${cost:,.0f}")
+    print()
+
+    tco = TcoModel()
+    config = CentConfig(num_devices=32, context_samples=3)
+    cent = CentSystem(config, LLAMA2_70B)
+    result = cent.run_inference(512, 3584, plan=PipelineParallel(32, LLAMA2_70B))
+    cent_rate = tco.cent_tco_per_hour(32, result.average_power_w, owned=True)
+
+    gpu = GPUSystem(LLAMA2_70B, num_gpus=4)
+    batch = max_feasible_batch(LLAMA2_70B, gpu.total_memory_bytes, 512 + 3584 // 2,
+                               requested_batch=128)
+    gpu_latency = gpu.query_latency_s(batch, 512, 3584)
+    gpu_tps = batch * 3584 / gpu_latency
+    gpu_rate = tco.gpu_tco_per_hour(4, 1400.0, owned=True)
+
+    cent_tpd = tco.tokens_per_dollar(result.end_to_end_throughput_tokens_per_s, cent_rate)
+    gpu_tpd = tco.tokens_per_dollar(gpu_tps, gpu_rate)
+    print("Llama2-70B serving cost efficiency (owned TCO)")
+    print(f"  CENT: {result.end_to_end_throughput_tokens_per_s:,.0f} tokens/s at "
+          f"${cent_rate:.2f}/h -> {cent_tpd / 1e6:.1f} M tokens/$")
+    print(f"  GPU:  {gpu_tps:,.0f} tokens/s at ${gpu_rate:.2f}/h -> "
+          f"{gpu_tpd / 1e6:.1f} M tokens/$")
+    print(f"  CENT advantage: {cent_tpd / gpu_tpd:.1f}x more tokens per dollar")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only enables
+the legacy ``pip install -e . --no-use-pep517`` / ``python setup.py develop``
+paths on machines where PEP 660 editable installs are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

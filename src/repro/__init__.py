@@ -1,0 +1,71 @@
+"""CENT: a CXL-enabled, GPU-free PIM system simulator for LLM inference.
+
+This package reproduces the system described in the ASPLOS 2025 paper
+"PIM Is All You Need: A CXL-Enabled GPU-Free System for Large Language Model
+Inference".  It provides:
+
+* a GDDR6-PIM timing substrate (``repro.dram``, ``repro.pim``),
+* processing-near-memory units and a shared buffer (``repro.pnm``),
+* a CXL 3.0 network model with collective primitives (``repro.cxl``),
+* the CENT ISA and a compiler from LLM operations to instruction traces
+  (``repro.isa``, ``repro.compiler``),
+* model configurations and parallelisation mappings (``repro.models``,
+  ``repro.mapping``),
+* the end-to-end CENT system and performance model (``repro.core``),
+* power, energy and total-cost-of-ownership models (``repro.power``,
+  ``repro.cost``),
+* GPU and PIM/PNM baselines (``repro.baselines``), and
+* the evaluation harness regenerating the paper's tables and figures
+  (``repro.evaluation``).
+
+Quickstart::
+
+    from repro import CentSystem, CentConfig, LLAMA2_7B
+
+    system = CentSystem(CentConfig(num_devices=8), LLAMA2_7B)
+    result = system.run_inference(prompt_tokens=512, decode_tokens=512)
+    print(result.decode_throughput_tokens_per_s)
+"""
+
+from repro.models.config import (
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    OPT_66B,
+    GPT3_175B,
+    ModelConfig,
+)
+from repro.core.config import CentConfig
+from repro.core.system import CentSystem
+from repro.core.results import InferenceResult, LatencyBreakdown
+from repro.mapping.parallelism import (
+    DataParallel,
+    HybridParallel,
+    ParallelismPlan,
+    PipelineParallel,
+    TensorParallel,
+)
+from repro.baselines.gpu import GPUSystem, GPUConfig, A100_80GB
+
+__all__ = [
+    "ModelConfig",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "OPT_66B",
+    "GPT3_175B",
+    "CentConfig",
+    "CentSystem",
+    "InferenceResult",
+    "LatencyBreakdown",
+    "ParallelismPlan",
+    "PipelineParallel",
+    "TensorParallel",
+    "HybridParallel",
+    "DataParallel",
+    "GPUSystem",
+    "GPUConfig",
+    "A100_80GB",
+]
+
+__version__ = "1.0.0"

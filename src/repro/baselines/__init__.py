@@ -1,0 +1,30 @@
+"""Baseline systems the paper compares CENT against.
+
+* ``gpu`` — the multi-A100 + vLLM baseline of the main evaluation, modelled
+  with a roofline (compute-bound prefill, bandwidth-bound decoding) plus the
+  vLLM-style capacity-limited batch size.
+* ``cxl_pnm`` — Samsung's LPDDR5X-based CXL-PNM platform (Figure 17).
+* ``attacc`` and ``neupim`` — heterogeneous GPU + HBM-PIM systems
+  (Figure 18).
+
+All baselines are analytical: the paper's own comparisons are made at the
+throughput / TCO level using the configurations published for each system.
+"""
+
+from repro.baselines.gpu import GPUConfig, GPUSystem, A100_80GB
+from repro.baselines.cxl_pnm import CxlPnmConfig, CxlPnmSystem, CXL_PNM_DEVICE
+from repro.baselines.attacc import AttAccSystem, ATTACC_8GPU_8PIM
+from repro.baselines.neupim import NeuPimSystem, NEUPIM_8GPU_8PIM
+
+__all__ = [
+    "GPUConfig",
+    "GPUSystem",
+    "A100_80GB",
+    "CxlPnmConfig",
+    "CxlPnmSystem",
+    "CXL_PNM_DEVICE",
+    "AttAccSystem",
+    "ATTACC_8GPU_8PIM",
+    "NeuPimSystem",
+    "NEUPIM_8GPU_8PIM",
+]

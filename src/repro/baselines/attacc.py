@@ -1,0 +1,102 @@
+"""AttAcc baseline (paper Figure 16c / 18a).
+
+AttAcc is a heterogeneous system: 8 A100-class GPUs with HBM3 run the prefill
+stage and the fully-connected layers, while 8 HBM-PIM devices accelerate the
+batched attention of the decoding stage.  Each HBM-PIM device consumes 116 W
+and provides 80 GB.  The model splits a decoding step into the FC part (on
+the GPUs, amortised over the batch) and the attention part (on the PIM
+devices, whose internal bandwidth serves the KV caches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import A100_80GB, GPUConfig
+from repro.models.config import ModelConfig
+from repro.models.memory import ModelMemoryProfile
+
+__all__ = ["AttAccConfig", "AttAccSystem", "ATTACC_8GPU_8PIM"]
+
+
+@dataclass(frozen=True)
+class AttAccConfig:
+    """System-level configuration of the AttAcc baseline."""
+
+    num_gpus: int = 8
+    num_pim_devices: int = 8
+    gpu: GPUConfig = A100_80GB
+    #: HBM3 bandwidth per GPU (GB/s); AttAcc upgrades the A100 to HBM3.
+    hbm3_bandwidth_gbps: float = 3352.0
+    #: Internal bandwidth of one HBM-PIM device (GB/s).
+    pim_internal_bandwidth_gbps: float = 12300.0
+    pim_capacity_bytes: int = 80 * 1024**3
+    pim_device_power_w: float = 116.0
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0 or self.num_pim_devices <= 0:
+            raise ValueError("device counts must be positive")
+
+
+ATTACC_8GPU_8PIM = AttAccConfig()
+
+
+class AttAccSystem:
+    """Throughput model of the AttAcc GPU + HBM-PIM system."""
+
+    def __init__(self, model: ModelConfig, config: AttAccConfig = ATTACC_8GPU_8PIM) -> None:
+        self.model = model
+        self.config = config
+        self.memory = ModelMemoryProfile(model)
+
+    # ------------------------------------------------------------------ capacity
+
+    @property
+    def kv_capacity_bytes(self) -> int:
+        """KV caches live in the HBM-PIM devices."""
+        return self.config.num_pim_devices * self.config.pim_capacity_bytes
+
+    def max_batch_size(self, context_length: int) -> int:
+        per_query = self.memory.kv_cache_bytes_per_query(context_length)
+        return max(self.kv_capacity_bytes // per_query, 1)
+
+    # ------------------------------------------------------------------ decode
+
+    def decode_step_latency_s(self, batch_size: int, context_length: int) -> float:
+        if batch_size <= 0 or context_length <= 0:
+            raise ValueError("batch and context must be positive")
+        cfg = self.config
+        # FC layers on the GPUs: weights streamed once per step, compute
+        # amortised over the batch.
+        weight_bytes = self.memory.parameter_bytes
+        gpu_bandwidth = cfg.num_gpus * cfg.hbm3_bandwidth_gbps * cfg.gpu.gemm_bandwidth_efficiency
+        fc_flops = 2 * batch_size * (self.model.total_params - self.model.embedding_params // 2)
+        gpu_compute = cfg.num_gpus * cfg.gpu.bf16_tflops * 1e12 * cfg.gpu.prefill_compute_efficiency
+        fc_time = max(weight_bytes / (gpu_bandwidth * 1e9), fc_flops / gpu_compute)
+        # Attention on the PIM devices: KV caches streamed at internal bandwidth.
+        kv_bytes = batch_size * self.memory.kv_cache_bytes_per_query(context_length)
+        pim_bandwidth = cfg.num_pim_devices * cfg.pim_internal_bandwidth_gbps * 0.6
+        attention_time = kv_bytes / (pim_bandwidth * 1e9)
+        return fc_time + attention_time
+
+    def prefill_latency_s(self, batch_size: int, prompt_tokens: int) -> float:
+        flops = 2 * self.model.total_params * prompt_tokens * batch_size
+        gpu_compute = (self.config.num_gpus * self.config.gpu.bf16_tflops * 1e12
+                       * self.config.gpu.prefill_compute_efficiency)
+        return flops / gpu_compute
+
+    def end_to_end_throughput(self, batch_size: int, prompt_tokens: int,
+                              decode_tokens: int) -> float:
+        total = self.prefill_latency_s(batch_size, prompt_tokens)
+        samples = 8
+        for i in range(samples):
+            context = prompt_tokens + int((i + 0.5) * decode_tokens / samples)
+            total += self.decode_step_latency_s(batch_size, context) * decode_tokens / samples
+        return batch_size * decode_tokens / total
+
+    # ------------------------------------------------------------------ power
+
+    @property
+    def system_power_w(self) -> float:
+        return (self.config.num_gpus * self.config.gpu.tdp_w
+                + self.config.num_pim_devices * self.config.pim_device_power_w)

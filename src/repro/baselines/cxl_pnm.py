@@ -1,0 +1,78 @@
+"""Samsung CXL-PNM baseline (paper Figure 16b / 17).
+
+CXL-PNM is a processing-near-memory platform: a CXL controller integrates
+matrix and vector units near eight commodity LPDDR5X packages.  One device
+offers 8.2 TFLOPS, 1.1 TB/s of memory bandwidth and 512 GB of capacity —
+much more capacity but far less bandwidth and compute than a CENT device.
+The paper evaluates OPT-66B with prefill 64 / decoding 1024 at the maximum
+supported batch size of each configuration (Figure 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.roofline import AcceleratorEnvelope
+from repro.models.config import ModelConfig
+
+__all__ = ["CxlPnmConfig", "CxlPnmSystem", "CXL_PNM_DEVICE"]
+
+
+@dataclass(frozen=True)
+class CxlPnmConfig:
+    """Published per-device capabilities of CXL-PNM (Figure 17b)."""
+
+    tflops_per_device: float = 8.2
+    bandwidth_gbps_per_device: float = 1100.0
+    capacity_bytes_per_device: int = 512 * 1024**3
+    device_power_w: float = 75.0
+
+
+#: Default single-device configuration.
+CXL_PNM_DEVICE = CxlPnmConfig()
+
+
+class CxlPnmSystem:
+    """A CXL-PNM deployment of one or more devices."""
+
+    def __init__(self, num_devices: int = 1, config: CxlPnmConfig = CXL_PNM_DEVICE) -> None:
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        self.num_devices = num_devices
+        self.config = config
+        # The matrix/vector units near commodity LPDDR5X achieve a noticeably
+        # lower fraction of their peak than near-bank PIM; the efficiencies
+        # follow the utilisation Samsung reports for transformer inference on
+        # the platform.
+        self.envelope = AcceleratorEnvelope(
+            name=f"CXL-PNM x{num_devices}",
+            tflops=config.tflops_per_device * num_devices,
+            memory_bandwidth_gbps=config.bandwidth_gbps_per_device * num_devices,
+            memory_capacity_bytes=config.capacity_bytes_per_device * num_devices,
+            bandwidth_efficiency=0.6,
+            compute_efficiency=0.4,
+        )
+
+    @property
+    def tflops(self) -> float:
+        return self.envelope.tflops
+
+    @property
+    def memory_bandwidth_tbps(self) -> float:
+        return self.envelope.memory_bandwidth_gbps / 1e3
+
+    @property
+    def memory_capacity_bytes(self) -> int:
+        return self.envelope.memory_capacity_bytes
+
+    def max_batch_size(self, model: ModelConfig, context_length: int) -> int:
+        return self.envelope.max_batch_size(model, context_length)
+
+    def end_to_end_throughput(self, model: ModelConfig, prompt_tokens: int,
+                              decode_tokens: int, batch_size: int | None = None) -> float:
+        """Tokens/s at the maximum supported batch size (Figure 17a)."""
+        context = prompt_tokens + decode_tokens
+        if batch_size is None:
+            batch_size = max(self.max_batch_size(model, context), 1)
+        return self.envelope.end_to_end_throughput(
+            model, batch_size, prompt_tokens, decode_tokens)

@@ -1,0 +1,214 @@
+"""GPU baseline: multi-A100 serving with vLLM-style batching.
+
+The model captures the behaviours the paper's motivation and evaluation rely
+on:
+
+* **Capacity-limited batching** — KV caches limit the feasible batch size;
+  throughput saturates once memory is exhausted (Figure 1).
+* **Compute-bound prefill** — prompt tokens are encoded with GEMMs that run
+  near the tensor-core roofline.
+* **Bandwidth-bound decoding** — token generation is dominated by streaming
+  weights and KV caches from HBM; weights are amortised across the batch,
+  KV caches are not.
+* **Tensor-parallel collectives** — multi-GPU deployments pay two AllReduce
+  operations per transformer block over NVLink.
+* **Low compute utilisation in decoding** (Figure 2b), reported as achieved
+  FLOPs over peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.models.memory import ModelMemoryProfile
+
+__all__ = ["GPUConfig", "GPUSystem", "A100_80GB"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """One GPU's capability envelope."""
+
+    name: str = "A100-80GB"
+    memory_bytes: int = 80 * 1024**3
+    hbm_bandwidth_gbps: float = 2039.0
+    bf16_tflops: float = 312.0
+    nvlink_bandwidth_gbps: float = 600.0
+    tdp_w: float = 300.0
+    #: Achievable fraction of peak HBM bandwidth for GEMM-style weight reads.
+    #: Calibrated against the vLLM measurements the paper reports (Figures 1,
+    #: 2a and 14d), not against theoretical STREAM-style peaks.
+    gemm_bandwidth_efficiency: float = 0.70
+    #: Achievable fraction of peak HBM bandwidth for paged KV-cache reads.
+    attention_bandwidth_efficiency: float = 0.35
+    #: Achievable fraction of peak tensor-core throughput in the prefill GEMMs.
+    prefill_compute_efficiency: float = 0.50
+    #: Kernel-launch and framework overhead per transformer block per step (us).
+    kernel_overhead_us_per_block: float = 10.0
+    #: Latency of one AllReduce across the tensor-parallel group (us).
+    allreduce_latency_us: float = 20.0
+    #: vLLM per-iteration scheduling / sampling / detokenisation overhead (ms).
+    step_overhead_ms: float = 8.0
+    #: Per-additional-GPU derating of the aggregate bandwidth/compute when a
+    #: model is tensor-parallel across several GPUs (shard skew, kernel-launch
+    #: skew and synchronisation).
+    tp_derating_per_gpu: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.hbm_bandwidth_gbps <= 0 or self.bf16_tflops <= 0:
+            raise ValueError("capacities and rates must be positive")
+        for name in ("gemm_bandwidth_efficiency", "attention_bandwidth_efficiency",
+                     "prefill_compute_efficiency"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if self.step_overhead_ms < 0:
+            raise ValueError("step_overhead_ms must be non-negative")
+        if not 0 <= self.tp_derating_per_gpu < 1:
+            raise ValueError("tp_derating_per_gpu must be in [0, 1)")
+
+
+#: The baseline GPU of the paper.
+A100_80GB = GPUConfig()
+
+
+class GPUSystem:
+    """A multi-GPU inference server running one model."""
+
+    def __init__(self, model: ModelConfig, num_gpus: int = 1,
+                 gpu: GPUConfig = A100_80GB) -> None:
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        self.model = model
+        self.num_gpus = num_gpus
+        self.gpu = gpu
+        self.memory = ModelMemoryProfile(model)
+        if self.memory.parameter_bytes > self.total_memory_bytes:
+            raise MemoryError(
+                f"{model.name} needs {self.memory.parameter_bytes / 2**30:.0f} GiB of "
+                f"weights but {num_gpus}x {gpu.name} provides "
+                f"{self.total_memory_bytes / 2**30:.0f} GiB"
+            )
+
+    # ------------------------------------------------------------------ capacity
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.num_gpus * self.gpu.memory_bytes
+
+    @property
+    def tp_efficiency(self) -> float:
+        """Scaling efficiency of the tensor-parallel group (1.0 for one GPU)."""
+        return 1.0 - self.gpu.tp_derating_per_gpu * (self.num_gpus - 1)
+
+    @property
+    def aggregate_bandwidth_gbps(self) -> float:
+        return self.num_gpus * self.gpu.hbm_bandwidth_gbps * self.tp_efficiency
+
+    @property
+    def aggregate_tflops(self) -> float:
+        return self.num_gpus * self.gpu.bf16_tflops * self.tp_efficiency
+
+    def memory_requirement_bytes(self, batch_size: int, context_length: int) -> int:
+        """Weights plus KV caches for a batch at one context length (Figure 1)."""
+        return self.memory.total_bytes(batch_size, context_length)
+
+    def max_batch_size(self, context_length: int) -> int:
+        """Largest batch whose weights + KV caches fit in GPU memory."""
+        return self.memory.max_batch_size(self.total_memory_bytes, context_length)
+
+    # ------------------------------------------------------------------ decode
+
+    def decode_step_latency_s(self, batch_size: int, context_length: int) -> float:
+        """Latency of generating one token for every query of the batch."""
+        if batch_size <= 0 or context_length <= 0:
+            raise ValueError("batch size and context length must be positive")
+        model = self.model
+        gpu = self.gpu
+
+        weight_bytes = self.memory.parameter_bytes
+        kv_bytes = batch_size * self.memory.kv_cache_bytes_per_query(context_length)
+        gemm_bw = self.aggregate_bandwidth_gbps * gpu.gemm_bandwidth_efficiency
+        attn_bw = self.aggregate_bandwidth_gbps * gpu.attention_bandwidth_efficiency
+
+        weight_time = weight_bytes / gemm_bw * 1e-9
+        kv_time = kv_bytes / attn_bw * 1e-9
+
+        flops = batch_size * model.decode_flops_per_token(context_length)
+        compute_time = flops / (self.aggregate_tflops * 1e12 * gpu.prefill_compute_efficiency)
+
+        memory_time = weight_time + kv_time
+        roofline_time = max(memory_time, compute_time)
+
+        overhead = (model.num_layers * gpu.kernel_overhead_us_per_block * 1e-6
+                    + gpu.step_overhead_ms * 1e-3)
+        comm = self._allreduce_time_s(batch_size) * model.num_layers if self.num_gpus > 1 else 0.0
+        return roofline_time + overhead + comm
+
+    def decode_throughput(self, batch_size: int, context_length: int) -> float:
+        """Generated tokens per second at a fixed batch and context."""
+        return batch_size / self.decode_step_latency_s(batch_size, context_length)
+
+    # ------------------------------------------------------------------ prefill
+
+    def prefill_latency_s(self, batch_size: int, prompt_tokens: int) -> float:
+        """Latency of encoding ``prompt_tokens`` for every query of the batch."""
+        if batch_size <= 0 or prompt_tokens <= 0:
+            raise ValueError("batch size and prompt length must be positive")
+        model = self.model
+        flops = 2 * model.total_params * prompt_tokens * batch_size
+        # Attention inside the prompt (quadratic term).
+        flops += (2 * model.num_layers * model.num_heads * model.head_dim
+                  * prompt_tokens * prompt_tokens * batch_size)
+        compute_time = flops / (
+            self.aggregate_tflops * 1e12 * self.gpu.prefill_compute_efficiency
+        )
+        weight_time = self.memory.parameter_bytes / (
+            self.aggregate_bandwidth_gbps * self.gpu.gemm_bandwidth_efficiency) * 1e-9
+        comm = self._allreduce_time_s(batch_size * prompt_tokens) * model.num_layers \
+            if self.num_gpus > 1 else 0.0
+        return max(compute_time, weight_time) + comm
+
+    def prefill_throughput(self, batch_size: int, prompt_tokens: int) -> float:
+        """Prompt tokens encoded per second."""
+        latency = self.prefill_latency_s(batch_size, prompt_tokens)
+        return batch_size * prompt_tokens / latency
+
+    # ------------------------------------------------------------------ end to end
+
+    def query_latency_s(self, batch_size: int, prompt_tokens: int, decode_tokens: int) -> float:
+        """End-to-end latency of one query served within a batch."""
+        if decode_tokens <= 0:
+            raise ValueError("decode_tokens must be positive")
+        prefill = self.prefill_latency_s(batch_size, prompt_tokens)
+        total = prefill
+        # Integrate the growing context with a handful of samples.
+        samples = 8
+        for i in range(samples):
+            context = prompt_tokens + int((i + 0.5) * decode_tokens / samples)
+            total += self.decode_step_latency_s(batch_size, context) * decode_tokens / samples
+        return total
+
+    def end_to_end_throughput(self, batch_size: int, prompt_tokens: int,
+                              decode_tokens: int) -> float:
+        """Output tokens per second over the whole query duration."""
+        latency = self.query_latency_s(batch_size, prompt_tokens, decode_tokens)
+        return batch_size * decode_tokens / latency
+
+    # ------------------------------------------------------------------ utilisation
+
+    def decode_compute_utilization(self, batch_size: int, context_length: int) -> float:
+        """Achieved / peak FLOPs during decoding (Figure 2b)."""
+        flops = batch_size * self.model.decode_flops_per_token(context_length)
+        elapsed = self.decode_step_latency_s(batch_size, context_length)
+        return flops / elapsed / (self.aggregate_tflops * 1e12)
+
+    # ------------------------------------------------------------------ internals
+
+    def _allreduce_time_s(self, vector_elements_scale: int) -> float:
+        """One ring AllReduce of the hidden activations across the GPUs."""
+        bytes_moved = 2 * self.model.d_model * vector_elements_scale * 2
+        ring_factor = 2 * (self.num_gpus - 1) / self.num_gpus
+        transfer = bytes_moved * ring_factor / (self.gpu.nvlink_bandwidth_gbps * 1e9)
+        return transfer + self.gpu.allreduce_latency_us * 1e-6

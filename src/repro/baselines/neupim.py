@@ -1,0 +1,95 @@
+"""NeuPIM baseline (paper Figure 16d / 18b).
+
+NeuPIM integrates a TPUv4-like NPU near HBM-PIM modules with dual row buffers
+so NPU and PIM accesses overlap, and pairs 8 such devices with 8 A100 GPUs.
+As in the AttAcc model, the GPUs/NPUs run the fully-connected layers and the
+PIM side serves the batched attention; the dual-row-buffer optimisation is
+modelled as partial overlap between the two components of a decoding step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import A100_80GB, GPUConfig
+from repro.models.config import ModelConfig
+from repro.models.memory import ModelMemoryProfile
+
+__all__ = ["NeuPimConfig", "NeuPimSystem", "NEUPIM_8GPU_8PIM"]
+
+
+@dataclass(frozen=True)
+class NeuPimConfig:
+    """System-level configuration of the NeuPIM baseline."""
+
+    num_gpus: int = 8
+    num_pim_devices: int = 8
+    gpu: GPUConfig = A100_80GB
+    #: NPU compute throughput per NeuPIM device (TPUv4-like, BF16 TFLOPS).
+    npu_tflops: float = 275.0
+    #: Internal bandwidth of one NeuPIM HBM-PIM device (GB/s).
+    pim_internal_bandwidth_gbps: float = 12300.0
+    pim_capacity_bytes: int = 80 * 1024**3
+    pim_device_power_w: float = 130.0
+    #: Fraction of attention time hidden behind FC time thanks to the dual
+    #: row buffers enabling concurrent NPU / PIM access.
+    overlap_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0 or self.num_pim_devices <= 0:
+            raise ValueError("device counts must be positive")
+        if not 0 <= self.overlap_fraction < 1:
+            raise ValueError("overlap fraction must be in [0, 1)")
+
+
+NEUPIM_8GPU_8PIM = NeuPimConfig()
+
+
+class NeuPimSystem:
+    """Throughput model of the NeuPIM GPU + NPU-PIM system."""
+
+    def __init__(self, model: ModelConfig, config: NeuPimConfig = NEUPIM_8GPU_8PIM) -> None:
+        self.model = model
+        self.config = config
+        self.memory = ModelMemoryProfile(model)
+
+    def max_batch_size(self, context_length: int) -> int:
+        per_query = self.memory.kv_cache_bytes_per_query(context_length)
+        capacity = self.config.num_pim_devices * self.config.pim_capacity_bytes
+        return max(capacity // per_query, 1)
+
+    def decode_step_latency_s(self, batch_size: int, context_length: int) -> float:
+        if batch_size <= 0 or context_length <= 0:
+            raise ValueError("batch and context must be positive")
+        cfg = self.config
+        weight_bytes = self.memory.parameter_bytes
+        gpu_bandwidth = cfg.num_gpus * cfg.gpu.hbm_bandwidth_gbps * cfg.gpu.gemm_bandwidth_efficiency
+        fc_flops = 2 * batch_size * (self.model.total_params - self.model.embedding_params // 2)
+        compute = ((cfg.num_gpus * cfg.gpu.bf16_tflops + cfg.num_pim_devices * cfg.npu_tflops)
+                   * 1e12 * cfg.gpu.prefill_compute_efficiency)
+        fc_time = max(weight_bytes / (gpu_bandwidth * 1e9), fc_flops / compute)
+        kv_bytes = batch_size * self.memory.kv_cache_bytes_per_query(context_length)
+        pim_bandwidth = cfg.num_pim_devices * cfg.pim_internal_bandwidth_gbps * 0.6
+        attention_time = kv_bytes / (pim_bandwidth * 1e9)
+        # Dual row buffers let part of the attention hide behind the FC phase.
+        return fc_time + attention_time * (1.0 - cfg.overlap_fraction)
+
+    def prefill_latency_s(self, batch_size: int, prompt_tokens: int) -> float:
+        flops = 2 * self.model.total_params * prompt_tokens * batch_size
+        compute = (self.config.num_gpus * self.config.gpu.bf16_tflops * 1e12
+                   * self.config.gpu.prefill_compute_efficiency)
+        return flops / compute
+
+    def end_to_end_throughput(self, batch_size: int, prompt_tokens: int,
+                              decode_tokens: int) -> float:
+        total = self.prefill_latency_s(batch_size, prompt_tokens)
+        samples = 8
+        for i in range(samples):
+            context = prompt_tokens + int((i + 0.5) * decode_tokens / samples)
+            total += self.decode_step_latency_s(batch_size, context) * decode_tokens / samples
+        return batch_size * decode_tokens / total
+
+    @property
+    def system_power_w(self) -> float:
+        return (self.config.num_gpus * self.config.gpu.tdp_w
+                + self.config.num_pim_devices * self.config.pim_device_power_w)

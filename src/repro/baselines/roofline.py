@@ -1,0 +1,93 @@
+"""Shared roofline helpers for the analytical accelerator baselines.
+
+CXL-PNM, AttAcc and NeuPIM are compared with CENT at the throughput level
+using their published compute throughput, memory bandwidth and capacity.
+The roofline model splits one decoding step into the weight-streaming part
+(amortised over the batch) and the per-query KV-cache part, and bounds both
+by compute throughput — the same structure as the GPU baseline, without the
+GPU-specific overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.models.memory import ModelMemoryProfile
+
+__all__ = ["AcceleratorEnvelope"]
+
+
+@dataclass(frozen=True)
+class AcceleratorEnvelope:
+    """Capability envelope of one accelerator system."""
+
+    name: str
+    tflops: float
+    memory_bandwidth_gbps: float
+    memory_capacity_bytes: int
+    bandwidth_efficiency: float = 0.7
+    compute_efficiency: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.tflops <= 0 or self.memory_bandwidth_gbps <= 0 or self.memory_capacity_bytes <= 0:
+            raise ValueError("capability values must be positive")
+        for name in ("bandwidth_efficiency", "compute_efficiency"):
+            if not 0 < getattr(self, name) <= 1:
+                raise ValueError(f"{name} must be in (0, 1]")
+
+    # ------------------------------------------------------------------ capacity
+
+    def max_batch_size(self, model: ModelConfig, context_length: int) -> int:
+        profile = ModelMemoryProfile(model)
+        return profile.max_batch_size(self.memory_capacity_bytes, context_length)
+
+    # ------------------------------------------------------------------ decode
+
+    def decode_step_latency_s(self, model: ModelConfig, batch_size: int,
+                              context_length: int) -> float:
+        if batch_size <= 0 or context_length <= 0:
+            raise ValueError("batch and context must be positive")
+        profile = ModelMemoryProfile(model)
+        bandwidth = self.memory_bandwidth_gbps * self.bandwidth_efficiency * 1e9
+        weight_time = profile.parameter_bytes / bandwidth
+        kv_time = batch_size * profile.kv_cache_bytes_per_query(context_length) / bandwidth
+        flops = batch_size * model.decode_flops_per_token(context_length)
+        compute_time = flops / (self.tflops * 1e12 * self.compute_efficiency)
+        return max(weight_time + kv_time, compute_time)
+
+    def decode_throughput(self, model: ModelConfig, batch_size: int,
+                          context_length: int) -> float:
+        return batch_size / self.decode_step_latency_s(model, batch_size, context_length)
+
+    # ------------------------------------------------------------------ prefill
+
+    def prefill_latency_s(self, model: ModelConfig, batch_size: int,
+                          prompt_tokens: int) -> float:
+        if batch_size <= 0 or prompt_tokens <= 0:
+            raise ValueError("batch and prompt length must be positive")
+        flops = 2 * model.total_params * prompt_tokens * batch_size
+        flops += (2 * model.num_layers * model.num_heads * model.head_dim
+                  * prompt_tokens * prompt_tokens * batch_size)
+        compute_time = flops / (self.tflops * 1e12 * self.compute_efficiency)
+        profile = ModelMemoryProfile(model)
+        bandwidth = self.memory_bandwidth_gbps * self.bandwidth_efficiency * 1e9
+        weight_time = profile.parameter_bytes / bandwidth
+        return max(compute_time, weight_time)
+
+    # ------------------------------------------------------------------ end to end
+
+    def query_latency_s(self, model: ModelConfig, batch_size: int,
+                        prompt_tokens: int, decode_tokens: int,
+                        samples: int = 8) -> float:
+        total = self.prefill_latency_s(model, batch_size, prompt_tokens)
+        for i in range(samples):
+            context = prompt_tokens + int((i + 0.5) * decode_tokens / samples)
+            total += (self.decode_step_latency_s(model, batch_size, context)
+                      * decode_tokens / samples)
+        return total
+
+    def end_to_end_throughput(self, model: ModelConfig, batch_size: int,
+                              prompt_tokens: int, decode_tokens: int) -> float:
+        latency = self.query_latency_s(model, batch_size, prompt_tokens, decode_tokens)
+        return batch_size * decode_tokens / latency

@@ -1,0 +1,110 @@
+"""Weight and KV-cache placement inside the PIM channels of one block.
+
+The allocator assigns matrices to DRAM rows.  All PIM channels assigned to a
+transformer block use an identical layout over their own slice of the matrix
+rows, so a single allocator instance describes every channel.  The placement
+records where each matrix starts and how its rows map onto DRAM rows and
+columns; the GEMV compiler uses this to emit ``MAC_ABK`` instructions with the
+correct row/column addresses, and the capacity check guards against mapping a
+block onto too few channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+
+__all__ = ["MatrixPlacement", "ChannelAllocator"]
+
+
+@dataclass(frozen=True)
+class MatrixPlacement:
+    """Placement of one matrix slice inside every bank of a channel.
+
+    The matrix is partitioned along its rows across the 16 banks of the
+    channel; each bank stores ``rows_per_bank`` matrix rows contiguously
+    starting at DRAM row ``base_row``.
+    """
+
+    name: str
+    base_row: int
+    rows_per_bank: int
+    columns_per_matrix_row: int
+    dram_rows: int
+
+    @property
+    def end_row(self) -> int:
+        return self.base_row + self.dram_rows
+
+
+class ChannelAllocator:
+    """Tracks DRAM-row usage of the channels assigned to one block."""
+
+    def __init__(self, geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY) -> None:
+        self.geometry = geometry
+        self.next_row = 0
+        self.placements: Dict[str, MatrixPlacement] = {}
+
+    # ------------------------------------------------------------------ allocation
+
+    def allocate_matrix(self, name: str, rows_per_bank: int, columns: int) -> MatrixPlacement:
+        """Allocate a matrix slice of ``rows_per_bank`` rows per bank.
+
+        ``columns`` is the full matrix width in BF16 elements; each matrix row
+        occupies ``ceil(columns / 16)`` DRAM columns.  Rows are packed into
+        DRAM rows without splitting a matrix row across DRAM rows unless it is
+        wider than one DRAM row, in which case it spans whole DRAM rows.
+        """
+        if name in self.placements:
+            raise ValueError(f"matrix {name!r} is already allocated")
+        if rows_per_bank <= 0 or columns <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        cols_per_matrix_row = -(-columns // self.geometry.elements_per_access)
+        dram_columns = self.geometry.columns_per_row
+        if cols_per_matrix_row >= dram_columns:
+            dram_rows_per_matrix_row = -(-cols_per_matrix_row // dram_columns)
+            dram_rows = rows_per_bank * dram_rows_per_matrix_row
+        else:
+            matrix_rows_per_dram_row = dram_columns // cols_per_matrix_row
+            dram_rows = -(-rows_per_bank // matrix_rows_per_dram_row)
+        placement = MatrixPlacement(
+            name=name,
+            base_row=self.next_row,
+            rows_per_bank=rows_per_bank,
+            columns_per_matrix_row=cols_per_matrix_row,
+            dram_rows=dram_rows,
+        )
+        if placement.end_row > self.geometry.rows_per_bank:
+            raise MemoryError(
+                f"matrix {name!r} does not fit: needs rows up to {placement.end_row}, "
+                f"bank has {self.geometry.rows_per_bank} rows.  Assign more channels "
+                "to this block."
+            )
+        self.placements[name] = placement
+        self.next_row = placement.end_row
+        return placement
+
+    def placement(self, name: str) -> MatrixPlacement:
+        if name not in self.placements:
+            raise KeyError(f"matrix {name!r} has not been allocated")
+        return self.placements[name]
+
+    # ------------------------------------------------------------------ capacity
+
+    @property
+    def used_bytes_per_bank(self) -> int:
+        return self.next_row * self.geometry.row_size_bytes
+
+    @property
+    def used_bytes_per_channel(self) -> int:
+        return self.used_bytes_per_bank * self.geometry.num_banks
+
+    @property
+    def free_rows(self) -> int:
+        return self.geometry.rows_per_bank - self.next_row
+
+    def utilization(self) -> float:
+        """Fraction of the channel capacity currently allocated."""
+        return self.next_row / self.geometry.rows_per_bank

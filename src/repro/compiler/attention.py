@@ -1,0 +1,149 @@
+"""Self-attention compilation: KV-cache update, scores, Softmax, output.
+
+The query/key/value projections are ordinary weight GEMVs handled by the
+transformer-block compiler; this module covers the context-length-dependent
+parts:
+
+* appending the new key/value vectors to the caches (``WR_SBK`` writes),
+* the attention-score GEMV of the query against the key cache,
+* Softmax (exponent and reduction on the PNM accelerators, normalisation on
+  the RISC-V cores, scaling on the PIM channels),
+* the attention-output GEMV of the score vector against the value cache.
+
+Grouped-query attention is supported by unrolling the narrow GEMM into
+``group_size`` GEMVs over the shared key/value caches (paper §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compiler.allocator import ChannelAllocator
+from repro.compiler.elementwise import compile_elementwise_multiply
+from repro.compiler.gemv import compile_gemv
+from repro.compiler.operations import CompiledOperation, PnmTask, PnmUnit
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.isa.instructions import WriteSingleBank
+from repro.isa.program import Program
+from repro.models.config import ModelConfig
+
+__all__ = ["compile_attention", "AttentionPrograms"]
+
+
+@dataclass
+class AttentionPrograms:
+    """The compiled operations of one self-attention layer (context part)."""
+
+    kv_append: CompiledOperation
+    scores: CompiledOperation
+    softmax: CompiledOperation
+    output: CompiledOperation
+
+    @property
+    def operations(self) -> List[CompiledOperation]:
+        return [self.kv_append, self.scores, self.softmax, self.output]
+
+
+def compile_attention(
+    model: ModelConfig,
+    context_length: int,
+    num_channels: int,
+    allocator: Optional[ChannelAllocator] = None,
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+    bytes_per_element: int = 2,
+) -> AttentionPrograms:
+    """Compile the context-dependent attention operations for one token."""
+    if context_length <= 0:
+        raise ValueError("context length must be positive")
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+    if allocator is None:
+        allocator = ChannelAllocator(geometry)
+    ch_mask = (1 << num_channels) - 1
+
+    head_dim = model.head_dim
+    kv_rows = model.num_kv_heads * context_length
+    group_size = model.gqa_group_size
+
+    # Key and value caches are allocated for the full supported context so
+    # the placement does not move as the sequence grows.
+    max_rows_per_bank = -(-(model.num_kv_heads * model.max_context)
+                          // (num_channels * geometry.num_banks))
+    key_placement = allocator.allocate_matrix("kv_cache.key", max_rows_per_bank, head_dim)
+    value_placement = allocator.allocate_matrix("kv_cache.value", max_rows_per_bank, head_dim)
+
+    # ------------------------------------------------------------- KV append
+    kv_program = Program(label="attention.kv_append")
+    slots_per_head = -(-head_dim // geometry.elements_per_access)
+    heads_per_channel = -(-model.num_kv_heads // num_channels)
+    for head in range(max(heads_per_channel, 1)):
+        for placement in (key_placement, value_placement):
+            kv_program.append(
+                WriteSingleBank(
+                    ch_id=0,
+                    op_size=slots_per_head,
+                    bank=head % geometry.num_banks,
+                    row=placement.base_row,
+                    column=0,
+                    rs=0,
+                )
+            )
+    kv_append = CompiledOperation(
+        name="attention.kv_append",
+        program=kv_program,
+        parallel_channels=num_channels,
+        flops=0,
+        dram_bytes_read=0,
+    )
+
+    # ------------------------------------------------------------- scores
+    scores = compile_gemv(
+        "attention.scores",
+        out_dim=kv_rows,
+        in_dim=head_dim,
+        num_channels=num_channels,
+        placement=key_placement,
+        repeat=group_size,
+        geometry=geometry,
+        ch_mask=ch_mask,
+        bytes_per_element=bytes_per_element,
+    )
+
+    # ------------------------------------------------------------- softmax
+    score_elements = model.num_heads * context_length
+    softmax_scale = compile_elementwise_multiply(
+        "attention.softmax_scale", score_elements, num_channels, geometry=geometry
+    )
+    softmax = CompiledOperation(
+        name="attention.softmax",
+        program=softmax_scale.program,
+        pnm_tasks=[
+            PnmTask(PnmUnit.RISCV, num_elements=score_elements, routine="softmax_max"),
+            PnmTask(PnmUnit.EXPONENT, num_elements=score_elements),
+            PnmTask(PnmUnit.REDUCTION, num_elements=score_elements),
+            PnmTask(PnmUnit.RISCV, num_elements=model.num_heads, routine="inverse"),
+        ],
+        parallel_channels=num_channels,
+        flops=4 * score_elements,
+        dram_bytes_read=score_elements * bytes_per_element,
+    )
+
+    # ------------------------------------------------------------- output
+    output = compile_gemv(
+        "attention.output",
+        out_dim=model.num_kv_heads * head_dim,
+        in_dim=context_length,
+        num_channels=num_channels,
+        placement=value_placement,
+        repeat=group_size,
+        geometry=geometry,
+        ch_mask=ch_mask,
+        bytes_per_element=bytes_per_element,
+    )
+    # The value cache is read once per query head; correct the traffic to the
+    # unrolled volume (out_dim above is per KV head).
+    output.flops = 2 * model.num_heads * head_dim * context_length
+    output.dram_bytes_read = model.num_heads * head_dim * context_length * bytes_per_element
+
+    return AttentionPrograms(kv_append=kv_append, scores=scores, softmax=softmax, output=output)

@@ -1,0 +1,74 @@
+"""Element-wise operations and activation functions on the PIM channels.
+
+Element-wise multiplication uses the ``EW_MUL`` instruction: the two operand
+vectors are stored in two banks of each bank group and the product lands in a
+third bank of the group, so a channel processes ``4 groups x 16 lanes``
+elements per micro-op.  Activation functions use the per-PU lookup tables via
+the ``AF`` instruction, evaluated 16 lanes x 16 PUs at a time.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.operations import CompiledOperation
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.isa.instructions import ActivationFunction, ElementwiseMul
+from repro.isa.program import Program
+from repro.numerics.lut import AF_TABLE_IDS
+
+__all__ = ["compile_elementwise_multiply", "compile_activation"]
+
+
+def compile_elementwise_multiply(
+    name: str,
+    num_elements: int,
+    num_channels: int,
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+    row: int = 0,
+    bytes_per_element: int = 2,
+) -> CompiledOperation:
+    """Compile an element-wise product of two ``num_elements`` vectors."""
+    if num_elements <= 0 or num_channels <= 0:
+        raise ValueError("element and channel counts must be positive")
+    ch_mask = (1 << num_channels) - 1
+    elements_per_channel = -(-num_elements // num_channels)
+    elements_per_micro_op = geometry.num_bank_groups * geometry.elements_per_access
+    op_size = -(-elements_per_channel // elements_per_micro_op)
+    program = Program(label=name)
+    program.append(ElementwiseMul(ch_mask=ch_mask, op_size=op_size, row=row, column=0))
+    return CompiledOperation(
+        name=name,
+        program=program,
+        parallel_channels=num_channels,
+        flops=num_elements,
+        dram_bytes_read=2 * num_elements * bytes_per_element,
+    )
+
+
+def compile_activation(
+    name: str,
+    num_elements: int,
+    num_channels: int,
+    function: str = "sigmoid",
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+    bytes_per_element: int = 2,
+) -> CompiledOperation:
+    """Compile a lookup-table activation over a ``num_elements`` vector."""
+    if num_elements <= 0 or num_channels <= 0:
+        raise ValueError("element and channel counts must be positive")
+    if function not in AF_TABLE_IDS:
+        raise ValueError(f"unknown activation function {function!r}")
+    ch_mask = (1 << num_channels) - 1
+    elements_per_channel = -(-num_elements // num_channels)
+    elements_per_instruction = geometry.num_banks * geometry.elements_per_access
+    num_instructions = -(-elements_per_channel // elements_per_instruction)
+    program = Program(label=name)
+    af_id = AF_TABLE_IDS[function]
+    for _ in range(num_instructions):
+        program.append(ActivationFunction(ch_mask=ch_mask, af_id=af_id, reg_id=0))
+    return CompiledOperation(
+        name=name,
+        program=program,
+        parallel_channels=num_channels,
+        flops=num_elements,
+        dram_bytes_read=num_elements * bytes_per_element,
+    )

@@ -1,0 +1,87 @@
+"""Feed-forward network compilation (Figure 10a/c).
+
+Llama2's gated FFN computes ``W2 (SiLU(W1 x) * (W3 x))``: two parallel
+fully-connected layers, a SiLU activation, an element-wise product and a
+final fully-connected layer.  OPT/GPT3-style models use the plain two-matrix
+FFN with GeLU.  The GEMVs run on the PIM channels; SiLU/GeLU decompose into a
+sigmoid/tanh lookup (``AF``) plus an element-wise product (``EW_MUL``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compiler.allocator import ChannelAllocator
+from repro.compiler.elementwise import compile_activation, compile_elementwise_multiply
+from repro.compiler.gemv import compile_gemv
+from repro.compiler.operations import CompiledOperation
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.models.config import FfnKind, ModelConfig
+
+__all__ = ["compile_ffn", "FfnPrograms"]
+
+
+@dataclass
+class FfnPrograms:
+    """Compiled operations of one feed-forward layer."""
+
+    operations: List[CompiledOperation]
+
+
+def compile_ffn(
+    model: ModelConfig,
+    num_channels: int,
+    allocator: Optional[ChannelAllocator] = None,
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+) -> FfnPrograms:
+    """Compile the FFN of one transformer block."""
+    if allocator is None:
+        allocator = ChannelAllocator(geometry)
+    operations: List[CompiledOperation] = []
+
+    if model.ffn_kind is FfnKind.GATED:
+        operations.append(compile_gemv(
+            "ffn.w1", out_dim=model.d_ff, in_dim=model.d_model,
+            num_channels=num_channels, allocator=allocator, geometry=geometry,
+        ))
+        operations.append(compile_gemv(
+            "ffn.w3", out_dim=model.d_ff, in_dim=model.d_model,
+            num_channels=num_channels, allocator=allocator, geometry=geometry,
+        ))
+        operations.append(compile_activation(
+            "ffn.silu", num_elements=model.d_ff, num_channels=num_channels,
+            function="sigmoid", geometry=geometry,
+        ))
+        # SiLU(x) = x * sigmoid(x), then the gate multiplies the W3 branch.
+        operations.append(compile_elementwise_multiply(
+            "ffn.silu_product", num_elements=model.d_ff, num_channels=num_channels,
+            geometry=geometry,
+        ))
+        operations.append(compile_elementwise_multiply(
+            "ffn.gate", num_elements=model.d_ff, num_channels=num_channels,
+            geometry=geometry,
+        ))
+        operations.append(compile_gemv(
+            "ffn.w2", out_dim=model.d_model, in_dim=model.d_ff,
+            num_channels=num_channels, allocator=allocator, geometry=geometry,
+        ))
+    else:
+        operations.append(compile_gemv(
+            "ffn.fc1", out_dim=model.d_ff, in_dim=model.d_model,
+            num_channels=num_channels, allocator=allocator, geometry=geometry,
+        ))
+        operations.append(compile_activation(
+            "ffn.gelu", num_elements=model.d_ff, num_channels=num_channels,
+            function="gelu", geometry=geometry,
+        ))
+        operations.append(compile_elementwise_multiply(
+            "ffn.gelu_product", num_elements=model.d_ff, num_channels=num_channels,
+            geometry=geometry,
+        ))
+        operations.append(compile_gemv(
+            "ffn.fc2", out_dim=model.d_model, in_dim=model.d_ff,
+            num_channels=num_channels, allocator=allocator, geometry=geometry,
+        ))
+
+    return FfnPrograms(operations=operations)

@@ -1,0 +1,169 @@
+"""GEMV compilation (Figure 11 of the paper).
+
+A matrix-vector product ``y = W x`` is distributed across the PIM channels
+assigned to the operation: the matrix is partitioned along its rows, every
+channel receives an equal slice, and within a channel the rows are spread
+over the 16 banks.  The vector is staged in the 2 KB global buffer (in tiles
+when it is longer than 1K elements) and broadcast to all near-bank PUs, which
+accumulate one output element per bank per *sweep*.
+
+The emitted per-channel instruction stream follows the paper's compilation
+example: ``WR_GB`` to load a vector tile, ``WR_BIAS`` to clear the
+accumulation registers, a series of ``MAC_ABK`` covering the matrix-row
+segments held in each DRAM row, and ``RD_MAC`` to retrieve the results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.allocator import ChannelAllocator, MatrixPlacement
+from repro.compiler.operations import CompiledOperation
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.isa.instructions import (
+    MacAllBank,
+    ReadMacRegister,
+    WriteBias,
+    WriteGlobalBuffer,
+)
+from repro.isa.program import Program
+from repro.pim.pu import NUM_ACCUMULATION_REGISTERS
+
+__all__ = ["compile_gemv"]
+
+
+def compile_gemv(
+    name: str,
+    out_dim: int,
+    in_dim: int,
+    num_channels: int,
+    allocator: Optional[ChannelAllocator] = None,
+    placement: Optional[MatrixPlacement] = None,
+    repeat: int = 1,
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+    ch_mask: int = 0,
+    bytes_per_element: int = 2,
+) -> CompiledOperation:
+    """Compile one GEMV onto ``num_channels`` PIM channels.
+
+    Parameters
+    ----------
+    name:
+        Operation label, e.g. ``"attn.wq"``.
+    out_dim / in_dim:
+        Matrix shape (``out_dim`` rows, ``in_dim`` columns).
+    num_channels:
+        PIM channels sharing the work; the per-channel program covers
+        ``ceil(out_dim / num_channels)`` output rows.
+    allocator:
+        Channel allocator for the weights.  A private allocator is created if
+        neither ``allocator`` nor ``placement`` is given.
+    placement:
+        Reuse an existing matrix placement (e.g. the KV cache) instead of
+        allocating new rows.
+    repeat:
+        Number of times the matrix slice is swept with *different* input
+        vectors.  Grouped-query attention unrolls a narrow GEMM into
+        ``repeat`` GEMVs over the same key/value cache.
+    ch_mask:
+        Channel mask placed in the emitted instructions; defaults to a mask
+        selecting ``num_channels`` channels.
+    """
+    if out_dim <= 0 or in_dim <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+    if repeat <= 0:
+        raise ValueError("repeat must be positive")
+
+    if ch_mask == 0:
+        ch_mask = (1 << num_channels) - 1
+
+    elements_per_access = geometry.elements_per_access
+    dram_columns = geometry.columns_per_row
+    gb_slots = geometry.global_buffer_slots
+
+    rows_this_channel = -(-out_dim // num_channels)
+    rows_per_bank = -(-rows_this_channel // geometry.num_banks)
+    cols_per_matrix_row = -(-in_dim // elements_per_access)
+
+    if placement is None:
+        if allocator is None:
+            allocator = ChannelAllocator(geometry)
+        placement = allocator.allocate_matrix(name, rows_per_bank, in_dim)
+    sweeps = min(rows_per_bank, placement.rows_per_bank) if placement.rows_per_bank else rows_per_bank
+    sweeps = max(sweeps, 1)
+
+    program = Program(label=name)
+
+    # Tiles partition the input vector into global-buffer-sized chunks that
+    # also align with DRAM rows when a matrix row spans several DRAM rows.
+    tile_slots = min(cols_per_matrix_row, gb_slots, dram_columns)
+    num_tiles = -(-cols_per_matrix_row // tile_slots)
+
+    # Register pressure only matters when a sweep needs several tiles, because
+    # results can only be read out once every tile has been accumulated.
+    batch_size = NUM_ACCUMULATION_REGISTERS if num_tiles > 1 else sweeps
+
+    for _ in range(repeat):
+        for batch_start in range(0, sweeps, batch_size):
+            batch = range(batch_start, min(batch_start + batch_size, sweeps))
+            for tile in range(num_tiles):
+                tile_len = min(tile_slots, cols_per_matrix_row - tile * tile_slots)
+                program.append(
+                    WriteGlobalBuffer(ch_mask=ch_mask, op_size=tile_len, column=0, rs=0)
+                )
+                for sweep in batch:
+                    reg_id = sweep % NUM_ACCUMULATION_REGISTERS
+                    if tile == 0:
+                        program.append(WriteBias(ch_mask=ch_mask, rs=0))
+                    row, column = _address_of(
+                        placement, sweep, tile, tile_slots, dram_columns
+                    )
+                    program.append(
+                        MacAllBank(
+                            ch_mask=ch_mask,
+                            op_size=tile_len,
+                            row=row,
+                            column=column,
+                            reg_id=reg_id,
+                        )
+                    )
+            for sweep in batch:
+                program.append(
+                    ReadMacRegister(
+                        ch_mask=ch_mask,
+                        rd=sweep % NUM_ACCUMULATION_REGISTERS,
+                        reg_id=sweep % NUM_ACCUMULATION_REGISTERS,
+                    )
+                )
+
+    total_elements = out_dim * in_dim * repeat
+    return CompiledOperation(
+        name=name,
+        program=program,
+        parallel_channels=num_channels,
+        flops=2 * total_elements,
+        dram_bytes_read=total_elements * bytes_per_element,
+    )
+
+
+def _address_of(
+    placement: MatrixPlacement,
+    sweep: int,
+    tile: int,
+    tile_slots: int,
+    dram_columns: int,
+) -> tuple:
+    """DRAM (row, column) of tile ``tile`` of the ``sweep``-th matrix row."""
+    cols = placement.columns_per_matrix_row
+    if cols >= dram_columns:
+        dram_rows_per_matrix_row = -(-cols // dram_columns)
+        global_column = tile * tile_slots
+        row = placement.base_row + sweep * dram_rows_per_matrix_row + global_column // dram_columns
+        column = global_column % dram_columns
+    else:
+        matrix_rows_per_dram_row = dram_columns // cols
+        row = placement.base_row + sweep // matrix_rows_per_dram_row
+        column = (sweep % matrix_rows_per_dram_row) * cols + tile * tile_slots
+    return row, column

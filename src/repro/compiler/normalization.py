@@ -1,0 +1,68 @@
+"""RMSNorm compilation (Figure 10b).
+
+RMSNorm(x) = x / sqrt(mean(x^2)) * gamma.  The vector dot product ``x . x``
+runs on the PIM channels (MAC over neighbouring banks, using only one of each
+pair of PUs), the square root and inversion run on the PNM RISC-V cores, and
+the two element-wise scalings (by the normalisation factor and by the weight
+vector gamma) run on the PIM channels with ``EW_MUL``.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.elementwise import compile_elementwise_multiply
+from repro.compiler.operations import CompiledOperation, PnmTask, PnmUnit
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.isa.instructions import MacAllBank, ReadMacRegister, WriteBias
+from repro.isa.program import Program
+
+__all__ = ["compile_rmsnorm"]
+
+
+def compile_rmsnorm(
+    name: str,
+    hidden_dim: int,
+    num_channels: int,
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+    bytes_per_element: int = 2,
+) -> CompiledOperation:
+    """Compile one RMSNorm over a ``hidden_dim`` embedding vector."""
+    if hidden_dim <= 0 or num_channels <= 0:
+        raise ValueError("hidden dimension and channel count must be positive")
+    ch_mask = (1 << num_channels) - 1
+    program = Program(label=name)
+
+    # Vector dot product x . x: the vector is stored in neighbouring banks,
+    # one PU of each pair accumulates.  Elements per micro-op: half of the
+    # banks are producers, 16 lanes each.
+    elements_per_channel = -(-hidden_dim // num_channels)
+    lanes = (geometry.num_banks // 2) * geometry.elements_per_access
+    dot_micro_ops = -(-elements_per_channel // lanes)
+    program.append(WriteBias(ch_mask=ch_mask, rs=0))
+    program.append(MacAllBank(ch_mask=ch_mask, op_size=dot_micro_ops, row=0, column=0, reg_id=0))
+    program.append(ReadMacRegister(ch_mask=ch_mask, rd=0, reg_id=0))
+
+    # Scaling by 1/sqrt(mean) and by gamma: two element-wise multiplies.
+    scale = compile_elementwise_multiply(
+        f"{name}.scale", hidden_dim, num_channels, geometry=geometry
+    )
+    gamma = compile_elementwise_multiply(
+        f"{name}.gamma", hidden_dim, num_channels, geometry=geometry
+    )
+    program.extend(scale.program)
+    program.extend(gamma.program)
+
+    pnm_tasks = [
+        # Partial sums from each channel are reduced and combined ...
+        PnmTask(PnmUnit.REDUCTION, num_elements=max(num_channels, 1)),
+        # ... then 1/sqrt(.) runs on a RISC-V core (a single scalar).
+        PnmTask(PnmUnit.RISCV, num_elements=1, routine="sqrt_inv"),
+    ]
+    total_flops = 2 * hidden_dim + 2 * hidden_dim  # dot product + two scalings
+    return CompiledOperation(
+        name=name,
+        program=program,
+        pnm_tasks=pnm_tasks,
+        parallel_channels=num_channels,
+        flops=total_flops,
+        dram_bytes_read=3 * hidden_dim * bytes_per_element,
+    )

@@ -1,0 +1,51 @@
+"""Rotary positional embedding compilation (Figure 10e).
+
+The RISC-V PNM cores first transform each 128-element attention head into 64
+complex pairs, the PIM PUs multiply the complex values with the pre-loaded
+rotation weights (element-wise multiplications), and the RISC-V cores convert
+the result back to the real representation.  RoPE is applied to the query and
+key vectors of every head.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.elementwise import compile_elementwise_multiply
+from repro.compiler.operations import CompiledOperation, PnmTask, PnmUnit
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+
+__all__ = ["compile_rope"]
+
+
+def compile_rope(
+    name: str,
+    num_elements: int,
+    num_channels: int,
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+) -> CompiledOperation:
+    """Compile RoPE over ``num_elements`` query/key elements.
+
+    ``num_elements`` is the total number of vector elements rotated, i.e.
+    ``d_model + kv_dim`` for one token (query heads plus key heads).
+    """
+    if num_elements <= 0 or num_channels <= 0:
+        raise ValueError("element and channel counts must be positive")
+    # Complex multiply: 4 real multiplies + 2 adds per complex pair, i.e. two
+    # element-wise multiply passes over the packed representation.
+    first = compile_elementwise_multiply(f"{name}.cmul_real", num_elements, num_channels,
+                                         geometry=geometry)
+    second = compile_elementwise_multiply(f"{name}.cmul_imag", num_elements, num_channels,
+                                          geometry=geometry)
+    program = first.program.concat(second.program)
+    program.label = name
+    pnm_tasks = [
+        PnmTask(PnmUnit.RISCV, num_elements=num_elements, routine="rope_pack"),
+        PnmTask(PnmUnit.RISCV, num_elements=num_elements, routine="rope_unpack"),
+    ]
+    return CompiledOperation(
+        name=name,
+        program=program,
+        pnm_tasks=pnm_tasks,
+        parallel_channels=num_channels,
+        flops=6 * num_elements,
+        dram_bytes_read=first.dram_bytes_read + second.dram_bytes_read,
+    )

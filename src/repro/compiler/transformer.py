@@ -1,0 +1,191 @@
+"""Transformer-block compiler (Figure 10a).
+
+``compile_transformer_block`` lowers one decoder block — attention with
+rotary embedding and grouped-query support, residual connections, RMSNorm and
+the feed-forward network — onto the PIM channels assigned to it, producing a
+:class:`BlockProgram`: the ordered list of compiled operations together with
+the residual-connection PNM tasks.  The performance model consumes a
+``BlockProgram`` to obtain the PIM / PNM / CXL latency breakdown of a
+pipeline stage or tensor-parallel shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.compiler.allocator import ChannelAllocator
+from repro.compiler.attention import compile_attention
+from repro.compiler.ffn import compile_ffn
+from repro.compiler.gemv import compile_gemv
+from repro.compiler.normalization import compile_rmsnorm
+from repro.compiler.operations import CompiledOperation, PnmTask, PnmUnit
+from repro.compiler.rope import compile_rope
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.models.config import ModelConfig
+
+__all__ = ["BlockProgram", "compile_transformer_block"]
+
+
+@dataclass
+class BlockProgram:
+    """All compiled operations of one transformer block for one token."""
+
+    model: ModelConfig
+    context_length: int
+    num_channels: int
+    attention_channels: int = 0
+    operations: List[CompiledOperation] = field(default_factory=list)
+    allocator: ChannelAllocator = field(default_factory=ChannelAllocator)
+
+    def __post_init__(self) -> None:
+        if self.attention_channels <= 0:
+            self.attention_channels = self.num_channels
+
+    @property
+    def total_flops(self) -> int:
+        return sum(op.flops for op in self.operations)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(op.dram_bytes_read for op in self.operations)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(op.program) for op in self.operations)
+
+    @property
+    def pnm_tasks(self) -> List[PnmTask]:
+        tasks: List[PnmTask] = []
+        for op in self.operations:
+            tasks.extend(op.pnm_tasks)
+        return tasks
+
+    def operation(self, name: str) -> CompiledOperation:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise KeyError(f"block has no operation named {name!r}")
+
+    def mac_fraction(self) -> float:
+        """Fraction of element-level arithmetic operations that are MACs.
+
+        The paper reports this exceeds 99% for a transformer block, which
+        motivates the hierarchical PIM-PNM split.  Micro-op counts are
+        weighted by the number of BF16 element operations each performs: a
+        ``MAC_ABK`` micro-op drives all 16 near-bank PUs over 16 lanes, an
+        ``EW_MUL`` micro-op multiplies 16 lanes in each of the 4 bank groups,
+        and PNM tasks are already expressed in elements.
+        """
+        from repro.isa.instructions import Opcode
+
+        mac_elements = 0
+        other_elements = 0
+        banks = 16
+        lanes = 16
+        groups = 4
+        for op in self.operations:
+            stats = op.program.stats
+            mac_elements += stats.micro_ops(Opcode.MAC_ABK) * banks * lanes
+            mac_elements += stats.micro_ops(Opcode.EW_MUL) * groups * lanes
+            other_elements += stats.micro_ops(Opcode.AF) * banks * lanes
+        other_elements += sum(task.num_elements for task in self.pnm_tasks)
+        total = mac_elements + other_elements
+        return mac_elements / total if total else 0.0
+
+
+def compile_transformer_block(
+    model: ModelConfig,
+    context_length: int,
+    num_channels: int,
+    attention_channels: int | None = None,
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+) -> BlockProgram:
+    """Compile one transformer block for a single token at ``context_length``.
+
+    ``num_channels`` is the channel count executing the sharded
+    fully-connected layers; ``attention_channels`` (defaulting to
+    ``num_channels``) is the channel count of the master device that runs the
+    normalisation, RoPE and attention layers under tensor parallelism.
+    """
+    if context_length <= 0:
+        raise ValueError("context length must be positive")
+    if context_length > model.max_context:
+        raise ValueError(
+            f"context {context_length} exceeds {model.name}'s maximum "
+            f"of {model.max_context}"
+        )
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+    if attention_channels is None:
+        attention_channels = num_channels
+    if attention_channels <= 0:
+        raise ValueError("attention_channels must be positive")
+
+    allocator = ChannelAllocator(geometry)
+    attention_allocator = (allocator if attention_channels == num_channels
+                           else ChannelAllocator(geometry))
+    operations: List[CompiledOperation] = []
+
+    # --------------------------------------------------------------- attention
+    operations.append(compile_rmsnorm(
+        "attn.rmsnorm", model.d_model, attention_channels, geometry=geometry))
+    operations.append(compile_gemv(
+        "attn.wq", out_dim=model.d_model, in_dim=model.d_model,
+        num_channels=num_channels, allocator=allocator, geometry=geometry))
+    operations.append(compile_gemv(
+        "attn.wk", out_dim=model.kv_dim, in_dim=model.d_model,
+        num_channels=num_channels, allocator=allocator, geometry=geometry))
+    operations.append(compile_gemv(
+        "attn.wv", out_dim=model.kv_dim, in_dim=model.d_model,
+        num_channels=num_channels, allocator=allocator, geometry=geometry))
+    if model.positional_encoding == "rotary":
+        operations.append(compile_rope(
+            "attn.rope", num_elements=model.d_model + model.kv_dim,
+            num_channels=attention_channels, geometry=geometry))
+    attention = compile_attention(
+        model, context_length, attention_channels,
+        allocator=attention_allocator, geometry=geometry)
+    operations.extend(attention.operations)
+    operations.append(compile_gemv(
+        "attn.wo", out_dim=model.d_model, in_dim=model.d_model,
+        num_channels=num_channels, allocator=allocator, geometry=geometry))
+    residual_1 = CompiledOperation(
+        name="attn.residual",
+        program=_empty_program("attn.residual"),
+        pnm_tasks=[PnmTask(PnmUnit.RISCV, num_elements=model.d_model,
+                           routine="residual_add")],
+        parallel_channels=attention_channels,
+        flops=model.d_model,
+    )
+    operations.append(residual_1)
+
+    # --------------------------------------------------------------- feed forward
+    operations.append(compile_rmsnorm(
+        "ffn.rmsnorm", model.d_model, attention_channels, geometry=geometry))
+    ffn = compile_ffn(model, num_channels, allocator=allocator, geometry=geometry)
+    operations.extend(ffn.operations)
+    residual_2 = CompiledOperation(
+        name="ffn.residual",
+        program=_empty_program("ffn.residual"),
+        pnm_tasks=[PnmTask(PnmUnit.RISCV, num_elements=model.d_model,
+                           routine="residual_add")],
+        parallel_channels=attention_channels,
+        flops=model.d_model,
+    )
+    operations.append(residual_2)
+
+    return BlockProgram(
+        model=model,
+        context_length=context_length,
+        num_channels=num_channels,
+        attention_channels=attention_channels,
+        operations=operations,
+        allocator=allocator,
+    )
+
+
+def _empty_program(label: str):
+    from repro.isa.program import Program
+
+    return Program(label=label)

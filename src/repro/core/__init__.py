@@ -1,0 +1,32 @@
+"""The CENT system model: configuration, performance, inference, verification.
+
+``CentSystem`` assembles the substrates (PIM channels, PNM units, the CXL
+network) according to a :class:`~repro.core.config.CentConfig`, maps a model
+onto them with a parallelisation plan, and simulates end-to-end inference:
+per-block latency comes from executing compiled instruction streams on the
+GDDR6-PIM timing substrate, PNM and CXL components come from their respective
+models, and the results aggregate into prefill/decode/end-to-end throughput,
+latency and activity counts for the power and cost models.
+"""
+
+from repro.core.config import CentConfig
+from repro.core.results import InferenceResult, LatencyBreakdown
+from repro.core.performance import PerformanceModel, BlockCost
+from repro.core.system import CentSystem
+from repro.core.functional import (
+    ReferenceTransformerBlock,
+    FunctionalTransformerBlock,
+    FunctionalGemv,
+)
+
+__all__ = [
+    "CentConfig",
+    "InferenceResult",
+    "LatencyBreakdown",
+    "PerformanceModel",
+    "BlockCost",
+    "CentSystem",
+    "ReferenceTransformerBlock",
+    "FunctionalTransformerBlock",
+    "FunctionalGemv",
+]

@@ -1,0 +1,131 @@
+"""System-level configuration of a CENT deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cxl.link import CxlLinkParameters, CXL_3_0_LINK
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.dram.timing import TimingParameters, GDDR6_PIM_TIMINGS
+
+__all__ = ["CentConfig"]
+
+
+@dataclass(frozen=True)
+class CentConfig:
+    """Configuration of one CENT system (paper Table 4 defaults).
+
+    Attributes
+    ----------
+    num_devices:
+        CXL devices attached to the switch (32 in the main evaluation).
+    channels_per_device:
+        GDDR6-PIM channels per device (16 chips x 2 channels).
+    timing / geometry / link:
+        Substrate parameters; defaults follow Table 4.
+    pnm_clock_ghz:
+        CXL controller clock after the 7 nm projection.
+    riscv_cores / pnm_units:
+        PNM resource counts per device.
+    host_ns_per_token:
+        Host-side work per generated token (output embedding launch, top-k
+        sampling, instruction dispatch), overlapped across queries.
+    device_bus_gbps:
+        Bandwidth (GB/s) of the device-internal bus between the shared buffer
+        and the PIM channels' global buffers.  All concurrently active
+        channels of a device share it, which throttles the ``WR_GB`` /
+        ``WR_SBK`` / ``RD_SBK`` staging traffic of the compiled programs.
+    kv_occupancy:
+        Fraction of the worst-case KV-cache footprint reserved per in-flight
+        query during capacity validation.  1.0 reserves the full context;
+        lower values model vLLM-style on-demand allocation with queries
+        staggered across their generation progress (used for the 32K-context
+        study).
+    context_samples:
+        Number of context-length sample points used when integrating latency
+        over a growing KV cache (the artifact's ``SEQ_GAP`` knob).
+    """
+
+    num_devices: int = 32
+    channels_per_device: int = 32
+    timing: TimingParameters = field(default=GDDR6_PIM_TIMINGS)
+    geometry: ChannelGeometry = field(default=GDDR6_PIM_GEOMETRY)
+    link: CxlLinkParameters = field(default=CXL_3_0_LINK)
+    pnm_clock_ghz: float = 2.0
+    riscv_cores: int = 8
+    pnm_units: int = 32
+    host_ns_per_token: float = 200_000.0
+    device_bus_gbps: float = 64.0
+    kv_occupancy: float = 1.0
+    context_samples: int = 5
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0 or self.channels_per_device <= 0:
+            raise ValueError("device and channel counts must be positive")
+        if self.pnm_clock_ghz <= 0:
+            raise ValueError("PNM clock must be positive")
+        if self.riscv_cores <= 0 or self.pnm_units <= 0:
+            raise ValueError("PNM resource counts must be positive")
+        if self.host_ns_per_token < 0:
+            raise ValueError("host time must be non-negative")
+        if self.device_bus_gbps <= 0:
+            raise ValueError("device bus bandwidth must be positive")
+        if not 0 < self.kv_occupancy <= 1:
+            raise ValueError("kv_occupancy must be in (0, 1]")
+        if self.context_samples < 2:
+            raise ValueError("at least two context samples are needed")
+
+    # ------------------------------------------------------------------ derived
+
+    @property
+    def total_channels(self) -> int:
+        return self.num_devices * self.channels_per_device
+
+    @property
+    def memory_capacity_bytes(self) -> int:
+        return self.total_channels * self.geometry.channel_capacity_bytes
+
+    @property
+    def peak_internal_bandwidth_tbps(self) -> float:
+        """Aggregate internal bandwidth in TB/s (512 TB/s for 32 devices)."""
+        per_channel = (self.geometry.num_banks
+                       * self.geometry.access_granularity_bytes
+                       / self.timing.t_ccd_s)
+        return self.total_channels * per_channel / 1e3
+
+    @property
+    def peak_pim_tflops(self) -> float:
+        """Aggregate near-bank MAC throughput in TFLOPS (512 for 32 devices)."""
+        per_channel = (self.geometry.num_banks
+                       * 2 * self.geometry.elements_per_access
+                       / self.timing.t_ccd_s)
+        return self.total_channels * per_channel / 1e3
+
+    @property
+    def peak_pnm_tflops(self) -> float:
+        """Aggregate PNM accelerator throughput in TFLOPS (96 for 32 devices).
+
+        32 accumulators + 32 reduction trees + 32 exponent units x 16 lanes
+        at the controller clock.
+        """
+        lanes = 16
+        units = 3 * self.pnm_units
+        per_device = units * lanes * self.pnm_clock_ghz
+        return self.num_devices * per_device / 1e3
+
+    def scaled(self, num_devices: int) -> "CentConfig":
+        """A copy of this configuration with a different device count."""
+        return CentConfig(
+            num_devices=num_devices,
+            channels_per_device=self.channels_per_device,
+            timing=self.timing,
+            geometry=self.geometry,
+            link=self.link,
+            pnm_clock_ghz=self.pnm_clock_ghz,
+            riscv_cores=self.riscv_cores,
+            pnm_units=self.pnm_units,
+            host_ns_per_token=self.host_ns_per_token,
+            device_bus_gbps=self.device_bus_gbps,
+            kv_occupancy=self.kv_occupancy,
+            context_samples=self.context_samples,
+        )

@@ -1,0 +1,276 @@
+"""Functional simulation: verifying the PIM-PNM dataflow numerics.
+
+The paper verifies the generated instruction traces with a functional
+simulator before feeding them to the performance simulator.  This module
+plays the same role:
+
+* :class:`FunctionalGemv` executes a matrix-vector product through the
+  near-bank PU and global-buffer models, following the same row-partitioned,
+  tile-by-tile dataflow the compiler emits, so the BF16 numerics of the MAC
+  tree are exercised.
+* :class:`ReferenceTransformerBlock` is a straightforward NumPy reference of
+  a Llama2-style decoder block (RMSNorm, grouped-query attention with rotary
+  embedding, gated FFN).
+* :class:`FunctionalTransformerBlock` computes the same block using the
+  functional hardware units — PU MACs for every GEMV, the PNM exponent /
+  reduction accelerators for Softmax, and the RISC-V routines for the square
+  root, inversion, RoPE packing and residual additions — and is expected to
+  match the reference within BF16 tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.models.config import FfnKind, ModelConfig
+from repro.numerics.bf16 import bf16_quantize
+from repro.numerics.lut import silu as silu_reference
+from repro.pim.global_buffer import GlobalBuffer
+from repro.pim.pu import MAC_LANES, ProcessingUnit
+from repro.pnm.accelerators import PnmAcceleratorBank
+from repro.pnm.riscv import RiscvCluster
+
+__all__ = ["FunctionalGemv", "ReferenceTransformerBlock", "FunctionalTransformerBlock",
+           "make_block_weights"]
+
+
+class FunctionalGemv:
+    """Executes ``y = W x`` through the near-bank PU dataflow.
+
+    The matrix rows are partitioned across ``num_banks`` PUs; the vector is
+    staged in the global buffer in 16-element slots and broadcast to the PUs,
+    which accumulate one output element per assigned row.
+    """
+
+    def __init__(self, num_banks: int = 16) -> None:
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        self.num_banks = num_banks
+        self.pus = [ProcessingUnit(bank_index=i) for i in range(num_banks)]
+        self.global_buffer = GlobalBuffer()
+
+    def execute(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float32)
+        vector = np.asarray(vector, dtype=np.float32)
+        if matrix.ndim != 2 or vector.ndim != 1 or matrix.shape[1] != vector.shape[0]:
+            raise ValueError("matrix columns must match vector length")
+        out_dim, in_dim = matrix.shape
+        padded_in = -(-in_dim // MAC_LANES) * MAC_LANES
+        padded_vector = np.zeros(padded_in, dtype=np.float32)
+        padded_vector[:in_dim] = vector
+        padded_matrix = np.zeros((out_dim, padded_in), dtype=np.float32)
+        padded_matrix[:, :in_dim] = matrix
+
+        gb_elements = self.global_buffer.num_slots * self.global_buffer.elements_per_slot
+        result = np.zeros(out_dim, dtype=np.float32)
+        for bank, pu in enumerate(self.pus):
+            rows = range(bank, out_dim, self.num_banks)
+            for row in rows:
+                reg_id = 0
+                pu.write_bias(0.0, reg_id)
+                # Tile the vector through the global buffer as the compiler does.
+                for tile_start in range(0, padded_in, gb_elements):
+                    tile = padded_vector[tile_start:tile_start + gb_elements]
+                    self.global_buffer.write_vector(0, tile)
+                    for slot_start in range(0, len(tile), MAC_LANES):
+                        slot_index = slot_start // MAC_LANES
+                        broadcast = self.global_buffer.read_slot(slot_index)
+                        bank_operand = padded_matrix[
+                            row, tile_start + slot_start:tile_start + slot_start + MAC_LANES
+                        ]
+                        pu.mac(bank_operand, broadcast, reg_id)
+                result[row] = pu.read_register(reg_id)
+        return bf16_quantize(result)
+
+
+# --------------------------------------------------------------------------- weights
+
+def make_block_weights(model: ModelConfig, seed: int = 0, scale: float = 0.02) -> Dict[str, np.ndarray]:
+    """Synthetic BF16 weights with the exact shapes of one transformer block."""
+    rng = np.random.default_rng(seed)
+
+    def tensor(*shape: int) -> np.ndarray:
+        return bf16_quantize(rng.normal(0.0, scale, size=shape).astype(np.float32))
+
+    weights = {
+        "wq": tensor(model.d_model, model.d_model),
+        "wk": tensor(model.kv_dim, model.d_model),
+        "wv": tensor(model.kv_dim, model.d_model),
+        "wo": tensor(model.d_model, model.d_model),
+        "rms1": bf16_quantize(np.ones(model.d_model, dtype=np.float32)),
+        "rms2": bf16_quantize(np.ones(model.d_model, dtype=np.float32)),
+    }
+    if model.ffn_kind is FfnKind.GATED:
+        weights["w1"] = tensor(model.d_ff, model.d_model)
+        weights["w3"] = tensor(model.d_ff, model.d_model)
+        weights["w2"] = tensor(model.d_model, model.d_ff)
+    else:
+        weights["fc1"] = tensor(model.d_ff, model.d_model)
+        weights["fc2"] = tensor(model.d_model, model.d_ff)
+    return weights
+
+
+def _rope_angles(head_dim: int, position: int) -> np.ndarray:
+    half = head_dim // 2
+    inv_freq = 1.0 / (10000.0 ** (np.arange(half, dtype=np.float64) / half))
+    return (position * inv_freq).astype(np.float32)
+
+
+def _apply_rope(vector: np.ndarray, num_heads: int, head_dim: int, position: int) -> np.ndarray:
+    """Rotate a concatenated multi-head vector by the RoPE angles."""
+    angles = _rope_angles(head_dim, position)
+    cos = np.cos(angles)
+    sin = np.sin(angles)
+    rotated = np.empty_like(vector)
+    for head in range(num_heads):
+        head_slice = vector[head * head_dim:(head + 1) * head_dim]
+        even = head_slice[0::2]
+        odd = head_slice[1::2]
+        rotated[head * head_dim:(head + 1) * head_dim:2] = even * cos - odd * sin
+        rotated[head * head_dim + 1:(head + 1) * head_dim:2] = even * sin + odd * cos
+    return rotated.astype(np.float32)
+
+
+# --------------------------------------------------------------------------- reference
+
+@dataclass
+class ReferenceTransformerBlock:
+    """NumPy reference of one Llama2-style decoder block (single token)."""
+
+    model: ModelConfig
+    weights: Dict[str, np.ndarray]
+    key_cache: list = field(default_factory=list)
+    value_cache: list = field(default_factory=list)
+
+    def _rmsnorm(self, x: np.ndarray, gamma: np.ndarray) -> np.ndarray:
+        mean_square = np.mean(x.astype(np.float64) ** 2)
+        return (x / np.sqrt(mean_square + 1e-6) * gamma).astype(np.float32)
+
+    def forward(self, x: np.ndarray, position: int) -> np.ndarray:
+        model = self.model
+        w = self.weights
+        normed = self._rmsnorm(x, w["rms1"])
+        q = w["wq"] @ normed
+        k = w["wk"] @ normed
+        v = w["wv"] @ normed
+        q = _apply_rope(q, model.num_heads, model.head_dim, position)
+        k = _apply_rope(k, model.num_kv_heads, model.head_dim, position)
+        self.key_cache.append(k)
+        self.value_cache.append(v)
+        keys = np.stack(self.key_cache)      # (T, kv_dim)
+        values = np.stack(self.value_cache)  # (T, kv_dim)
+
+        outputs = np.zeros(model.d_model, dtype=np.float32)
+        scale = 1.0 / np.sqrt(model.head_dim)
+        for head in range(model.num_heads):
+            kv_head = head // model.gqa_group_size
+            q_h = q[head * model.head_dim:(head + 1) * model.head_dim]
+            k_h = keys[:, kv_head * model.head_dim:(kv_head + 1) * model.head_dim]
+            v_h = values[:, kv_head * model.head_dim:(kv_head + 1) * model.head_dim]
+            scores = (k_h @ q_h) * scale
+            scores = scores - np.max(scores)
+            probs = np.exp(scores)
+            probs = probs / np.sum(probs)
+            outputs[head * model.head_dim:(head + 1) * model.head_dim] = probs @ v_h
+        attention = w["wo"] @ outputs
+        x = x + attention
+
+        normed = self._rmsnorm(x, w["rms2"])
+        if model.ffn_kind is FfnKind.GATED:
+            gate = silu_reference(w["w1"] @ normed)
+            up = w["w3"] @ normed
+            ffn = w["w2"] @ (gate * up)
+        else:
+            hidden = np.maximum(w["fc1"] @ normed, 0.0)
+            ffn = w["fc2"] @ hidden
+        return (x + ffn).astype(np.float32)
+
+
+# --------------------------------------------------------------------------- functional
+
+@dataclass
+class FunctionalTransformerBlock:
+    """The same block computed through the functional hardware units."""
+
+    model: ModelConfig
+    weights: Dict[str, np.ndarray]
+    num_banks: int = 16
+    key_cache: list = field(default_factory=list)
+    value_cache: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._gemv = FunctionalGemv(num_banks=self.num_banks)
+        self._pnm = PnmAcceleratorBank()
+        self._riscv = RiscvCluster()
+
+    # PIM-side primitives ----------------------------------------------------
+
+    def _gemv_pim(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        return self._gemv.execute(matrix, bf16_quantize(vector))
+
+    def _rmsnorm(self, x: np.ndarray, gamma: np.ndarray) -> np.ndarray:
+        # Dot product on the PIM channel, sqrt/inverse on a RISC-V core,
+        # scaling as element-wise multiplications.
+        x = bf16_quantize(x)
+        sum_squares = self._pnm.reduce_sum(x * x)
+        mean_square = sum_squares / x.size
+        inv_norm = self._riscv.run("sqrt_inv", np.array([mean_square + 1e-6], dtype=np.float32))[0]
+        return bf16_quantize(x * np.float32(inv_norm) * gamma)
+
+    def _softmax(self, scores: np.ndarray) -> np.ndarray:
+        scores = bf16_quantize(scores)
+        maximum = self._riscv.run("softmax_max", scores)[0]
+        exponents = self._pnm.exponent(scores - maximum)
+        total = self._pnm.reduce_sum(exponents)
+        inverse = self._riscv.run("inverse", np.array([total], dtype=np.float32))[0]
+        return bf16_quantize(exponents * np.float32(inverse))
+
+    # ------------------------------------------------------------------ forward
+
+    def forward(self, x: np.ndarray, position: int) -> np.ndarray:
+        model = self.model
+        w = self.weights
+        x = bf16_quantize(np.asarray(x, dtype=np.float32))
+
+        normed = self._rmsnorm(x, w["rms1"])
+        q = self._gemv_pim(w["wq"], normed)
+        k = self._gemv_pim(w["wk"], normed)
+        v = self._gemv_pim(w["wv"], normed)
+        q = bf16_quantize(_apply_rope(q, model.num_heads, model.head_dim, position))
+        k = bf16_quantize(_apply_rope(k, model.num_kv_heads, model.head_dim, position))
+        self.key_cache.append(k)
+        self.value_cache.append(v)
+        keys = np.stack(self.key_cache)
+        values = np.stack(self.value_cache)
+
+        outputs = np.zeros(model.d_model, dtype=np.float32)
+        scale = np.float32(1.0 / np.sqrt(model.head_dim))
+        for head in range(model.num_heads):
+            kv_head = head // model.gqa_group_size
+            q_h = q[head * model.head_dim:(head + 1) * model.head_dim]
+            k_h = keys[:, kv_head * model.head_dim:(kv_head + 1) * model.head_dim]
+            v_h = values[:, kv_head * model.head_dim:(kv_head + 1) * model.head_dim]
+            scores = self._gemv_pim(k_h, q_h) * scale
+            probs = self._softmax(scores)
+            outputs[head * model.head_dim:(head + 1) * model.head_dim] = \
+                self._gemv_pim(v_h.T, probs)
+        attention = self._gemv_pim(w["wo"], bf16_quantize(outputs))
+        x = self._residual(x, attention)
+
+        normed = self._rmsnorm(x, w["rms2"])
+        if model.ffn_kind is FfnKind.GATED:
+            gate_input = self._gemv_pim(w["w1"], normed)
+            gate = bf16_quantize(silu_reference(gate_input))
+            up = self._gemv_pim(w["w3"], normed)
+            ffn = self._gemv_pim(w["w2"], bf16_quantize(gate * up))
+        else:
+            hidden = bf16_quantize(np.maximum(self._gemv_pim(w["fc1"], normed), 0.0))
+            ffn = self._gemv_pim(w["fc2"], hidden)
+        return self._residual(x, ffn)
+
+    def _residual(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        concatenated = np.concatenate([x, y]).astype(np.float32)
+        return self._riscv.run("residual_add", concatenated)

@@ -1,0 +1,158 @@
+"""End-to-end inference simulation on a CENT system.
+
+The simulator aggregates per-block costs into the two phases of LLM
+inference:
+
+* **Prefill** — the prompt's tokens are processed one after another to fill
+  the KV caches (paper §5.5); with pipeline parallelism the tokens of the
+  in-flight queries stream through the stages back to back.
+* **Decoding** — output tokens are generated sequentially; the context (and
+  therefore the attention cost) grows with every token.
+
+Latency is integrated over the growing context by sampling a configurable
+number of context lengths (the artifact's ``SEQ_GAP`` mechanism) and
+averaging, which is accurate because the per-token cost is affine in the
+context length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import CentConfig
+from repro.core.performance import BlockCost, PerformanceModel
+from repro.core.results import InferenceResult, LatencyBreakdown
+from repro.mapping.parallelism import ParallelismPlan
+from repro.mapping.placement import validate_capacity
+from repro.models.config import ModelConfig
+
+__all__ = ["InferenceSimulator", "PhaseCost"]
+
+
+@dataclass
+class PhaseCost:
+    """Aggregate cost of one phase (prefill or decoding)."""
+
+    per_query_latency_s: float
+    throughput_tokens_per_s: float
+    mean_block_cost: BlockCost
+    mean_token_breakdown: LatencyBreakdown
+
+
+class InferenceSimulator:
+    """Simulates serving a batch of identical queries under one plan."""
+
+    def __init__(self, config: CentConfig, performance: PerformanceModel | None = None) -> None:
+        self.config = config
+        self.performance = performance or PerformanceModel(config)
+
+    # ------------------------------------------------------------------ phases
+
+    def _context_samples(self, start: int, end: int) -> List[int]:
+        """Sampled context lengths in [start, end], always including both ends."""
+        start = max(start, 1)
+        end = max(end, start)
+        count = min(self.config.context_samples, end - start + 1)
+        if count <= 1:
+            return [end]
+        step = (end - start) / (count - 1)
+        samples = sorted({int(round(start + i * step)) for i in range(count)})
+        return samples
+
+    def _phase_cost(
+        self,
+        model: ModelConfig,
+        plan: ParallelismPlan,
+        context_start: int,
+        context_end: int,
+        num_tokens: int,
+        include_host: bool,
+    ) -> PhaseCost:
+        samples = self._context_samples(context_start, context_end)
+        costs = [self.performance.block_cost(model, plan, ctx) for ctx in samples]
+        mean_block_ns = sum(c.breakdown.total_ns for c in costs) / len(costs)
+        mean_breakdown = LatencyBreakdown()
+        for cost in costs:
+            mean_breakdown = mean_breakdown.plus(cost.breakdown.scaled(1.0 / len(costs)))
+
+        blocks_per_stage = plan.blocks_per_stage(model)
+        stage_latency_ns = blocks_per_stage * mean_block_ns
+        host_ns = self.config.host_ns_per_token if include_host else 0.0
+        token_latency_ns = model.num_layers * mean_block_ns + host_ns
+
+        per_query_latency_s = num_tokens * token_latency_ns * 1e-9
+        throughput = plan.dp_replicas / (stage_latency_ns * 1e-9)
+
+        token_breakdown = LatencyBreakdown(
+            pim_ns=mean_breakdown.pim_ns * model.num_layers,
+            pnm_ns=mean_breakdown.pnm_ns * model.num_layers,
+            cxl_ns=mean_breakdown.cxl_ns * model.num_layers,
+            host_ns=host_ns,
+        )
+        # The representative block cost of the phase, used for power modelling.
+        mid_cost = costs[len(costs) // 2]
+        return PhaseCost(
+            per_query_latency_s=per_query_latency_s,
+            throughput_tokens_per_s=throughput,
+            mean_block_cost=mid_cost,
+            mean_token_breakdown=token_breakdown,
+        )
+
+    # ------------------------------------------------------------------ end to end
+
+    def simulate(
+        self,
+        model: ModelConfig,
+        plan: ParallelismPlan,
+        prompt_tokens: int,
+        decode_tokens: int,
+    ) -> InferenceResult:
+        """Simulate serving ``queries_in_flight`` identical queries."""
+        if prompt_tokens <= 0 or decode_tokens <= 0:
+            raise ValueError("prompt and decode token counts must be positive")
+        total_context = prompt_tokens + decode_tokens
+        if total_context > model.max_context:
+            raise ValueError(
+                f"prompt ({prompt_tokens}) + decode ({decode_tokens}) exceeds "
+                f"{model.name}'s context limit of {model.max_context}"
+            )
+        validate_capacity(model, plan, total_context,
+                          geometry=self.config.geometry,
+                          kv_occupancy=self.config.kv_occupancy)
+
+        prefill = self._phase_cost(
+            model, plan, context_start=1, context_end=prompt_tokens,
+            num_tokens=prompt_tokens, include_host=False,
+        )
+        decode = self._phase_cost(
+            model, plan, context_start=prompt_tokens + 1, context_end=total_context,
+            num_tokens=decode_tokens, include_host=True,
+        )
+        return InferenceResult(
+            model_name=model.name,
+            plan_name=plan.name,
+            prompt_tokens=prompt_tokens,
+            decode_tokens=decode_tokens,
+            queries_in_flight=plan.queries_in_flight,
+            prefill_latency_s=prefill.per_query_latency_s,
+            decode_latency_s=decode.per_query_latency_s,
+            prefill_throughput_tokens_per_s=prefill.throughput_tokens_per_s,
+            decode_throughput_tokens_per_s=decode.throughput_tokens_per_s,
+            token_latency_breakdown=decode.mean_token_breakdown,
+            devices_used=plan.devices_used(model),
+        )
+
+    def decode_phase(
+        self,
+        model: ModelConfig,
+        plan: ParallelismPlan,
+        prompt_tokens: int,
+        decode_tokens: int,
+    ) -> PhaseCost:
+        """Decode-phase cost only (used by the power model and QoS studies)."""
+        total_context = prompt_tokens + decode_tokens
+        return self._phase_cost(
+            model, plan, context_start=prompt_tokens + 1, context_end=total_context,
+            num_tokens=decode_tokens, include_host=True,
+        )

@@ -1,0 +1,186 @@
+"""Performance model: compiled block programs to latency and activity.
+
+The model compiles one transformer block per (model, channel assignment,
+context length), executes every operation's per-channel instruction stream on
+a :class:`~repro.pim.channel.PIMChannel` timing substrate, adds the PNM
+accelerator / RISC-V latencies and the CXL communication of the chosen
+parallelisation plan, and caches the result.  Inference-level aggregation
+(prefill / decoding phases, pipelining, throughput) lives in
+``repro.core.inference``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.compiler.operations import PnmTask, PnmUnit
+from repro.compiler.transformer import BlockProgram, compile_transformer_block
+from repro.core.config import CentConfig
+from repro.core.results import LatencyBreakdown
+from repro.cxl.primitives import broadcast, gather, multicast, send_receive
+from repro.dram.commands import CommandType
+from repro.mapping.parallelism import ParallelismPlan
+from repro.models.config import ModelConfig
+from repro.pim.channel import PIMChannel
+from repro.pnm.accelerators import PnmLatencyModel
+from repro.pnm.riscv import RiscvCluster
+
+__all__ = ["BlockCost", "PerformanceModel"]
+
+
+@dataclass
+class BlockCost:
+    """Latency and activity of one transformer block for one token."""
+
+    breakdown: LatencyBreakdown
+    command_counts_per_channel: Dict[CommandType, int] = field(default_factory=dict)
+    fc_channels: int = 1
+    attention_channels: int = 1
+    dram_bytes_read: int = 0
+    flops: int = 0
+
+    def total_command_counts(self) -> Dict[CommandType, int]:
+        """Command counts scaled to all channels executing the block.
+
+        The per-channel stream is representative of every channel assigned to
+        the block, so total activity is the per-channel count times the
+        channel count (using the FC channel count, which carries almost all
+        of the traffic).
+        """
+        return {kind: count * self.fc_channels
+                for kind, count in self.command_counts_per_channel.items()}
+
+
+class PerformanceModel:
+    """Maps (model, plan, context) to block latency, with caching."""
+
+    def __init__(self, config: CentConfig) -> None:
+        self.config = config
+        self._cache: Dict[Tuple, BlockCost] = {}
+        self._pnm_latency = PnmLatencyModel(
+            clock_ghz=config.pnm_clock_ghz, instances=config.pnm_units
+        )
+        self._riscv = RiscvCluster(
+            num_cores=config.riscv_cores, clock_ghz=config.pnm_clock_ghz
+        )
+
+    # ------------------------------------------------------------------ block level
+
+    def block_cost(
+        self,
+        model: ModelConfig,
+        plan: ParallelismPlan,
+        context_length: int,
+    ) -> BlockCost:
+        """Latency/activity of one transformer block under ``plan``."""
+        fc_channels = plan.fc_channels_per_block(model)
+        attention_channels = plan.attention_channels_per_block(model)
+        key = (model.name, context_length, fc_channels, attention_channels)
+        if key not in self._cache:
+            self._cache[key] = self._simulate_block(
+                model, context_length, fc_channels, attention_channels
+            )
+        base = self._cache[key]
+        cxl_ns = self._cxl_latency_ns(model, plan)
+        breakdown = LatencyBreakdown(
+            pim_ns=base.breakdown.pim_ns,
+            pnm_ns=base.breakdown.pnm_ns,
+            cxl_ns=cxl_ns,
+            host_ns=0.0,
+        )
+        return BlockCost(
+            breakdown=breakdown,
+            command_counts_per_channel=base.command_counts_per_channel,
+            fc_channels=fc_channels,
+            attention_channels=attention_channels,
+            dram_bytes_read=base.dram_bytes_read,
+            flops=base.flops,
+        )
+
+    def token_breakdown(
+        self,
+        model: ModelConfig,
+        plan: ParallelismPlan,
+        context_length: int,
+    ) -> LatencyBreakdown:
+        """Latency of one full token (all blocks plus host work)."""
+        block = self.block_cost(model, plan, context_length)
+        per_token = block.breakdown.scaled(model.num_layers)
+        return LatencyBreakdown(
+            pim_ns=per_token.pim_ns,
+            pnm_ns=per_token.pnm_ns,
+            cxl_ns=per_token.cxl_ns,
+            host_ns=self.config.host_ns_per_token,
+        )
+
+    # ------------------------------------------------------------------ internals
+
+    def _simulate_block(
+        self,
+        model: ModelConfig,
+        context_length: int,
+        fc_channels: int,
+        attention_channels: int,
+    ) -> BlockCost:
+        block = compile_transformer_block(
+            model,
+            context_length,
+            num_channels=fc_channels,
+            attention_channels=attention_channels,
+            geometry=self.config.geometry,
+        )
+        pim_ns = 0.0
+        command_counts: Dict[CommandType, int] = {}
+        slot_bytes = self.config.geometry.access_granularity_bytes
+        for operation in block.operations:
+            if len(operation.program) == 0:
+                continue
+            channel = PIMChannel(
+                timing=self.config.timing, geometry=self.config.geometry
+            )
+            channel.execute_program(operation.program)
+            channel.close_row()
+            pim_ns += channel.busy_until_ns
+            # Staging traffic over the device-internal bus: WR_GB carries the
+            # same vector to every channel's global buffer, so it is a
+            # broadcast paid once per device; per-channel results and KV
+            # writes (RD_MAC, WR_SBK, ...) are distinct and serialise across
+            # the concurrently active channels of the device.
+            broadcast_bytes = channel.stats.global_buffer_writes * slot_bytes
+            distinct_bytes = (channel.stats.shared_buffer_transfers * slot_bytes
+                              * self.config.channels_per_device)
+            pim_ns += (broadcast_bytes + distinct_bytes) / self.config.device_bus_gbps
+            for kind, count in channel.dram.stats.counts.items():
+                command_counts[kind] = command_counts.get(kind, 0) + count
+        pnm_ns = sum(self._pnm_task_latency(task) for task in block.pnm_tasks)
+        return BlockCost(
+            breakdown=LatencyBreakdown(pim_ns=pim_ns, pnm_ns=pnm_ns),
+            command_counts_per_channel=command_counts,
+            fc_channels=fc_channels,
+            attention_channels=attention_channels,
+            dram_bytes_read=block.total_dram_bytes,
+            flops=block.total_flops,
+        )
+
+    def _pnm_task_latency(self, task: PnmTask) -> float:
+        if task.unit is PnmUnit.RISCV:
+            return self._riscv.latency_ns(task.routine, task.num_elements)
+        return self._pnm_latency.latency_for_elements(task.num_elements)
+
+    def _cxl_latency_ns(self, model: ModelConfig, plan: ParallelismPlan) -> float:
+        total = 0.0
+        for primitive, num_bytes, fan in plan.cxl_transfers_per_block(model):
+            if num_bytes <= 0:
+                continue
+            if primitive == "send_receive":
+                total += send_receive(num_bytes, self.config.link).latency_ns
+            elif primitive == "broadcast":
+                total += broadcast(num_bytes, fan, self.config.link).latency_ns
+            elif primitive == "multicast":
+                total += multicast(num_bytes, fan, self.config.link).latency_ns
+            elif primitive == "gather":
+                total += gather(num_bytes, fan, self.config.link).latency_ns
+            else:
+                raise ValueError(f"unknown CXL primitive {primitive!r}")
+        return total

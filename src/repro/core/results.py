@@ -1,0 +1,120 @@
+"""Result containers of the CENT inference simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["LatencyBreakdown", "InferenceResult"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Latency components of one transformer block (or one token), in ns."""
+
+    pim_ns: float = 0.0
+    pnm_ns: float = 0.0
+    cxl_ns: float = 0.0
+    host_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("pim_ns", "pnm_ns", "cxl_ns", "host_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_ns(self) -> float:
+        return self.pim_ns + self.pnm_ns + self.cxl_ns + self.host_ns
+
+    def scaled(self, factor: float) -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            pim_ns=self.pim_ns * factor,
+            pnm_ns=self.pnm_ns * factor,
+            cxl_ns=self.cxl_ns * factor,
+            host_ns=self.host_ns * factor,
+        )
+
+    def plus(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            pim_ns=self.pim_ns + other.pim_ns,
+            pnm_ns=self.pnm_ns + other.pnm_ns,
+            cxl_ns=self.cxl_ns + other.cxl_ns,
+            host_ns=self.host_ns + other.host_ns,
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        """Relative share of each component (used by Figure 14c)."""
+        total = self.total_ns
+        if total == 0:
+            return {"pim": 0.0, "pnm": 0.0, "cxl": 0.0, "host": 0.0}
+        return {
+            "pim": self.pim_ns / total,
+            "pnm": self.pnm_ns / total,
+            "cxl": self.cxl_ns / total,
+            "host": self.host_ns / total,
+        }
+
+
+@dataclass
+class InferenceResult:
+    """End-to-end outcome of serving one batch of identical queries."""
+
+    model_name: str
+    plan_name: str
+    prompt_tokens: int
+    decode_tokens: int
+    queries_in_flight: int
+    prefill_latency_s: float
+    decode_latency_s: float
+    prefill_throughput_tokens_per_s: float
+    decode_throughput_tokens_per_s: float
+    token_latency_breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    devices_used: int = 0
+    average_power_w: float = 0.0
+    energy_per_token_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 0 or self.decode_tokens < 0:
+            raise ValueError("token counts must be non-negative")
+        if self.queries_in_flight <= 0:
+            raise ValueError("at least one query must be in flight")
+
+    # ------------------------------------------------------------------ latency
+
+    @property
+    def query_latency_s(self) -> float:
+        """End-to-end latency of one query (prefill + decoding)."""
+        return self.prefill_latency_s + self.decode_latency_s
+
+    @property
+    def token_latency_s(self) -> float:
+        """Average decoding latency per output token of one query."""
+        if self.decode_tokens == 0:
+            return 0.0
+        return self.decode_latency_s / self.decode_tokens
+
+    # ------------------------------------------------------------------ throughput
+
+    @property
+    def end_to_end_throughput_tokens_per_s(self) -> float:
+        """Output tokens per second across all in-flight queries, counting the
+        whole query duration (prefill + decode)."""
+        if self.query_latency_s == 0:
+            return 0.0
+        total_output_tokens = self.decode_tokens * self.queries_in_flight
+        return total_output_tokens / self.query_latency_s
+
+    # ------------------------------------------------------------------ efficiency
+
+    @property
+    def tokens_per_joule(self) -> float:
+        if self.energy_per_token_j <= 0:
+            return 0.0
+        return 1.0 / self.energy_per_token_j
+
+    def tokens_per_dollar(self, dollars_per_hour: float) -> float:
+        """Cost efficiency given a total cost of ownership rate."""
+        if dollars_per_hour <= 0:
+            raise ValueError("cost rate must be positive")
+        tokens_per_hour = self.end_to_end_throughput_tokens_per_s * 3600.0
+        return tokens_per_hour / dollars_per_hour

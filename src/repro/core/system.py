@@ -1,0 +1,123 @@
+"""High-level facade of the CENT system.
+
+``CentSystem`` ties a :class:`~repro.core.config.CentConfig` to one model:
+it validates capacity, chooses (or accepts) a parallelisation plan, runs the
+inference simulation, and annotates the result with the activity-based power
+and energy estimates.  This is the main entry point of the library::
+
+    from repro import CentSystem, CentConfig, LLAMA2_70B
+
+    system = CentSystem(CentConfig(num_devices=32), LLAMA2_70B)
+    result = system.run_inference(prompt_tokens=512, decode_tokens=3584)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import CentConfig
+from repro.core.inference import InferenceSimulator
+from repro.core.performance import PerformanceModel
+from repro.core.results import InferenceResult, LatencyBreakdown
+from repro.mapping.parallelism import ParallelismPlan
+from repro.mapping.planner import plan_for_latency, plan_for_throughput
+from repro.models.config import ModelConfig
+
+__all__ = ["CentSystem"]
+
+
+class CentSystem:
+    """A CENT deployment: CXL devices, a model, and a parallelisation plan."""
+
+    def __init__(self, config: CentConfig, model: ModelConfig) -> None:
+        self.config = config
+        self.model = model
+        self.performance = PerformanceModel(config)
+        self.simulator = InferenceSimulator(config, self.performance)
+
+    # ------------------------------------------------------------------ planning
+
+    def throughput_plan(self, context_length: Optional[int] = None) -> ParallelismPlan:
+        """Pipeline-parallel (plus data-parallel) plan maximising throughput."""
+        return plan_for_throughput(
+            self.model,
+            self.config.num_devices,
+            channels_per_device=self.config.channels_per_device,
+            context_length=context_length,
+        )
+
+    def latency_plan(self, context_length: Optional[int] = None) -> ParallelismPlan:
+        """Tensor-parallel plan minimising single-query latency."""
+        return plan_for_latency(
+            self.model,
+            self.config.num_devices,
+            channels_per_device=self.config.channels_per_device,
+            context_length=context_length,
+        )
+
+    # ------------------------------------------------------------------ inference
+
+    def run_inference(
+        self,
+        prompt_tokens: int,
+        decode_tokens: int,
+        plan: Optional[ParallelismPlan] = None,
+        with_power: bool = True,
+    ) -> InferenceResult:
+        """Simulate serving a batch of identical queries.
+
+        When ``plan`` is omitted the throughput-optimised plan is used, which
+        matches the paper's main (throughput-critical) configuration.
+        """
+        if plan is None:
+            plan = self.throughput_plan(context_length=prompt_tokens + decode_tokens)
+        result = self.simulator.simulate(self.model, plan, prompt_tokens, decode_tokens)
+        if with_power:
+            self._annotate_power(result, plan, prompt_tokens, decode_tokens)
+        return result
+
+    def token_breakdown(
+        self,
+        plan: ParallelismPlan,
+        context_length: int,
+    ) -> LatencyBreakdown:
+        """Per-token latency breakdown (Figure 14c)."""
+        return self.performance.token_breakdown(self.model, plan, context_length)
+
+    # ------------------------------------------------------------------ capacity
+
+    @property
+    def memory_capacity_bytes(self) -> int:
+        return self.config.memory_capacity_bytes
+
+    @property
+    def peak_internal_bandwidth_tbps(self) -> float:
+        return self.config.peak_internal_bandwidth_tbps
+
+    @property
+    def peak_pim_tflops(self) -> float:
+        return self.config.peak_pim_tflops
+
+    # ------------------------------------------------------------------ power
+
+    def _annotate_power(
+        self,
+        result: InferenceResult,
+        plan: ParallelismPlan,
+        prompt_tokens: int,
+        decode_tokens: int,
+    ) -> None:
+        # Imported here to keep repro.power free of core dependencies at
+        # module-import time for users who only need the power models.
+        from repro.power.cent_power import CentPowerModel
+
+        power_model = CentPowerModel(self.config)
+        decode = self.simulator.decode_phase(self.model, plan, prompt_tokens, decode_tokens)
+        report = power_model.system_power(
+            model=self.model,
+            plan=plan,
+            block_cost=decode.mean_block_cost,
+        )
+        result.average_power_w = report.total_w
+        if result.decode_throughput_tokens_per_s > 0:
+            result.energy_per_token_j = report.total_w / result.decode_throughput_tokens_per_s

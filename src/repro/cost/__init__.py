@@ -1,0 +1,34 @@
+"""Cost models: die cost, packaging, NRE and total cost of ownership.
+
+The paper's TCO analysis (Table 4, Table 6, Figure 12) builds the cost of a
+CENT CXL controller from die cost (wafer price, area, yield), packaging and
+amortised non-recurring engineering (NRE), adds the GDDR6-PIM memory, switch
+and host CPU to obtain the system hardware cost, and combines hardware with
+operational (electricity) cost into owned and rental 3-year TCO rates that
+feed the tokens-per-dollar comparison.
+"""
+
+from repro.cost.die import DieCostModel, WaferSpec, SEVEN_NM_WAFER
+from repro.cost.packaging import PackagingCostModel
+from repro.cost.nre import NreCostModel, NreBreakdown
+from repro.cost.tco import (
+    TcoModel,
+    SystemCost,
+    CENT_SYSTEM_COST,
+    GPU_SYSTEM_COST,
+    cent_controller_unit_cost,
+)
+
+__all__ = [
+    "DieCostModel",
+    "WaferSpec",
+    "SEVEN_NM_WAFER",
+    "PackagingCostModel",
+    "NreCostModel",
+    "NreBreakdown",
+    "TcoModel",
+    "SystemCost",
+    "CENT_SYSTEM_COST",
+    "GPU_SYSTEM_COST",
+    "cent_controller_unit_cost",
+]

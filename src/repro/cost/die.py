@@ -1,0 +1,67 @@
+"""Die cost from wafer price, die area and yield.
+
+A 300 mm 7 nm wafer costs $9,346 with a defect density of 0.0015/mm^2
+(paper §6).  Yield follows the negative-binomial (Murphy-like) model used by
+the supply-chain-aware costing literature the paper cites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["WaferSpec", "DieCostModel", "SEVEN_NM_WAFER"]
+
+
+@dataclass(frozen=True)
+class WaferSpec:
+    """Wafer price, size and process defect density."""
+
+    diameter_mm: float = 300.0
+    cost_usd: float = 9346.0
+    defect_density_per_mm2: float = 0.0015
+    #: Clustering parameter of the negative-binomial yield model.
+    clustering_alpha: float = 3.0
+    edge_exclusion_mm: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.diameter_mm <= 0 or self.cost_usd <= 0:
+            raise ValueError("wafer size and cost must be positive")
+        if self.defect_density_per_mm2 < 0:
+            raise ValueError("defect density must be non-negative")
+
+
+#: 7 nm wafer used for the CXL controller cost estimate.
+SEVEN_NM_WAFER = WaferSpec()
+
+
+@dataclass(frozen=True)
+class DieCostModel:
+    """Computes dies per wafer, yield and cost per good die."""
+
+    wafer: WaferSpec = SEVEN_NM_WAFER
+
+    def dies_per_wafer(self, die_area_mm2: float) -> int:
+        """Gross dies per wafer with the standard circular-wafer correction."""
+        if die_area_mm2 <= 0:
+            raise ValueError("die area must be positive")
+        usable_diameter = self.wafer.diameter_mm - 2 * self.wafer.edge_exclusion_mm
+        wafer_area = math.pi * (usable_diameter / 2) ** 2
+        edge_loss = math.pi * usable_diameter / math.sqrt(2 * die_area_mm2)
+        return max(int(wafer_area / die_area_mm2 - edge_loss), 0)
+
+    def yield_fraction(self, die_area_mm2: float) -> float:
+        """Negative-binomial die yield."""
+        if die_area_mm2 <= 0:
+            raise ValueError("die area must be positive")
+        defects = self.wafer.defect_density_per_mm2 * die_area_mm2
+        alpha = self.wafer.clustering_alpha
+        return (1.0 + defects / alpha) ** (-alpha)
+
+    def cost_per_good_die(self, die_area_mm2: float) -> float:
+        """Wafer cost amortised over yielded dies."""
+        gross = self.dies_per_wafer(die_area_mm2)
+        if gross == 0:
+            raise ValueError(f"die of {die_area_mm2} mm^2 does not fit on the wafer")
+        good = gross * self.yield_fraction(die_area_mm2)
+        return self.wafer.cost_usd / good

@@ -1,0 +1,50 @@
+"""Packaging cost: conventional 2D and interposer-based 2.5D.
+
+The CENT CXL controller uses conventional 2D packaging, whose cost is taken
+as a fixed fraction of the chip cost (29%, §6).  The 2.5D model (interposer,
+die placement, substrate assembly) is used for the NPU/HBM baselines in the
+TCO comparison of §7.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PackagingCostModel"]
+
+
+@dataclass(frozen=True)
+class PackagingCostModel:
+    """Cost of packaging one die (or one 2.5D assembly)."""
+
+    #: 2D packaging cost as a fraction of the bare chip cost.
+    cost_fraction_2d: float = 0.29
+    #: Interposer cost per mm^2 (silicon interposer, 65 nm-class).
+    interposer_cost_per_mm2: float = 0.035
+    #: Die-placement cost per die in a 2.5D assembly.
+    die_placement_cost: float = 5.0
+    #: Substrate and assembly cost per package.
+    substrate_assembly_cost: float = 12.0
+    #: Assembly yield of the 2.5D flow.
+    assembly_yield: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cost_fraction_2d <= 1:
+            raise ValueError("2D packaging fraction must be in [0, 1]")
+        if not 0 < self.assembly_yield <= 1:
+            raise ValueError("assembly yield must be in (0, 1]")
+
+    def package_2d(self, chip_cost: float) -> float:
+        """2D packaging cost for a chip of the given cost."""
+        if chip_cost < 0:
+            raise ValueError("chip cost must be non-negative")
+        return chip_cost * self.cost_fraction_2d
+
+    def package_2_5d(self, interposer_area_mm2: float, num_dies: int) -> float:
+        """2.5D packaging cost for an assembly of ``num_dies`` on an interposer."""
+        if interposer_area_mm2 <= 0 or num_dies <= 0:
+            raise ValueError("interposer area and die count must be positive")
+        raw = (self.interposer_cost_per_mm2 * interposer_area_mm2
+               + self.die_placement_cost * num_dies
+               + self.substrate_assembly_cost)
+        return raw / self.assembly_yield

@@ -1,0 +1,192 @@
+"""Total cost of ownership (Tables 4 and 6) and tokens per dollar.
+
+Owned TCO amortises the hardware cost over three years and adds the
+electricity cost of the average power draw at $0.139/kWh.  Rental TCO uses
+cloud prices for the components that can be rented (the host CPU and the
+GPUs) and the owned methodology for the CXL devices, for which no rental
+reference exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cost.die import DieCostModel
+from repro.cost.nre import NreCostModel
+from repro.cost.packaging import PackagingCostModel
+
+__all__ = [
+    "SystemCost",
+    "TcoModel",
+    "cent_controller_unit_cost",
+    "CENT_SYSTEM_COST",
+    "GPU_SYSTEM_COST",
+    "HardwarePrices",
+]
+
+#: Electricity price used for the operational cost ($ per kWh).
+ELECTRICITY_USD_PER_KWH = 0.139
+
+#: Amortisation window of the owned-TCO analysis.
+TCO_YEARS = 3
+HOURS_PER_YEAR = 24 * 365
+
+
+@dataclass(frozen=True)
+class HardwarePrices:
+    """Unit prices of the hardware components (Table 6 and §6)."""
+
+    xeon_gold_6430_usd: float = 2128.0
+    a100_80gb_usd: float = 10000.0
+    gddr6_pim_512gb_usd: float = 11873.0
+    cxl_switch_usd: float = 490.0
+    #: Cloud rental of the host CPU VM, $/hour.
+    host_rental_per_hour: float = 0.35
+    #: Cloud rental of one A100 80GB, $/hour.
+    a100_rental_per_hour: float = 1.35
+
+
+DEFAULT_PRICES = HardwarePrices()
+
+
+def cent_controller_unit_cost(
+    die_area_mm2: float = 19.0,
+    production_volume: int = 3_000_000,
+    die_model: DieCostModel | None = None,
+    packaging: PackagingCostModel | None = None,
+    nre: NreCostModel | None = None,
+) -> Dict[str, float]:
+    """Per-unit cost breakdown of the CENT CXL controller (Figure 12).
+
+    Returns a dict with ``die``, ``packaging``, ``nre`` and ``total`` entries.
+    """
+    die_model = die_model or DieCostModel()
+    packaging = packaging or PackagingCostModel()
+    nre = nre or NreCostModel()
+    die_cost = die_model.cost_per_good_die(die_area_mm2)
+    packaging_cost = packaging.package_2d(die_cost)
+    nre_cost = nre.per_unit_cost(production_volume)
+    return {
+        "die": die_cost,
+        "packaging": packaging_cost,
+        "nre": nre_cost,
+        "total": die_cost + packaging_cost + nre_cost,
+    }
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """Hardware bill of materials and power of one inference system."""
+
+    name: str
+    components_usd: Dict[str, float] = field(default_factory=dict)
+    average_power_w: float = 0.0
+    rental_per_hour_usd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.average_power_w < 0 or self.rental_per_hour_usd < 0:
+            raise ValueError("power and rental rate must be non-negative")
+        for component, cost in self.components_usd.items():
+            if cost < 0:
+                raise ValueError(f"component {component} has negative cost")
+
+    @property
+    def hardware_cost_usd(self) -> float:
+        return sum(self.components_usd.values())
+
+
+def _cent_system_cost(num_devices: int = 32,
+                      prices: HardwarePrices = DEFAULT_PRICES,
+                      average_power_w: float = 1160.0) -> SystemCost:
+    controller = cent_controller_unit_cost()["total"]
+    return SystemCost(
+        name=f"CENT-{num_devices}dev",
+        components_usd={
+            "host_cpu": prices.xeon_gold_6430_usd,
+            "gddr6_pim": prices.gddr6_pim_512gb_usd * num_devices / 32,
+            "cxl_controllers": controller * num_devices,
+            "cxl_switch": prices.cxl_switch_usd,
+        },
+        average_power_w=average_power_w,
+        rental_per_hour_usd=prices.host_rental_per_hour,
+    )
+
+
+def _gpu_system_cost(num_gpus: int = 4,
+                     prices: HardwarePrices = DEFAULT_PRICES,
+                     average_power_w: float = 1400.0) -> SystemCost:
+    return SystemCost(
+        name=f"GPU-{num_gpus}xA100",
+        components_usd={
+            "host_cpu": prices.xeon_gold_6430_usd,
+            "gpus": prices.a100_80gb_usd * num_gpus,
+        },
+        average_power_w=average_power_w,
+        rental_per_hour_usd=prices.host_rental_per_hour
+        + prices.a100_rental_per_hour * num_gpus,
+    )
+
+
+#: Default system costs of the paper's main comparison (Table 6).
+CENT_SYSTEM_COST = _cent_system_cost()
+GPU_SYSTEM_COST = _gpu_system_cost()
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """Owned / rental 3-year TCO and cost-efficiency metrics."""
+
+    electricity_usd_per_kwh: float = ELECTRICITY_USD_PER_KWH
+    years: int = TCO_YEARS
+
+    def __post_init__(self) -> None:
+        if self.electricity_usd_per_kwh < 0 or self.years <= 0:
+            raise ValueError("electricity price must be non-negative, years positive")
+
+    @property
+    def amortisation_hours(self) -> float:
+        return self.years * HOURS_PER_YEAR
+
+    def operational_cost_per_hour(self, average_power_w: float) -> float:
+        return average_power_w / 1000.0 * self.electricity_usd_per_kwh
+
+    def owned_tco_per_hour(self, system: SystemCost) -> float:
+        hardware = system.hardware_cost_usd / self.amortisation_hours
+        return hardware + self.operational_cost_per_hour(system.average_power_w)
+
+    def rental_tco_per_hour(self, system: SystemCost,
+                            rented_components: float | None = None) -> float:
+        """Rental TCO: rented components at cloud prices, the rest owned.
+
+        ``rented_components`` overrides the dollar value of components priced
+        via rental; by default the system's ``rental_per_hour_usd`` covers the
+        rentable part and everything else (e.g. the CXL devices) uses the
+        owned methodology.
+        """
+        rented = system.rental_per_hour_usd if rented_components is None else rented_components
+        owned_components = {
+            key: value for key, value in system.components_usd.items()
+            if key not in ("host_cpu", "gpus")
+        }
+        owned_hardware = sum(owned_components.values()) / self.amortisation_hours
+        operational = self.operational_cost_per_hour(system.average_power_w) \
+            if owned_components else 0.0
+        return rented + owned_hardware + operational
+
+    def tokens_per_dollar(self, throughput_tokens_per_s: float, tco_per_hour: float) -> float:
+        if throughput_tokens_per_s < 0 or tco_per_hour <= 0:
+            raise ValueError("throughput must be non-negative and TCO positive")
+        return throughput_tokens_per_s * 3600.0 / tco_per_hour
+
+    # ------------------------------------------------------------------ convenience
+
+    def cent_tco_per_hour(self, num_devices: int = 32, average_power_w: float = 1160.0,
+                          owned: bool = True) -> float:
+        system = _cent_system_cost(num_devices, average_power_w=average_power_w)
+        return self.owned_tco_per_hour(system) if owned else self.rental_tco_per_hour(system)
+
+    def gpu_tco_per_hour(self, num_gpus: int = 4, average_power_w: float = 1400.0,
+                         owned: bool = True) -> float:
+        system = _gpu_system_cost(num_gpus, average_power_w=average_power_w)
+        return self.owned_tco_per_hour(system) if owned else self.rental_tco_per_hour(system)

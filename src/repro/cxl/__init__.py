@@ -1,0 +1,45 @@
+"""CXL 3.0 network model.
+
+CENT interconnects up to 4,096 CXL devices through a CXL switch built on the
+PCIe 6.0 physical layer: the switch connects to the host with x16 lanes and to
+every CXL device with x4 lanes.  This subpackage models the flit/port layer
+(Figure 6), read/write transactions, the switch with the reserved-H-slot
+broadcast extension, an analytical latency/bandwidth link model, and the
+peer-to-peer and collective communication primitives (send/receive,
+broadcast, multicast, gather) used by the parallelisation mappings.
+"""
+
+from repro.cxl.flit import Flit, FlitType, HeaderSlotCode, PBR_FLIT_BYTES
+from repro.cxl.link import CxlLinkParameters, CXL_3_0_LINK
+from repro.cxl.port import CxlPort, VirtualChannel
+from repro.cxl.transactions import Transaction, TransactionType, transaction_latency_ns
+from repro.cxl.switch import CxlSwitch
+from repro.cxl.primitives import (
+    CommunicationResult,
+    send_receive,
+    broadcast,
+    multicast,
+    gather,
+    all_reduce,
+)
+
+__all__ = [
+    "Flit",
+    "FlitType",
+    "HeaderSlotCode",
+    "PBR_FLIT_BYTES",
+    "CxlLinkParameters",
+    "CXL_3_0_LINK",
+    "CxlPort",
+    "VirtualChannel",
+    "Transaction",
+    "TransactionType",
+    "transaction_latency_ns",
+    "CxlSwitch",
+    "CommunicationResult",
+    "send_receive",
+    "broadcast",
+    "multicast",
+    "gather",
+    "all_reduce",
+]

@@ -1,0 +1,92 @@
+"""Port-Based-Routing (PBR) flit model.
+
+CXL 3.0 transports 256-byte PBR flits.  The header slot (H-slot) carries the
+routing information decoded by the switch; CENT repurposes one of the reserved
+H-slot codes to implement the broadcast/multicast primitive, adding a device
+ID mask so one flit can fan out to several destination devices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["FlitType", "HeaderSlotCode", "Flit", "PBR_FLIT_BYTES", "FLIT_PAYLOAD_BYTES"]
+
+#: Size of one PBR flit on the wire, including header and CRC.
+PBR_FLIT_BYTES = 256
+
+#: Payload bytes carried per flit (header slot, credits and CRC removed).
+FLIT_PAYLOAD_BYTES = 224
+
+
+class FlitType(enum.Enum):
+    """Transaction roles a flit can play (paper Figure 6)."""
+
+    REQUEST = "Req"
+    REQUEST_WITH_DATA = "RWD"
+    DATA_RESPONSE = "DRS"
+    NO_DATA_RESPONSE = "NDR"
+
+
+class HeaderSlotCode(enum.Enum):
+    """H-slot codes decoded by the switch for routing."""
+
+    UNICAST = 0
+    BROADCAST = 14      # one of the reserved codes, as used by CENT
+    MULTICAST = 15
+
+
+@dataclass
+class Flit:
+    """One PBR flit with CENT's broadcast extension fields."""
+
+    flit_type: FlitType
+    source_device: int
+    destination_device: int = 0
+    header_code: HeaderSlotCode = HeaderSlotCode.UNICAST
+    device_id_mask: int = 0
+    payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0 or self.payload_bytes > FLIT_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload must be within [0, {FLIT_PAYLOAD_BYTES}] bytes, "
+                f"got {self.payload_bytes}"
+            )
+        if self.header_code is HeaderSlotCode.UNICAST and self.device_id_mask:
+            raise ValueError("unicast flits must not carry a device ID mask")
+        if self.header_code is not HeaderSlotCode.UNICAST and self.device_id_mask == 0:
+            raise ValueError("broadcast/multicast flits need a non-empty device ID mask")
+
+    @property
+    def destinations(self) -> Tuple[int, ...]:
+        """Destination device IDs this flit is routed to."""
+        if self.header_code is HeaderSlotCode.UNICAST:
+            return (self.destination_device,)
+        ids = []
+        mask = self.device_id_mask
+        device = 0
+        while mask:
+            if mask & 1:
+                ids.append(device)
+            mask >>= 1
+            device += 1
+        return tuple(ids)
+
+    @property
+    def expects_acknowledgements(self) -> int:
+        """Number of write acknowledgements (NDR) the sender waits for."""
+        if self.flit_type is not FlitType.REQUEST_WITH_DATA:
+            return 0
+        return len(self.destinations)
+
+
+def flits_for_payload(num_bytes: int) -> int:
+    """Number of PBR flits needed to move ``num_bytes`` of payload."""
+    if num_bytes < 0:
+        raise ValueError("payload size must be non-negative")
+    if num_bytes == 0:
+        return 1
+    return -(-num_bytes // FLIT_PAYLOAD_BYTES)

@@ -1,0 +1,78 @@
+"""Analytical latency/bandwidth parameters of the CXL 3.0 / PCIe 6.0 links.
+
+The paper models inter-device communication analytically from the CXL access
+latency reported for genuine CXL memory (Pond / DirectCXL measurements) and
+the PCIe 6.0 physical-layer bandwidth.  A PCIe 6.0 lane delivers 64 GT/s with
+FLIT-mode efficiency close to 0.97, i.e. roughly 7.75 GB/s of usable payload
+bandwidth per lane per direction; devices connect with x4 lanes, the host
+with x16.  The multicast-capable switch is modelled with half the bandwidth
+and double the latency of the baseline switch, as stated in §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CxlLinkParameters", "CXL_3_0_LINK"]
+
+
+@dataclass(frozen=True)
+class CxlLinkParameters:
+    """Link and switch parameters of the CENT interconnect."""
+
+    #: One-way CXL.mem access latency through the switch (ns).
+    base_latency_ns: float = 255.0
+    #: Usable bandwidth of one PCIe 6.0 lane, GB/s per direction.
+    lane_bandwidth_gbps: float = 7.75
+    #: Lanes from the switch to each CXL device.
+    device_lanes: int = 4
+    #: Lanes from the switch to the host CPU.
+    host_lanes: int = 16
+    #: Multicast support costs half the bandwidth of the baseline switch.
+    multicast_bandwidth_derating: float = 0.5
+    #: ... and doubles its latency.
+    multicast_latency_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency_ns <= 0 or self.lane_bandwidth_gbps <= 0:
+            raise ValueError("latency and bandwidth must be positive")
+        if self.device_lanes <= 0 or self.host_lanes <= 0:
+            raise ValueError("lane counts must be positive")
+        if not 0 < self.multicast_bandwidth_derating <= 1:
+            raise ValueError("bandwidth derating must be in (0, 1]")
+        if self.multicast_latency_factor < 1:
+            raise ValueError("multicast latency factor must be >= 1")
+
+    @property
+    def device_bandwidth_gbps(self) -> float:
+        """Per-device link bandwidth (GB/s, one direction)."""
+        return self.device_lanes * self.lane_bandwidth_gbps
+
+    @property
+    def host_bandwidth_gbps(self) -> float:
+        """Host link bandwidth (GB/s, one direction)."""
+        return self.host_lanes * self.lane_bandwidth_gbps
+
+    @property
+    def multicast_device_bandwidth_gbps(self) -> float:
+        return self.device_bandwidth_gbps * self.multicast_bandwidth_derating
+
+    @property
+    def multicast_latency_ns(self) -> float:
+        return self.base_latency_ns * self.multicast_latency_factor
+
+    def transfer_ns(self, num_bytes: int, multicast: bool = False) -> float:
+        """One point-to-point transfer: latency plus serialisation time."""
+        if num_bytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if multicast:
+            latency = self.multicast_latency_ns
+            bandwidth = self.multicast_device_bandwidth_gbps
+        else:
+            latency = self.base_latency_ns
+            bandwidth = self.device_bandwidth_gbps
+        return latency + num_bytes / bandwidth
+
+
+#: Default CXL 3.0 link parameters used throughout the evaluation.
+CXL_3_0_LINK = CxlLinkParameters()

@@ -1,0 +1,129 @@
+"""CXL port model with virtual channels (Figure 6).
+
+The port classifies CXL nodes into Host (H), Local (L) and Remote (R).
+Requests arriving from the host and from remote devices are unpacked onto the
+Rx ``H2L`` and ``R2L`` virtual channels; responses leave on the Tx ``L2H`` and
+``L2R`` channels.  The transmit datapath packs requests into flits, the
+receive datapath unpacks them and performs an integrity check.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.cxl.flit import Flit, FlitType
+
+__all__ = ["VirtualChannel", "ChannelName", "CxlPort"]
+
+
+class ChannelName(enum.Enum):
+    """Virtual channels of the CXL port."""
+
+    RX_H2L_RWD = "Rx H2L RWD"
+    RX_H2L_REQ = "Rx H2L Req"
+    RX_R2L_RWD = "Rx R2L RWD"
+    RX_R2L_NDR = "Rx R2L NDR"
+    TX_L2H_DRS = "Tx L2H DRS"
+    TX_L2H_NDR = "Tx L2H NDR"
+    TX_L2R_RWD = "Tx L2R RWD"
+    TX_L2R_NDR = "Tx L2R NDR"
+
+
+@dataclass
+class VirtualChannel:
+    """A bounded FIFO of flits."""
+
+    name: ChannelName
+    capacity: int = 64
+    _queue: Deque[Flit] = field(default_factory=deque, repr=False)
+
+    def push(self, flit: Flit) -> None:
+        if len(self._queue) >= self.capacity:
+            raise RuntimeError(f"virtual channel {self.name.value} overflow")
+        self._queue.append(flit)
+
+    def pop(self) -> Optional[Flit]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class CxlPort:
+    """The CXL port of one device: packs/unpacks flits onto virtual channels."""
+
+    def __init__(self, device_id: int, queue_capacity: int = 64) -> None:
+        self.device_id = device_id
+        self.channels: Dict[ChannelName, VirtualChannel] = {
+            name: VirtualChannel(name, capacity=queue_capacity) for name in ChannelName
+        }
+        self.flits_transmitted = 0
+        self.flits_received = 0
+        self.integrity_failures = 0
+
+    # ------------------------------------------------------------------ transmit
+
+    def transmit(self, flit: Flit) -> Flit:
+        """Pack an outbound flit onto the appropriate Tx channel."""
+        if flit.source_device != self.device_id:
+            raise ValueError(
+                f"device {self.device_id} cannot transmit a flit sourced by "
+                f"device {flit.source_device}"
+            )
+        channel = {
+            FlitType.REQUEST_WITH_DATA: ChannelName.TX_L2R_RWD,
+            FlitType.NO_DATA_RESPONSE: ChannelName.TX_L2R_NDR,
+            FlitType.DATA_RESPONSE: ChannelName.TX_L2H_DRS,
+            FlitType.REQUEST: ChannelName.TX_L2R_RWD,
+        }[flit.flit_type]
+        self.channels[channel].push(flit)
+        self.flits_transmitted += 1
+        return flit
+
+    def drain_tx(self) -> list:
+        """Pop all queued outbound flits in channel order (switch pickup)."""
+        drained = []
+        for name in (ChannelName.TX_L2R_RWD, ChannelName.TX_L2R_NDR,
+                     ChannelName.TX_L2H_DRS, ChannelName.TX_L2H_NDR):
+            channel = self.channels[name]
+            while True:
+                flit = channel.pop()
+                if flit is None:
+                    break
+                drained.append(flit)
+        return drained
+
+    # ------------------------------------------------------------------ receive
+
+    def receive(self, flit: Flit, from_host: bool = False) -> None:
+        """Unpack an inbound flit onto the appropriate Rx channel after the
+        integrity check."""
+        if not self._integrity_check(flit):
+            self.integrity_failures += 1
+            raise RuntimeError("flit integrity check failed")
+        if from_host:
+            channel = (ChannelName.RX_H2L_RWD
+                       if flit.flit_type is FlitType.REQUEST_WITH_DATA
+                       else ChannelName.RX_H2L_REQ)
+        else:
+            channel = (ChannelName.RX_R2L_NDR
+                       if flit.flit_type is FlitType.NO_DATA_RESPONSE
+                       else ChannelName.RX_R2L_RWD)
+        self.channels[channel].push(flit)
+        self.flits_received += 1
+
+    def pending(self, channel: ChannelName) -> int:
+        return len(self.channels[channel])
+
+    def pop(self, channel: ChannelName) -> Optional[Flit]:
+        return self.channels[channel].pop()
+
+    @staticmethod
+    def _integrity_check(flit: Flit) -> bool:
+        """CRC-style sanity check: payload within bounds, destinations valid."""
+        return 0 <= flit.payload_bytes and len(flit.destinations) >= 1

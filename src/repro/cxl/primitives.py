@@ -1,0 +1,126 @@
+"""Peer-to-peer and collective communication primitives.
+
+The parallelisation mappings of §5 are built from five primitives:
+
+* ``send_receive`` — one pipeline stage hands the embedding vector to the next
+  (pipeline parallelism, 16 KB for Llama2-70B);
+* ``broadcast`` — the master device distributes the embedding vector to all
+  devices before a fully-connected layer (tensor parallelism);
+* ``multicast`` — the hybrid TP-PP mapping multicasts within one pipeline
+  stage's device group;
+* ``gather`` — partial FC results return to the master device;
+* ``all_reduce`` — provided for completeness (the paper maps attention onto a
+  single device exactly to avoid it); modelled as gather followed by
+  broadcast.
+
+Each primitive returns a :class:`CommunicationResult` with the transfer
+latency and the volume moved, which the performance model adds to the CXL
+component of the latency breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cxl.link import CxlLinkParameters, CXL_3_0_LINK
+
+__all__ = [
+    "CommunicationResult",
+    "send_receive",
+    "broadcast",
+    "multicast",
+    "gather",
+    "all_reduce",
+]
+
+
+@dataclass(frozen=True)
+class CommunicationResult:
+    """Outcome of one communication primitive."""
+
+    primitive: str
+    latency_ns: float
+    bytes_moved: int
+    fan: int
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0 or self.bytes_moved < 0 or self.fan < 0:
+            raise ValueError("communication results must be non-negative")
+
+
+def send_receive(
+    num_bytes: int,
+    link: CxlLinkParameters = CXL_3_0_LINK,
+) -> CommunicationResult:
+    """Peer-to-peer SEND_CXL / RECV_CXL pair (one CXL write transaction)."""
+    latency = link.transfer_ns(num_bytes, multicast=False)
+    return CommunicationResult("send_receive", latency, num_bytes, fan=1)
+
+
+def broadcast(
+    num_bytes: int,
+    num_destinations: int,
+    link: CxlLinkParameters = CXL_3_0_LINK,
+) -> CommunicationResult:
+    """BCAST_CXL to ``num_destinations`` devices through the switch.
+
+    The payload is serialised once on the sender's uplink; the switch
+    replicates it at the multicast bandwidth/latency derating and the sender
+    waits for all write acknowledgements (covered by the derated latency).
+    """
+    if num_destinations <= 0:
+        raise ValueError("broadcast needs at least one destination")
+    latency = link.transfer_ns(num_bytes, multicast=True)
+    return CommunicationResult(
+        "broadcast", latency, num_bytes * num_destinations, fan=num_destinations
+    )
+
+
+def multicast(
+    num_bytes: int,
+    num_destinations: int,
+    link: CxlLinkParameters = CXL_3_0_LINK,
+) -> CommunicationResult:
+    """Multicast within a device group (hybrid TP-PP mapping)."""
+    result = broadcast(num_bytes, num_destinations, link)
+    return CommunicationResult("multicast", result.latency_ns, result.bytes_moved,
+                               fan=num_destinations)
+
+
+def gather(
+    num_bytes_per_sender: int,
+    num_senders: int,
+    link: CxlLinkParameters = CXL_3_0_LINK,
+) -> CommunicationResult:
+    """Gather partial results from ``num_senders`` devices to the master.
+
+    Each sender issues one SEND_CXL; the receiver executes ``num_senders``
+    RECV_CXL instructions.  The senders' transfers overlap in the switch but
+    serialise on the receiver's x4 downlink, so the time is one link latency
+    plus the serialisation of the total gathered volume.
+    """
+    if num_senders <= 0:
+        raise ValueError("gather needs at least one sender")
+    total_bytes = num_bytes_per_sender * num_senders
+    latency = link.base_latency_ns + total_bytes / link.device_bandwidth_gbps
+    return CommunicationResult("gather", latency, total_bytes, fan=num_senders)
+
+
+def all_reduce(
+    num_bytes: int,
+    num_devices: int,
+    link: CxlLinkParameters = CXL_3_0_LINK,
+) -> CommunicationResult:
+    """AllReduce across ``num_devices``: gather to the master, reduce locally,
+    then broadcast the result.  Used only to quantify why the paper confines
+    the attention layer to a single master device."""
+    if num_devices <= 1:
+        return CommunicationResult("all_reduce", 0.0, 0, fan=max(num_devices, 0))
+    gather_part = gather(num_bytes, num_devices - 1, link)
+    broadcast_part = broadcast(num_bytes, num_devices - 1, link)
+    return CommunicationResult(
+        "all_reduce",
+        gather_part.latency_ns + broadcast_part.latency_ns,
+        gather_part.bytes_moved + broadcast_part.bytes_moved,
+        fan=num_devices,
+    )

@@ -1,0 +1,114 @@
+"""CXL switch with CENT's broadcast/multicast extension.
+
+The switch routes PBR flits between the host port (x16 lanes) and up to
+``max_devices`` device ports (x4 lanes each).  Standard CXL.mem only supports
+unicast; CENT repurposes a reserved H-slot code so the switch replicates a
+single flit to every device selected by the device-ID mask, and the sending
+port collects a write acknowledgement from each destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cxl.flit import Flit, FlitType, HeaderSlotCode
+from repro.cxl.link import CxlLinkParameters, CXL_3_0_LINK
+from repro.cxl.port import CxlPort
+
+__all__ = ["CxlSwitch"]
+
+
+@dataclass
+class _SwitchStats:
+    unicast_flits: int = 0
+    broadcast_flits: int = 0
+    multicast_flits: int = 0
+    delivered_copies: int = 0
+    bytes_routed: int = 0
+
+
+class CxlSwitch:
+    """Routing and replication model of the CENT CXL switch."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        link: CxlLinkParameters = CXL_3_0_LINK,
+        max_devices: int = 4096,
+        num_lanes: int = 144,
+        num_ports: int = 72,
+    ) -> None:
+        if num_devices <= 0:
+            raise ValueError("the switch needs at least one device")
+        if num_devices > max_devices:
+            raise ValueError(
+                f"CXL 3.0 supports up to {max_devices} nodes, got {num_devices}"
+            )
+        required_lanes = num_devices * link.device_lanes + link.host_lanes
+        if required_lanes > num_lanes:
+            raise ValueError(
+                f"switch provides {num_lanes} lanes; {num_devices} devices plus the "
+                f"host require {required_lanes}.  Use fewer devices or a larger switch."
+            )
+        self.link = link
+        self.num_devices = num_devices
+        self.ports: Dict[int, CxlPort] = {i: CxlPort(i) for i in range(num_devices)}
+        self.stats = _SwitchStats()
+
+    # ------------------------------------------------------------------ routing
+
+    def route(self, flit: Flit) -> List[int]:
+        """Deliver a flit to its destination port(s); return the device IDs
+        that received a copy."""
+        if flit.source_device not in self.ports:
+            raise ValueError(f"unknown source device {flit.source_device}")
+        destinations = [d for d in flit.destinations if d != flit.source_device]
+        for destination in destinations:
+            if destination not in self.ports:
+                raise ValueError(f"unknown destination device {destination}")
+        for destination in destinations:
+            self.ports[destination].receive(flit)
+        if flit.header_code is HeaderSlotCode.BROADCAST:
+            self.stats.broadcast_flits += 1
+        elif flit.header_code is HeaderSlotCode.MULTICAST:
+            self.stats.multicast_flits += 1
+        else:
+            self.stats.unicast_flits += 1
+        self.stats.delivered_copies += len(destinations)
+        self.stats.bytes_routed += flit.payload_bytes * max(len(destinations), 1)
+        return destinations
+
+    def acknowledge(self, flit: Flit) -> int:
+        """Model the write acknowledgements expected by the CXL port for a
+        routed RWD flit: one NDR per destination."""
+        if flit.flit_type is not FlitType.REQUEST_WITH_DATA:
+            return 0
+        acks = 0
+        for destination in flit.destinations:
+            if destination == flit.source_device:
+                continue
+            ack = Flit(
+                flit_type=FlitType.NO_DATA_RESPONSE,
+                source_device=destination,
+                destination_device=flit.source_device,
+            )
+            self.ports[flit.source_device].receive(ack)
+            acks += 1
+        return acks
+
+    # ------------------------------------------------------------------ latency
+
+    def point_to_point_ns(self, num_bytes: int) -> float:
+        """Device-to-device transfer time through the switch."""
+        return self.link.transfer_ns(num_bytes, multicast=False)
+
+    def replicated_ns(self, num_bytes: int, fan_out: int) -> float:
+        """Broadcast/multicast transfer time to ``fan_out`` devices.
+
+        The sender serialises the payload once on its x4 uplink; the switch
+        replicates it, at the multicast bandwidth/latency derating.
+        """
+        if fan_out <= 0:
+            raise ValueError("fan-out must be positive")
+        return self.link.transfer_ns(num_bytes, multicast=True)

@@ -1,0 +1,62 @@
+"""CXL transaction model.
+
+The port supports two transaction types (Figure 6): read transactions begin
+with a Request (Req) and conclude with Data with Response (DRS); write
+transactions begin with a Request with Data (RWD) and finish with a No Data
+Response (NDR) acknowledgement.  A pair of ``SEND_CXL`` / ``RECV_CXL``
+instructions constitutes one CXL write transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cxl.flit import FLIT_PAYLOAD_BYTES, flits_for_payload
+from repro.cxl.link import CxlLinkParameters, CXL_3_0_LINK
+
+__all__ = ["TransactionType", "Transaction", "transaction_latency_ns"]
+
+
+class TransactionType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One CXL.mem transaction between two devices (or host and device)."""
+
+    kind: TransactionType
+    source_device: int
+    destination_device: int
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+
+    @property
+    def num_flits(self) -> int:
+        """Data flits needed for the payload (plus one for the closing
+        response, which carries no payload)."""
+        return flits_for_payload(self.payload_bytes)
+
+
+def transaction_latency_ns(
+    transaction: Transaction,
+    link: CxlLinkParameters = CXL_3_0_LINK,
+    multicast: bool = False,
+) -> float:
+    """Latency of one transaction: request latency + payload serialisation +
+    response.  The closing NDR/DRS acknowledgement is pipelined behind the
+    data and adds one flit of serialisation, not a full round trip."""
+    payload_time = transaction.payload_bytes / (
+        link.multicast_device_bandwidth_gbps if multicast else link.device_bandwidth_gbps
+    )
+    ack_bytes = FLIT_PAYLOAD_BYTES
+    ack_time = ack_bytes / (
+        link.multicast_device_bandwidth_gbps if multicast else link.device_bandwidth_gbps
+    )
+    latency = link.multicast_latency_ns if multicast else link.base_latency_ns
+    return latency + payload_time + ack_time

@@ -1,0 +1,29 @@
+"""GDDR6-PIM DRAM timing substrate.
+
+This subpackage models a GDDR6-PIM memory channel at the DRAM-command level.
+It plays the role the modified Ramulator 2 plays in the paper's artifact: the
+PIM controller converts CENT micro-ops into sequences of DRAM commands
+(activate, precharge, read, write, and the AiM-style all-bank PIM commands)
+and this substrate schedules them under the GDDR6-PIM timing constraints of
+Table 4, producing per-instruction latency and per-command activity counts
+used by the power model.
+"""
+
+from repro.dram.timing import TimingParameters, GDDR6_PIM_TIMINGS
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.dram.commands import CommandType, DRAMCommand
+from repro.dram.bank import Bank, BankGroup
+from repro.dram.channel import DRAMChannel, CommandStats
+
+__all__ = [
+    "TimingParameters",
+    "GDDR6_PIM_TIMINGS",
+    "ChannelGeometry",
+    "GDDR6_PIM_GEOMETRY",
+    "CommandType",
+    "DRAMCommand",
+    "Bank",
+    "BankGroup",
+    "DRAMChannel",
+    "CommandStats",
+]

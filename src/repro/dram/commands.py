@@ -1,0 +1,62 @@
+"""DRAM command vocabulary of the GDDR6-PIM channel.
+
+Besides the standard GDDR6 commands (activate, precharge, read, write,
+refresh) the PIM channel supports the AiM-style all-bank commands: ``ACTab``
+activates the same row in all 16 banks (enabled by reservoir capacitors),
+``MACab`` performs one multiply-accumulate step in all near-bank PUs, ``EWMUL``
+performs element-wise multiplication inside a bank group, and ``PREab``
+precharges all banks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["CommandType", "DRAMCommand"]
+
+
+class CommandType(enum.Enum):
+    """DRAM / PIM command types issued by the PIM controller."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    ACT_ALL = "ACTab"
+    PRE_ALL = "PREab"
+    MAC_ALL = "MACab"
+    EWMUL = "EWMUL"
+    AF = "AF"
+    REF = "REF"
+
+    @property
+    def is_all_bank(self) -> bool:
+        return self in (CommandType.ACT_ALL, CommandType.PRE_ALL,
+                        CommandType.MAC_ALL, CommandType.EWMUL)
+
+    @property
+    def is_column_command(self) -> bool:
+        """Column commands are pipelined back-to-back at tCCD granularity."""
+        return self in (CommandType.RD, CommandType.WR,
+                        CommandType.MAC_ALL, CommandType.EWMUL)
+
+
+@dataclass
+class DRAMCommand:
+    """A single command targeting one bank (or all banks) of a channel.
+
+    ``bank`` is ignored for all-bank commands.  ``row`` and ``column`` are
+    only meaningful for the command types that carry an address.
+    """
+
+    kind: CommandType
+    bank: int = 0
+    bank_group: int = 0
+    row: int = 0
+    column: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bank < 0 or self.bank_group < 0 or self.row < 0 or self.column < 0:
+            raise ValueError("command addresses must be non-negative")

@@ -1,0 +1,69 @@
+"""Physical organisation of a GDDR6-PIM channel.
+
+A GDDR6-PIM channel (Figure 7a) contains four bank groups of four banks.
+Every bank provides 32 MB of storage and hosts one near-bank processing unit.
+The channel-level global buffer is 2 KB and can broadcast 256-bit operands to
+all 16 PUs concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ChannelGeometry", "GDDR6_PIM_GEOMETRY"]
+
+
+@dataclass(frozen=True)
+class ChannelGeometry:
+    """Bank/row/column organisation of one PIM channel."""
+
+    num_bank_groups: int = 4
+    banks_per_group: int = 4
+    bank_capacity_bytes: int = 32 * 1024 * 1024
+    row_size_bytes: int = 2048
+    access_granularity_bits: int = 256
+    global_buffer_bytes: int = 2 * 1024
+
+    def __post_init__(self) -> None:
+        if self.num_bank_groups <= 0 or self.banks_per_group <= 0:
+            raise ValueError("bank group / bank counts must be positive")
+        if self.bank_capacity_bytes % self.row_size_bytes != 0:
+            raise ValueError("bank capacity must be a whole number of rows")
+        if self.access_granularity_bits % 16 != 0:
+            raise ValueError("access granularity must hold whole BF16 elements")
+
+    @property
+    def num_banks(self) -> int:
+        """Total banks (and therefore near-bank PUs) in the channel."""
+        return self.num_bank_groups * self.banks_per_group
+
+    @property
+    def channel_capacity_bytes(self) -> int:
+        return self.num_banks * self.bank_capacity_bytes
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.bank_capacity_bytes // self.row_size_bytes
+
+    @property
+    def access_granularity_bytes(self) -> int:
+        return self.access_granularity_bits // 8
+
+    @property
+    def columns_per_row(self) -> int:
+        """Number of 256-bit column accesses per row."""
+        return self.row_size_bytes // self.access_granularity_bytes
+
+    @property
+    def elements_per_access(self) -> int:
+        """BF16 elements delivered by one 256-bit access."""
+        return self.access_granularity_bits // 16
+
+    @property
+    def global_buffer_slots(self) -> int:
+        """Number of 256-bit slots in the global buffer."""
+        return self.global_buffer_bytes // self.access_granularity_bytes
+
+
+#: Geometry used by the paper: 16 banks x 32 MB = 512 MB per channel.
+GDDR6_PIM_GEOMETRY = ChannelGeometry()

@@ -1,0 +1,84 @@
+"""GDDR6-PIM timing parameters.
+
+All values are expressed in nanoseconds.  The defaults follow Table 4 of the
+paper (tRCDRD=18 ns, tRAS=27 ns, tCL=25 ns, tRCDWR=14 ns, tCCDS=1 ns,
+tRP=16 ns) and the Samsung 8Gb GDDR6 SGRAM C-die datasheet for the remaining
+constraints that Table 4 does not list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimingParameters", "GDDR6_PIM_TIMINGS"]
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """DRAM timing constraints, in nanoseconds.
+
+    Attributes
+    ----------
+    t_ck:
+        DRAM command-clock period.  The near-bank PU runs at 1 GHz, which the
+        paper states is ``tCCDS`` (two DRAM clocks), so ``t_ck`` is 0.5 ns.
+    t_rcd_rd / t_rcd_wr:
+        Activate-to-read / activate-to-write delay.
+    t_ras:
+        Minimum time a row must stay open.
+    t_rp:
+        Precharge period.
+    t_cl:
+        CAS (read) latency.
+    t_cwl:
+        Write latency.
+    t_ccd_s / t_ccd_l:
+        Column-to-column delay, short (different bank group) and long (same
+        bank group).  All-bank PIM commands are pipelined at ``t_ccd_s``.
+    t_rrd:
+        Activate-to-activate delay between different banks.
+    t_wr:
+        Write recovery time.
+    t_refi / t_rfc:
+        Average refresh interval and refresh cycle time.
+    burst_ns:
+        Time to stream one 256-bit burst on the internal bank I/O.
+    """
+
+    t_ck: float = 0.5
+    t_rcd_rd: float = 18.0
+    t_rcd_wr: float = 14.0
+    t_ras: float = 27.0
+    t_rp: float = 16.0
+    t_cl: float = 25.0
+    t_cwl: float = 8.0
+    t_ccd_s: float = 1.0
+    t_ccd_l: float = 2.0
+    t_rrd: float = 4.0
+    t_wr: float = 12.0
+    t_refi: float = 3900.0
+    t_rfc: float = 120.0
+    burst_ns: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0:
+                raise ValueError(f"timing parameter {name} must be positive, got {value}")
+        if self.t_ccd_l < self.t_ccd_s:
+            raise ValueError("t_ccd_l must be >= t_ccd_s")
+        if self.t_ras < self.t_rcd_rd:
+            raise ValueError("t_ras must cover at least the activate-to-read delay")
+
+    @property
+    def t_rc(self) -> float:
+        """Row cycle time: minimum time between activates to the same bank."""
+        return self.t_ras + self.t_rp
+
+    @property
+    def pu_clock_ghz(self) -> float:
+        """Near-bank PU clock, derived from tCCDS (one MAC per tCCDS)."""
+        return 1.0 / self.t_ccd_s
+
+
+#: Timing preset used throughout the paper's evaluation (Table 4).
+GDDR6_PIM_TIMINGS = TimingParameters()

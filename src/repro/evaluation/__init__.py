@@ -1,0 +1,55 @@
+"""Evaluation harness: one entry point per paper table and figure.
+
+Every function returns plain Python data (lists of dict rows) so the
+benchmarks can print the same rows/series the paper reports and the tests can
+assert on the qualitative shape (who wins, by roughly what factor, where the
+crossovers fall).  ``repro.evaluation.report`` renders the rows as aligned
+text tables.
+"""
+
+from repro.evaluation.report import format_table, rows_to_csv
+from repro.evaluation.gpu_motivation import figure1_gpu_throughput, figure2_gpu_utilization
+from repro.evaluation.tables import (
+    table1_hardware_comparison,
+    table4_system_configurations,
+    table5_cxl_controller,
+    table6_hardware_costs,
+)
+from repro.evaluation.cost_figures import figure12_controller_cost
+from repro.evaluation.main_results import figure13_speedups
+from repro.evaluation.analysis import (
+    figure14a_long_context,
+    figure14b_qos,
+    figure14c_latency_breakdown,
+    figure14d_query_latency,
+)
+from repro.evaluation.power_figures import (
+    figure15a_power,
+    figure15b_gpu_throttling,
+    figure15c_energy_efficiency,
+)
+from repro.evaluation.pim_baselines import figure17_cxl_pnm, figure18_gpu_pim
+from repro.evaluation.scalability import figure19_scalability
+
+__all__ = [
+    "format_table",
+    "rows_to_csv",
+    "figure1_gpu_throughput",
+    "figure2_gpu_utilization",
+    "table1_hardware_comparison",
+    "table4_system_configurations",
+    "table5_cxl_controller",
+    "table6_hardware_costs",
+    "figure12_controller_cost",
+    "figure13_speedups",
+    "figure14a_long_context",
+    "figure14b_qos",
+    "figure14c_latency_breakdown",
+    "figure14d_query_latency",
+    "figure15a_power",
+    "figure15b_gpu_throttling",
+    "figure15c_energy_efficiency",
+    "figure17_cxl_pnm",
+    "figure18_gpu_pim",
+    "figure19_scalability",
+]

@@ -1,0 +1,189 @@
+"""Figure 14: long-context behaviour, QoS, latency breakdown and comparison.
+
+* (a) decoding-throughput speedup over the GPU as the context grows from 4K
+  to 32K (the 16K/32K points need the 16 Gb GDDR6-PIM modules, i.e. a 1 TB
+  CENT configuration);
+* (b) QoS: query latency versus throughput for different CENT TP/PP mappings
+  and GPU batch sizes;
+* (c) CENT latency breakdown (PIM / CXL / PNM / host) per mapping;
+* (d) prefill and decoding latency versus output length at the maximum batch
+  sizes of both systems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.baselines.gpu import GPUSystem
+from repro.core.config import CentConfig
+from repro.core.system import CentSystem
+from repro.dram.geometry import ChannelGeometry
+from repro.mapping.parallelism import HybridParallel, PipelineParallel, TensorParallel
+from repro.models.config import LLAMA2_70B, ModelConfig
+from repro.workloads.batching import max_feasible_batch
+
+__all__ = [
+    "figure14a_long_context",
+    "figure14b_qos",
+    "figure14c_latency_breakdown",
+    "figure14d_query_latency",
+    "cent_mappings_for",
+]
+
+
+def _extended_model(model: ModelConfig, context: int) -> ModelConfig:
+    if context <= model.max_context:
+        return model
+    return dataclasses.replace(model, max_context=context)
+
+
+def _config_for_context(num_devices: int, context: int, context_samples: int) -> CentConfig:
+    """16K and 32K contexts require the 16 Gb (64 MB/bank) GDDR6-PIM modules.
+
+    At 32K the in-flight queries cannot all hold a full-context KV cache on
+    the devices carrying three pipeline stages, so capacity validation uses a
+    vLLM-style occupancy factor (queries are staggered across their
+    generation progress).
+    """
+    if context > 8192:
+        geometry = ChannelGeometry(bank_capacity_bytes=64 * 1024 * 1024)
+        return CentConfig(num_devices=num_devices, geometry=geometry,
+                          kv_occupancy=0.8, context_samples=context_samples)
+    return CentConfig(num_devices=num_devices, context_samples=context_samples)
+
+
+def cent_mappings_for(model: ModelConfig, num_devices: int = 32) -> Dict[str, object]:
+    """The TP/PP mapping sweep of Figures 14(b) and 14(c)."""
+    mappings: Dict[str, object] = {f"PP={model.num_layers}": PipelineParallel(num_devices, model)}
+    tp = 2
+    while tp < num_devices:
+        mappings[f"PP={num_devices // tp} TP={tp}"] = HybridParallel(num_devices, tp)
+        tp *= 2
+    mappings[f"TP={num_devices}"] = TensorParallel(num_devices)
+    return mappings
+
+
+def figure14a_long_context(
+    model: ModelConfig = LLAMA2_70B,
+    num_devices: int = 32,
+    num_gpus: int = 4,
+    contexts: Sequence[int] = (4096, 8192, 16384, 32768),
+    decode_tokens: int = 3584,
+    context_samples: int = 3,
+) -> List[Dict[str, object]]:
+    """Decoding-throughput speedup of CENT over the GPU vs context length."""
+    rows: List[Dict[str, object]] = []
+    for context in contexts:
+        prompt = context - decode_tokens
+        extended = _extended_model(model, context)
+        config = _config_for_context(num_devices, context, context_samples)
+        cent = CentSystem(config, extended)
+        plan = PipelineParallel(num_devices, extended)
+        result = cent.run_inference(prompt, decode_tokens, plan=plan, with_power=False)
+
+        gpu = GPUSystem(extended, num_gpus=num_gpus)
+        average_context = prompt + decode_tokens // 2
+        batch = max_feasible_batch(extended, gpu.total_memory_bytes, average_context,
+                                   requested_batch=128)
+        gpu_prefill = gpu.prefill_latency_s(batch, prompt)
+        gpu_decode = gpu.query_latency_s(batch, prompt, decode_tokens) - gpu_prefill
+        gpu_decode_tps = batch * decode_tokens / gpu_decode
+        rows.append({
+            "context": context,
+            "cent_decode_tokens_per_s": result.decode_throughput_tokens_per_s,
+            "gpu_batch": batch,
+            "gpu_decode_tokens_per_s": gpu_decode_tps,
+            "decode_speedup": result.decode_throughput_tokens_per_s / gpu_decode_tps,
+        })
+    return rows
+
+
+def figure14b_qos(
+    model: ModelConfig = LLAMA2_70B,
+    num_devices: int = 32,
+    num_gpus: int = 4,
+    prompt_tokens: int = 512,
+    decode_tokens: int = 3584,
+    gpu_batches: Sequence[int] = (8, 16, 32, 64, 128),
+    context_samples: int = 3,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Query latency versus throughput operating points (Figure 14b)."""
+    config = CentConfig(num_devices=num_devices, context_samples=context_samples)
+    cent = CentSystem(config, model)
+    cent_rows: List[Dict[str, object]] = []
+    for name, plan in cent_mappings_for(model, num_devices).items():
+        result = cent.run_inference(prompt_tokens, decode_tokens, plan=plan,
+                                    with_power=False)
+        queries_per_minute = (result.queries_in_flight / result.query_latency_s) * 60.0
+        cent_rows.append({
+            "mapping": name,
+            "query_latency_min": result.query_latency_s / 60.0,
+            "throughput_queries_per_min": queries_per_minute,
+        })
+
+    gpu = GPUSystem(model, num_gpus=num_gpus)
+    gpu_rows: List[Dict[str, object]] = []
+    for batch in gpu_batches:
+        latency = gpu.query_latency_s(batch, prompt_tokens, decode_tokens)
+        gpu_rows.append({
+            "batch": batch,
+            "query_latency_min": latency / 60.0,
+            "throughput_queries_per_min": batch / latency * 60.0,
+        })
+    return {"cent": cent_rows, "gpu": gpu_rows}
+
+
+def figure14c_latency_breakdown(
+    model: ModelConfig = LLAMA2_70B,
+    num_devices: int = 32,
+    context_length: int = 4096,
+    context_samples: int = 3,
+) -> List[Dict[str, object]]:
+    """Per-mapping latency breakdown into PIM / CXL / PNM / host (Figure 14c)."""
+    config = CentConfig(num_devices=num_devices, context_samples=context_samples)
+    cent = CentSystem(config, model)
+    rows: List[Dict[str, object]] = []
+    for name, plan in cent_mappings_for(model, num_devices).items():
+        breakdown = cent.token_breakdown(plan, context_length)
+        fractions = breakdown.fractions()
+        rows.append({
+            "mapping": name,
+            "token_latency_ms": breakdown.total_ns * 1e-6,
+            "pim_fraction": fractions["pim"],
+            "cxl_fraction": fractions["cxl"],
+            "pnm_fraction": fractions["pnm"],
+            "host_fraction": fractions["host"],
+        })
+    return rows
+
+
+def figure14d_query_latency(
+    model: ModelConfig = LLAMA2_70B,
+    num_devices: int = 32,
+    num_gpus: int = 4,
+    prompt_tokens: int = 512,
+    output_sizes: Sequence[int] = (128, 512, 1024, 3584),
+    context_samples: int = 3,
+) -> List[Dict[str, object]]:
+    """Prefill / decoding latency versus output size at max batch (Figure 14d)."""
+    config = CentConfig(num_devices=num_devices, context_samples=context_samples)
+    cent = CentSystem(config, model)
+    gpu = GPUSystem(model, num_gpus=num_gpus)
+    plan = PipelineParallel(num_devices, model)
+    rows: List[Dict[str, object]] = []
+    for output in output_sizes:
+        cent_result = cent.run_inference(prompt_tokens, output, plan=plan, with_power=False)
+        average_context = prompt_tokens + output // 2
+        batch = max_feasible_batch(model, gpu.total_memory_bytes, average_context,
+                                   requested_batch=128)
+        gpu_prefill = gpu.prefill_latency_s(batch, prompt_tokens)
+        gpu_total = gpu.query_latency_s(batch, prompt_tokens, output)
+        rows.append({
+            "output_tokens": output,
+            "cent_prefill_min": cent_result.prefill_latency_s / 60.0,
+            "cent_decode_min": cent_result.decode_latency_s / 60.0,
+            "gpu_prefill_min": gpu_prefill / 60.0,
+            "gpu_decode_min": (gpu_total - gpu_prefill) / 60.0,
+        })
+    return rows

@@ -1,0 +1,44 @@
+"""Figure 12: CXL controller cost breakdown and cost versus volume."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cost.die import DieCostModel
+from repro.cost.nre import NreCostModel
+from repro.cost.packaging import PackagingCostModel
+from repro.cost.tco import cent_controller_unit_cost
+
+__all__ = ["figure12_controller_cost"]
+
+
+def figure12_controller_cost(
+    die_area_mm2: float = 19.0,
+    volumes_millions: List[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
+) -> Dict[str, object]:
+    """NRE breakdown plus per-unit controller cost versus production volume."""
+    nre = NreCostModel()
+    die = DieCostModel()
+    packaging = PackagingCostModel()
+
+    nre_rows = [
+        {"component": name, "cost_musd": cost}
+        for name, cost in nre.breakdown.components_musd.items()
+    ]
+    nre_rows.append({"component": "total", "cost_musd": nre.breakdown.total_musd})
+
+    volume_rows = []
+    for volume in volumes_millions:
+        breakdown = cent_controller_unit_cost(
+            die_area_mm2=die_area_mm2,
+            production_volume=int(volume * 1e6),
+            die_model=die, packaging=packaging, nre=nre,
+        )
+        volume_rows.append({
+            "volume_millions": volume,
+            "die_cost_usd": breakdown["die"],
+            "packaging_cost_usd": breakdown["packaging"],
+            "nre_cost_usd": breakdown["nre"],
+            "total_cost_usd": breakdown["total"],
+        })
+    return {"nre_breakdown": nre_rows, "cost_vs_volume": volume_rows}

@@ -1,0 +1,112 @@
+"""Motivation figures: GPU throughput saturation and compute utilisation.
+
+* Figure 1 — Llama2-70B throughput and memory requirement on 4x A100 as the
+  batch size grows, for 4K/8K/16K/32K contexts; throughput plateaus once the
+  KV caches exhaust GPU memory.
+* Figure 2 — (a) query latency vs batch size, (b) GPU compute utilisation of
+  Llama2-70B against high-operational-intensity models (BERT, ResNet-152).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.baselines.gpu import A100_80GB, GPUConfig, GPUSystem
+from repro.models.config import LLAMA2_70B, ModelConfig
+
+__all__ = ["figure1_gpu_throughput", "figure2_gpu_utilization",
+           "roofline_utilization", "PROXY_MODEL_INTENSITY"]
+
+#: Representative operational intensities (FLOPs per byte of HBM traffic) of
+#: the high-intensity proxy models of Figure 2(b).  BERT-Large inference at
+#: a large batch and ResNet-152 are GEMM/conv dominated.
+PROXY_MODEL_INTENSITY: Dict[str, float] = {
+    "BERT": 250.0,
+    "ResNet152": 70.0,
+}
+
+
+def _extended_context(model: ModelConfig, max_context: int) -> ModelConfig:
+    """The paper extends Llama2-70B to long contexts via LongLoRA."""
+    if max_context <= model.max_context:
+        return model
+    return dataclasses.replace(model, max_context=max_context)
+
+
+#: Fraction of peak tensor-core throughput dense GEMM kernels achieve in
+#: practice; caps the roofline prediction for the high-intensity proxies.
+ACHIEVABLE_COMPUTE_FRACTION = 0.82
+
+
+def roofline_utilization(operational_intensity: float, gpu: GPUConfig = A100_80GB) -> float:
+    """Compute utilisation predicted by the roofline at one intensity."""
+    if operational_intensity <= 0:
+        raise ValueError("operational intensity must be positive")
+    ridge = gpu.bf16_tflops * 1e12 / (gpu.hbm_bandwidth_gbps * 1e9)
+    return min(operational_intensity / ridge, 1.0) * ACHIEVABLE_COMPUTE_FRACTION
+
+
+def figure1_gpu_throughput(
+    model: ModelConfig = LLAMA2_70B,
+    num_gpus: int = 4,
+    contexts: List[int] = (4096, 8192, 16384, 32768),
+    batch_sizes_per_context: Dict[int, List[int]] | None = None,
+) -> List[Dict[str, object]]:
+    """GPU throughput and memory requirement vs batch size (Figure 1)."""
+    if batch_sizes_per_context is None:
+        batch_sizes_per_context = {
+            4096: [32, 64, 128, 256],
+            8192: [16, 32, 64, 128],
+            16384: [8, 16, 32, 64],
+            32768: [4, 8, 16, 32],
+        }
+    rows: List[Dict[str, object]] = []
+    for context in contexts:
+        extended = _extended_context(model, context)
+        gpu = GPUSystem(extended, num_gpus=num_gpus)
+        for batch in batch_sizes_per_context.get(context, [8, 16, 32, 64]):
+            requirement = gpu.memory_requirement_bytes(batch, context)
+            feasible_batch = min(batch, max(gpu.max_batch_size(context), 1))
+            throughput = gpu.decode_throughput(feasible_batch, context)
+            rows.append({
+                "context": context,
+                "batch": batch,
+                "memory_requirement_gb": requirement / 2**30,
+                "fits_in_memory": requirement <= gpu.total_memory_bytes,
+                "throughput_tokens_per_s": throughput,
+            })
+    return rows
+
+
+def figure2_gpu_utilization(
+    model: ModelConfig = LLAMA2_70B,
+    num_gpus: int = 4,
+    prompt_tokens: int = 512,
+    decode_tokens: int = 3584,
+    batch_sizes: List[int] = (8, 32, 128, 317),
+) -> Dict[str, List[Dict[str, object]]]:
+    """Query latency vs batch and compute utilisation (Figure 2)."""
+    gpu = GPUSystem(model, num_gpus=num_gpus)
+    latency_rows: List[Dict[str, object]] = []
+    for batch in batch_sizes:
+        latency = gpu.query_latency_s(batch, prompt_tokens, decode_tokens)
+        latency_rows.append({
+            "batch": batch,
+            "query_latency_min": latency / 60.0,
+            "fits_in_memory": gpu.memory_requirement_bytes(
+                batch, prompt_tokens + decode_tokens) <= gpu.total_memory_bytes,
+        })
+
+    max_batch = min(gpu.max_batch_size(prompt_tokens + decode_tokens), 128)
+    utilization_rows = [{
+        "model": model.name,
+        "gpu_utilization_percent": 100.0 * gpu.decode_compute_utilization(
+            max(max_batch, 1), prompt_tokens + decode_tokens),
+    }]
+    for proxy, intensity in PROXY_MODEL_INTENSITY.items():
+        utilization_rows.append({
+            "model": proxy,
+            "gpu_utilization_percent": 100.0 * roofline_utilization(intensity),
+        })
+    return {"query_latency": latency_rows, "utilization": utilization_rows}

@@ -1,0 +1,140 @@
+"""Figure 13: CENT speedups over the GPU baseline.
+
+Three comparisons, each across Llama2-7B/13B/70B:
+
+* (a) latency-critical — a single query (batch 1): CENT uses the tensor-
+  parallel mapping, the GPU runs batch 1;
+* (b) throughput-critical — maximum supported batch sizes: CENT uses pipeline
+  parallelism (batch = pipeline stages), the GPU uses vLLM's largest feasible
+  batch (128 unless memory forces fewer);
+* (c) cost efficiency — tokens per dollar using the owned 3-year TCO of each
+  system.
+
+The deployments mirror the paper: 8/20/32 CXL devices versus 1/2/4 A100s for
+the three model sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.gpu import GPUSystem
+from repro.core.config import CentConfig
+from repro.core.system import CentSystem
+from repro.cost.tco import TcoModel
+from repro.mapping.parallelism import PipelineParallel, TensorParallel
+from repro.models.config import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B, ModelConfig
+from repro.workloads.batching import max_feasible_batch
+
+__all__ = ["figure13_speedups", "DEPLOYMENTS"]
+
+#: (model, CENT devices, GPU count) for the three evaluated model sizes.
+DEPLOYMENTS: Sequence[Tuple[ModelConfig, int, int]] = (
+    (LLAMA2_7B, 8, 1),
+    (LLAMA2_13B, 20, 2),
+    (LLAMA2_70B, 32, 4),
+)
+
+
+def _geomean(values: List[float]) -> float:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def figure13_speedups(
+    prompt_tokens: int = 512,
+    decode_tokens: int = 3584,
+    gpu_batch: int = 128,
+    context_samples: int = 3,
+    deployments: Sequence[Tuple[ModelConfig, int, int]] = DEPLOYMENTS,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Reproduce the latency, throughput and tokens/$ comparisons."""
+    context = prompt_tokens + decode_tokens
+    tco = TcoModel()
+
+    latency_rows: List[Dict[str, object]] = []
+    throughput_rows: List[Dict[str, object]] = []
+    cost_rows: List[Dict[str, object]] = []
+
+    for model, cent_devices, gpu_count in deployments:
+        config = CentConfig(num_devices=cent_devices, context_samples=context_samples)
+        cent = CentSystem(config, model)
+        gpu = GPUSystem(model, num_gpus=gpu_count)
+
+        # ----------------------------------------------------- latency critical
+        tp_plan = TensorParallel(cent_devices)
+        cent_tp = cent.run_inference(prompt_tokens, decode_tokens, plan=tp_plan,
+                                     with_power=False)
+        gpu_latency = gpu.query_latency_s(1, prompt_tokens, decode_tokens)
+        latency_rows.append({
+            "model": model.name,
+            "cent_query_latency_s": cent_tp.query_latency_s,
+            "gpu_query_latency_s": gpu_latency,
+            "speedup": gpu_latency / cent_tp.query_latency_s,
+        })
+
+        # -------------------------------------------------- throughput critical
+        pp_plan = PipelineParallel(cent_devices, model)
+        cent_pp = cent.run_inference(prompt_tokens, decode_tokens, plan=pp_plan)
+        # vLLM allocates KV pages on demand, so the feasible batch follows the
+        # average context during decoding rather than the final context.
+        average_context = prompt_tokens + decode_tokens // 2
+        batch = max_feasible_batch(model, gpu.total_memory_bytes, average_context,
+                                   requested_batch=gpu_batch)
+        gpu_prefill_s = gpu.prefill_latency_s(batch, prompt_tokens)
+        gpu_query_s = gpu.query_latency_s(batch, prompt_tokens, decode_tokens)
+        gpu_decode_s = gpu_query_s - gpu_prefill_s
+        gpu_prefill_tps = batch * prompt_tokens / gpu_prefill_s
+        gpu_decode_tps = batch * decode_tokens / gpu_decode_s
+        gpu_e2e_tps = batch * decode_tokens / gpu_query_s
+
+        cent_prefill_tps = cent_pp.prefill_throughput_tokens_per_s
+        cent_decode_tps = cent_pp.decode_throughput_tokens_per_s
+        cent_e2e_tps = cent_pp.end_to_end_throughput_tokens_per_s
+        throughput_rows.append({
+            "model": model.name,
+            "cent_batch": cent_pp.queries_in_flight,
+            "gpu_batch": batch,
+            "prefill_speedup": cent_prefill_tps / gpu_prefill_tps,
+            "decode_speedup": cent_decode_tps / gpu_decode_tps,
+            "end_to_end_speedup": cent_e2e_tps / gpu_e2e_tps,
+            "cent_tokens_per_s": cent_e2e_tps,
+            "gpu_tokens_per_s": gpu_e2e_tps,
+        })
+
+        # ------------------------------------------------------ cost efficiency
+        cent_power = cent_pp.average_power_w or 1160.0
+        cent_tco = tco.cent_tco_per_hour(cent_devices, cent_power, owned=True)
+        gpu_tco = tco.gpu_tco_per_hour(gpu_count, gpu_count * 350.0, owned=True)
+        cent_tpd = tco.tokens_per_dollar(cent_e2e_tps, cent_tco)
+        gpu_tpd = tco.tokens_per_dollar(gpu_e2e_tps, gpu_tco)
+        cost_rows.append({
+            "model": model.name,
+            "cent_tokens_per_dollar": cent_tpd,
+            "gpu_tokens_per_dollar": gpu_tpd,
+            "tokens_per_dollar_ratio": cent_tpd / gpu_tpd,
+        })
+
+    latency_rows.append({
+        "model": "geomean",
+        "speedup": _geomean([row["speedup"] for row in latency_rows]),
+    })
+    throughput_rows.append({
+        "model": "geomean",
+        "prefill_speedup": _geomean([row["prefill_speedup"] for row in throughput_rows]),
+        "decode_speedup": _geomean([row["decode_speedup"] for row in throughput_rows]),
+        "end_to_end_speedup": _geomean([row["end_to_end_speedup"] for row in throughput_rows]),
+    })
+    cost_rows.append({
+        "model": "geomean",
+        "tokens_per_dollar_ratio": _geomean(
+            [row["tokens_per_dollar_ratio"] for row in cost_rows]),
+    })
+    return {
+        "latency_critical": latency_rows,
+        "throughput_critical": throughput_rows,
+        "tokens_per_dollar": cost_rows,
+    }

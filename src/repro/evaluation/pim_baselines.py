@@ -1,0 +1,168 @@
+"""Figures 17 and 18: CENT versus CXL-PNM and versus GPU-PIM systems."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.attacc import ATTACC_8GPU_8PIM, AttAccSystem
+from repro.baselines.cxl_pnm import CxlPnmSystem
+from repro.baselines.neupim import NEUPIM_8GPU_8PIM, NeuPimSystem
+from repro.core.config import CentConfig
+from repro.core.system import CentSystem
+from repro.cost.tco import TcoModel, cent_controller_unit_cost, DEFAULT_PRICES
+from repro.mapping.parallelism import PipelineParallel
+from repro.mapping.placement import validate_capacity
+from repro.models.config import GPT3_175B, OPT_66B, ModelConfig
+from repro.models.memory import ModelMemoryProfile
+from repro.workloads.queries import sharegpt_like_queries
+
+__all__ = ["figure17_cxl_pnm", "figure18_gpu_pim", "cent_max_batch"]
+
+
+def cent_max_batch(model: ModelConfig, plan, config: CentConfig, context: int) -> int:
+    """Largest in-flight query count the plan can hold at one context length.
+
+    CENT's pipeline-parallel batch equals the pipeline stages, but long
+    contexts can shrink it below ``num_layers`` (the paper reports batch 96
+    for GPT3-175B and smaller batches at longer sequence lengths).
+    """
+    profile = ModelMemoryProfile(model)
+    channels = plan.fc_channels_per_block(model)
+    capacity = channels * config.geometry.channel_capacity_bytes
+    available = capacity - profile.block_parameter_bytes
+    per_query = profile.kv_cache_bytes_per_block_per_query(context)
+    return max(int(available // per_query), 1)
+
+
+def figure17_cxl_pnm(
+    prompt_tokens: int = 64,
+    decode_tokens: int = 1024,
+    cent_devices: int = 24,
+    cxl_pnm_device_counts: Sequence[int] = (1, 8, 32),
+    context_samples: int = 3,
+) -> List[Dict[str, object]]:
+    """OPT-66B throughput of CXL-PNM versus CENT (Figure 17)."""
+    model = OPT_66B
+    rows: List[Dict[str, object]] = []
+    for devices in cxl_pnm_device_counts:
+        system = CxlPnmSystem(num_devices=devices)
+        throughput = system.end_to_end_throughput(model, prompt_tokens, decode_tokens)
+        rows.append({
+            "system": "CXL-PNM",
+            "devices": devices,
+            "tflops": system.tflops,
+            "memory_bandwidth_tbps": system.memory_bandwidth_tbps,
+            "memory_capacity_gb": system.memory_capacity_bytes / 2**30,
+            "tokens_per_s": throughput,
+        })
+
+    config = CentConfig(num_devices=cent_devices, context_samples=context_samples)
+    cent = CentSystem(config, model)
+    plan = PipelineParallel(cent_devices, model)
+    result = cent.run_inference(prompt_tokens, decode_tokens, plan=plan, with_power=False)
+    rows.append({
+        "system": "CENT",
+        "devices": cent_devices,
+        "tflops": config.peak_pim_tflops + config.peak_pnm_tflops,
+        "memory_bandwidth_tbps": config.peak_internal_bandwidth_tbps,
+        "memory_capacity_gb": config.memory_capacity_bytes / 2**30,
+        "tokens_per_s": result.end_to_end_throughput_tokens_per_s,
+    })
+    return rows
+
+
+def _cent_tco_per_hour(num_devices: int, average_power_w: float) -> float:
+    return TcoModel().cent_tco_per_hour(num_devices, average_power_w, owned=True)
+
+
+def _gpu_pim_tco_per_hour(num_gpus: int, num_pim: int, pim_unit_cost_factor: float,
+                          average_power_w: float) -> float:
+    """Owned TCO of a GPU + HBM-PIM system.
+
+    HBM-PIM price is estimated at 10x the HBM price (the paper's assumption);
+    the NPU adds die/packaging/NRE cost via the same methodology as the CENT
+    controller.
+    """
+    hbm_pim_cost = 2000.0 * 10 * num_pim * pim_unit_cost_factor
+    npu_cost = cent_controller_unit_cost(die_area_mm2=400.0, production_volume=400_000)[
+        "total"] * num_pim
+    hardware = (DEFAULT_PRICES.xeon_gold_6430_usd
+                + DEFAULT_PRICES.a100_80gb_usd * num_gpus
+                + hbm_pim_cost + npu_cost)
+    tco = TcoModel()
+    return hardware / tco.amortisation_hours + tco.operational_cost_per_hour(average_power_w)
+
+
+def figure18_gpu_pim(
+    scenarios: Sequence[Tuple[int, int]] = ((128, 128), (128, 2048), (2048, 128), (2048, 2048)),
+    cent_devices: int = 96,
+    context_samples: int = 3,
+) -> Dict[str, List[Dict[str, object]]]:
+    """GPT3-175B: CENT versus AttAcc and NeuPIM (Figure 18)."""
+    model = dataclasses.replace(GPT3_175B, max_context=4096)
+    tco = TcoModel()
+
+    attacc_rows: List[Dict[str, object]] = []
+    attacc = AttAccSystem(model)
+    config = CentConfig(num_devices=cent_devices, context_samples=context_samples)
+    cent = CentSystem(config, model)
+    plan = PipelineParallel(cent_devices, model)
+
+    for prompt, output in scenarios:
+        context = prompt + output
+        attacc_batch = min(attacc.max_batch_size(context), 512)
+        attacc_tps = attacc.end_to_end_throughput(attacc_batch, prompt, output)
+        attacc_tco = _gpu_pim_tco_per_hour(
+            ATTACC_8GPU_8PIM.num_gpus, ATTACC_8GPU_8PIM.num_pim_devices, 1.0,
+            attacc.system_power_w)
+
+        cent_batch = min(cent_max_batch(model, plan, config, context), model.num_layers)
+        stages = max(cent_batch, 1)
+        cent_plan = dataclasses.replace(plan, pp_stages=stages, name=f"PP={stages}")
+        validate_capacity(model, cent_plan, context)
+        cent_result = cent.run_inference(prompt, output, plan=cent_plan)
+        cent_tps = cent_result.end_to_end_throughput_tokens_per_s
+        cent_tco = _cent_tco_per_hour(cent_devices, cent_result.average_power_w or 3000.0)
+
+        attacc_rows.append({
+            "scenario": f"In {prompt} / Out {output}",
+            "attacc_tokens_per_s": attacc_tps,
+            "cent_tokens_per_s": cent_tps,
+            "attacc_mtokens_per_dollar": tco.tokens_per_dollar(attacc_tps, attacc_tco) / 1e6,
+            "cent_mtokens_per_dollar": tco.tokens_per_dollar(cent_tps, cent_tco) / 1e6,
+            "tokens_per_dollar_ratio": (tco.tokens_per_dollar(cent_tps, cent_tco)
+                                        / tco.tokens_per_dollar(attacc_tps, attacc_tco)),
+            "throughput_ratio": cent_tps / attacc_tps,
+        })
+
+    # NeuPIM comparison on a ShareGPT-like trace.
+    neupim = NeuPimSystem(model)
+    queries = sharegpt_like_queries(256, max_context=2048)
+    mean_prompt = int(sum(q.prompt_tokens for q in queries) / len(queries))
+    mean_output = int(sum(q.decode_tokens for q in queries) / len(queries))
+    neupim_rows: List[Dict[str, object]] = []
+    for batch in (64, 96, 128, 256):
+        neupim_batch = min(batch, neupim.max_batch_size(mean_prompt + mean_output))
+        neupim_tps = neupim.end_to_end_throughput(neupim_batch, mean_prompt, mean_output)
+        neupim_tco = _gpu_pim_tco_per_hour(
+            NEUPIM_8GPU_8PIM.num_gpus, NEUPIM_8GPU_8PIM.num_pim_devices, 1.0,
+            neupim.system_power_w)
+
+        cent_batch = min(cent_max_batch(model, plan, config, mean_prompt + mean_output),
+                         model.num_layers)
+        cent_plan = dataclasses.replace(plan, pp_stages=cent_batch, name=f"PP={cent_batch}")
+        cent_result = cent.run_inference(mean_prompt, mean_output, plan=cent_plan)
+        cent_tps = cent_result.end_to_end_throughput_tokens_per_s
+        cent_tco = _cent_tco_per_hour(cent_devices, cent_result.average_power_w or 3000.0)
+        neupim_rows.append({
+            "neupim_batch": neupim_batch,
+            "neupim_tokens_per_s": neupim_tps,
+            "cent_batch": cent_batch,
+            "cent_tokens_per_s": cent_tps,
+            "neupim_mtokens_per_dollar": tco.tokens_per_dollar(neupim_tps, neupim_tco) / 1e6,
+            "cent_mtokens_per_dollar": tco.tokens_per_dollar(cent_tps, cent_tco) / 1e6,
+            "tokens_per_dollar_ratio": (tco.tokens_per_dollar(cent_tps, cent_tco)
+                                        / tco.tokens_per_dollar(neupim_tps, neupim_tco)),
+        })
+    return {"attacc": attacc_rows, "neupim": neupim_rows}

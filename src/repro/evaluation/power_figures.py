@@ -1,0 +1,120 @@
+"""Figure 15: power consumption, GPU throttling and energy efficiency."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.gpu import GPUSystem
+from repro.core.config import CentConfig
+from repro.core.system import CentSystem
+from repro.evaluation.main_results import DEPLOYMENTS
+from repro.mapping.parallelism import PipelineParallel
+from repro.models.config import LLAMA2_7B, ModelConfig
+from repro.power.gpu_power import A100_POWER, GpuPowerModel
+from repro.workloads.batching import max_feasible_batch
+
+__all__ = ["figure15a_power", "figure15b_gpu_throttling", "figure15c_energy_efficiency"]
+
+
+def _gpu_phase_times(model: ModelConfig, num_gpus: int, prompt_tokens: int,
+                     decode_tokens: int, gpu_batch: int) -> Tuple[int, float, float]:
+    gpu = GPUSystem(model, num_gpus=num_gpus)
+    average_context = prompt_tokens + decode_tokens // 2
+    batch = max_feasible_batch(model, gpu.total_memory_bytes, average_context,
+                               requested_batch=gpu_batch)
+    prefill_s = gpu.prefill_latency_s(batch, prompt_tokens)
+    decode_s = gpu.query_latency_s(batch, prompt_tokens, decode_tokens) - prefill_s
+    return batch, prefill_s, decode_s
+
+
+def figure15a_power(
+    prompt_tokens: int = 512,
+    decode_tokens: int = 3584,
+    gpu_batch: int = 128,
+    context_samples: int = 3,
+    deployments: Sequence[Tuple[ModelConfig, int, int]] = DEPLOYMENTS,
+) -> List[Dict[str, object]]:
+    """Average power of the CENT and GPU deployments per model (Figure 15a)."""
+    rows: List[Dict[str, object]] = []
+    for model, cent_devices, gpu_count in deployments:
+        config = CentConfig(num_devices=cent_devices, context_samples=context_samples)
+        cent = CentSystem(config, model)
+        plan = PipelineParallel(cent_devices, model)
+        result = cent.run_inference(prompt_tokens, decode_tokens, plan=plan)
+        _, prefill_s, decode_s = _gpu_phase_times(
+            model, gpu_count, prompt_tokens, decode_tokens, gpu_batch)
+        gpu_power = A100_POWER.average_power_w(prefill_s, decode_s, num_gpus=gpu_count)
+        rows.append({
+            "model": model.name,
+            "cent_devices": cent_devices,
+            "cent_power_w": result.average_power_w,
+            "cent_power_per_device_w": (result.average_power_w - 125.0) / max(result.devices_used, 1),
+            "gpu_count": gpu_count,
+            "gpu_power_w": gpu_power,
+            "gpu_power_per_device_w": gpu_power / gpu_count,
+        })
+    return rows
+
+
+def figure15b_gpu_throttling(
+    model: ModelConfig = LLAMA2_7B,
+    num_gpus: int = 1,
+    prompt_tokens: int = 512,
+    decode_tokens: int = 3584,
+    gpu_batch: int = 128,
+    init_s: float = 2.0,
+    power_model: GpuPowerModel = A100_POWER,
+) -> List[Dict[str, object]]:
+    """GPU SM clock and board power across init / prefill / decode (Figure 15b)."""
+    _, prefill_s, decode_s = _gpu_phase_times(
+        model, num_gpus, prompt_tokens, decode_tokens, gpu_batch)
+    samples = power_model.trace(init_s=init_s, prefill_s=prefill_s,
+                                decode_s=min(decode_s, 20.0), sample_interval_s=0.5)
+    return [
+        {"time_s": s.time_s, "phase": s.phase, "sm_clock_mhz": s.sm_clock_mhz,
+         "board_power_w": s.board_power_w}
+        for s in samples
+    ]
+
+
+def figure15c_energy_efficiency(
+    prompt_tokens: int = 512,
+    decode_tokens: int = 3584,
+    gpu_batch: int = 128,
+    context_samples: int = 3,
+    deployments: Sequence[Tuple[ModelConfig, int, int]] = DEPLOYMENTS,
+) -> List[Dict[str, object]]:
+    """Tokens per Joule of CENT normalised to the GPU (Figure 15c)."""
+    rows: List[Dict[str, object]] = []
+    ratios: List[float] = []
+    for model, cent_devices, gpu_count in deployments:
+        config = CentConfig(num_devices=cent_devices, context_samples=context_samples)
+        cent = CentSystem(config, model)
+        plan = PipelineParallel(cent_devices, model)
+        result = cent.run_inference(prompt_tokens, decode_tokens, plan=plan)
+        cent_tokens_per_joule = result.tokens_per_joule
+
+        gpu = GPUSystem(model, num_gpus=gpu_count)
+        batch, prefill_s, decode_s = _gpu_phase_times(
+            model, gpu_count, prompt_tokens, decode_tokens, gpu_batch)
+        gpu_decode_tps = batch * decode_tokens / decode_s
+        gpu_power = A100_POWER.phase_power_w("decode") * gpu_count
+        gpu_tokens_per_joule = gpu_decode_tps / gpu_power
+
+        ratio = cent_tokens_per_joule / gpu_tokens_per_joule if gpu_tokens_per_joule else 0.0
+        ratios.append(ratio)
+        rows.append({
+            "model": model.name,
+            "cent_tokens_per_joule": cent_tokens_per_joule,
+            "gpu_tokens_per_joule": gpu_tokens_per_joule,
+            "normalized_tokens_per_joule": ratio,
+        })
+    if ratios:
+        geomean = 1.0
+        for ratio in ratios:
+            geomean *= ratio
+        rows.append({
+            "model": "geomean",
+            "normalized_tokens_per_joule": geomean ** (1.0 / len(ratios)),
+        })
+    return rows

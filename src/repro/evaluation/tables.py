@@ -1,0 +1,103 @@
+"""Static comparison tables of the paper (Tables 1, 4, 5 and 6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import CentConfig
+from repro.cost.tco import (
+    CENT_SYSTEM_COST,
+    GPU_SYSTEM_COST,
+    TcoModel,
+    cent_controller_unit_cost,
+)
+from repro.power.cxl_controller import CXL_CONTROLLER_28NM
+
+__all__ = [
+    "table1_hardware_comparison",
+    "table4_system_configurations",
+    "table5_cxl_controller",
+    "table6_hardware_costs",
+]
+
+
+def table1_hardware_comparison() -> List[Dict[str, object]]:
+    """Table 1: manufactured PIM prototypes versus an A100 GPU."""
+    return [
+        {"system": "UPMEM", "type": "PIM", "memory_units": "8 DIMMs",
+         "external_bw_tbps": 0.15, "internal_bw_tbps": 1.0, "capacity_gb": 64,
+         "tflops": 0.5, "ops_per_byte": 0.5, "memory_density": "25-50%"},
+        {"system": "AiM", "type": "PIM", "memory_units": "32 channels",
+         "external_bw_tbps": 1.0, "internal_bw_tbps": 16.0, "capacity_gb": 16,
+         "tflops": 16.0, "ops_per_byte": 1.0, "memory_density": "75%"},
+        {"system": "FIMDRAM", "type": "PIM", "memory_units": "5 stacks",
+         "external_bw_tbps": 1.5, "internal_bw_tbps": 12.3, "capacity_gb": 30,
+         "tflops": 6.2, "ops_per_byte": 0.5, "memory_density": "75%"},
+        {"system": "A100", "type": "GPU", "memory_units": "5 stacks",
+         "external_bw_tbps": 2.0, "internal_bw_tbps": float("nan"), "capacity_gb": 80,
+         "tflops": 312.0, "ops_per_byte": 156.0, "memory_density": "-"},
+    ]
+
+
+def table4_system_configurations(
+    config: CentConfig | None = None,
+    cent_power_w: float = 1160.0,
+    gpu_power_w: float = 1400.0,
+) -> List[Dict[str, object]]:
+    """Table 4: CENT versus the 4x A100 GPU baseline."""
+    config = config or CentConfig()
+    tco = TcoModel()
+    cent_row = {
+        "system": "CENT",
+        "hardware": f"{config.num_devices} CXL devices",
+        "memory_gb": config.memory_capacity_bytes / 2**30,
+        "compute_tflops": config.peak_pim_tflops + config.peak_pnm_tflops,
+        "peak_bandwidth_tbps": config.peak_internal_bandwidth_tbps,
+        "owned_tco_per_hour": tco.cent_tco_per_hour(config.num_devices, cent_power_w, owned=True),
+        "rental_tco_per_hour": tco.cent_tco_per_hour(config.num_devices, cent_power_w, owned=False),
+    }
+    gpu_row = {
+        "system": "GPU",
+        "hardware": "4 NVIDIA A100",
+        "memory_gb": 320.0,
+        "compute_tflops": 1248.0,
+        "peak_bandwidth_tbps": 8.0,
+        "owned_tco_per_hour": tco.gpu_tco_per_hour(4, gpu_power_w, owned=True),
+        "rental_tco_per_hour": tco.gpu_tco_per_hour(4, gpu_power_w, owned=False),
+    }
+    return [cent_row, gpu_row]
+
+
+def table5_cxl_controller() -> List[Dict[str, object]]:
+    """Table 5: CXL controller custom-logic area and power at 28 nm."""
+    controller = CXL_CONTROLLER_28NM
+    rows = []
+    for component, (area, power) in controller.components_28nm.items():
+        rows.append({"component": component, "area_mm2": area, "power_w": power})
+    rows.append({
+        "component": "total",
+        "area_mm2": controller.custom_logic_area_28nm_mm2,
+        "power_w": controller.custom_logic_power_w,
+    })
+    rows.append({
+        "component": "total_7nm_die",
+        "area_mm2": controller.total_area_7nm_mm2,
+        "power_w": controller.custom_logic_power_w,
+    })
+    return rows
+
+
+def table6_hardware_costs() -> List[Dict[str, object]]:
+    """Table 6: hardware bill of materials of the two systems."""
+    rows: List[Dict[str, object]] = []
+    for system in (GPU_SYSTEM_COST, CENT_SYSTEM_COST):
+        for component, cost in system.components_usd.items():
+            rows.append({"system": system.name, "component": component, "cost_usd": cost})
+        rows.append({"system": system.name, "component": "total",
+                     "cost_usd": system.hardware_cost_usd})
+    rows.append({
+        "system": "CENT controller detail",
+        "component": "per-unit cost at 3M volume",
+        "cost_usd": cent_controller_unit_cost()["total"],
+    })
+    return rows

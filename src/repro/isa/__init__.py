@@ -1,0 +1,71 @@
+"""CENT instruction set architecture.
+
+The CENT ISA (paper §4.3, Tables 2 and 3) has two instruction classes:
+
+* **Arithmetic** instructions executed by near-bank PUs (``MAC_ABK``,
+  ``EW_MUL``, ``AF``) and PNM units (``EXP``, ``RED``, ``ACC``, ``RISCV``).
+* **Data movement** instructions between CXL devices (``SEND_CXL``,
+  ``RECV_CXL``, ``BCAST_CXL``), between the shared buffer and DRAM banks
+  (``WR_SBK``, ``RD_SBK``, ``WR_ABK``), between the global buffer and banks
+  (``COPY_BKGB``, ``COPY_GBBK``), and between the shared buffer and PUs /
+  global buffer (``WR_BIAS``, ``RD_MAC``, ``WR_GB``).
+
+Instructions are plain dataclasses; a :class:`~repro.isa.program.Program` is
+an ordered container with static statistics, and ``repro.isa.encoding``
+serialises programs to/from a textual trace format compatible with the
+assembly mnemonics of the paper.
+"""
+
+from repro.isa.instructions import (
+    Opcode,
+    Instruction,
+    MacAllBank,
+    ElementwiseMul,
+    ActivationFunction,
+    Exponent,
+    Reduction,
+    Accumulation,
+    RiscvOp,
+    SendCxl,
+    RecvCxl,
+    BroadcastCxl,
+    WriteSingleBank,
+    ReadSingleBank,
+    WriteAllBanks,
+    CopyBankToGlobalBuffer,
+    CopyGlobalBufferToBank,
+    WriteBias,
+    ReadMacRegister,
+    WriteGlobalBuffer,
+)
+from repro.isa.program import Program, ProgramStats
+from repro.isa.encoding import encode_program, decode_program, encode_instruction, decode_instruction
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "MacAllBank",
+    "ElementwiseMul",
+    "ActivationFunction",
+    "Exponent",
+    "Reduction",
+    "Accumulation",
+    "RiscvOp",
+    "SendCxl",
+    "RecvCxl",
+    "BroadcastCxl",
+    "WriteSingleBank",
+    "ReadSingleBank",
+    "WriteAllBanks",
+    "CopyBankToGlobalBuffer",
+    "CopyGlobalBufferToBank",
+    "WriteBias",
+    "ReadMacRegister",
+    "WriteGlobalBuffer",
+    "Program",
+    "ProgramStats",
+    "encode_program",
+    "decode_program",
+    "encode_instruction",
+    "decode_instruction",
+]

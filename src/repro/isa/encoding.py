@@ -1,0 +1,118 @@
+"""Textual trace encoding of CENT programs.
+
+Each instruction is serialised as its assembly mnemonic followed by
+``field=value`` pairs, one instruction per line.  The format round-trips
+exactly (``decode(encode(p)) == p`` field-by-field) and is the interchange
+format written by the compiler and read by the benchmark harness, standing in
+for the binary trace files of the paper's artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Type
+
+from repro.isa.instructions import (
+    Accumulation,
+    ActivationFunction,
+    BroadcastCxl,
+    CopyBankToGlobalBuffer,
+    CopyGlobalBufferToBank,
+    ElementwiseMul,
+    Exponent,
+    Instruction,
+    MacAllBank,
+    Opcode,
+    ReadMacRegister,
+    ReadSingleBank,
+    RecvCxl,
+    Reduction,
+    RiscvOp,
+    SendCxl,
+    WriteAllBanks,
+    WriteBias,
+    WriteGlobalBuffer,
+    WriteSingleBank,
+)
+from repro.isa.program import Program
+
+__all__ = ["encode_instruction", "decode_instruction", "encode_program", "decode_program"]
+
+_OPCODE_TO_CLASS: Dict[Opcode, Type[Instruction]] = {
+    Opcode.MAC_ABK: MacAllBank,
+    Opcode.EW_MUL: ElementwiseMul,
+    Opcode.AF: ActivationFunction,
+    Opcode.EXP: Exponent,
+    Opcode.RED: Reduction,
+    Opcode.ACC: Accumulation,
+    Opcode.RISCV: RiscvOp,
+    Opcode.SEND_CXL: SendCxl,
+    Opcode.RECV_CXL: RecvCxl,
+    Opcode.BCAST_CXL: BroadcastCxl,
+    Opcode.WR_SBK: WriteSingleBank,
+    Opcode.RD_SBK: ReadSingleBank,
+    Opcode.WR_ABK: WriteAllBanks,
+    Opcode.COPY_BKGB: CopyBankToGlobalBuffer,
+    Opcode.COPY_GBBK: CopyGlobalBufferToBank,
+    Opcode.WR_BIAS: WriteBias,
+    Opcode.RD_MAC: ReadMacRegister,
+    Opcode.WR_GB: WriteGlobalBuffer,
+}
+
+
+def encode_instruction(instruction: Instruction) -> str:
+    """Serialise one instruction to a single trace line."""
+    fields = []
+    for f in dataclasses.fields(instruction):
+        value = getattr(instruction, f.name)
+        fields.append(f"{f.name}={value}")
+    return " ".join([instruction.opcode.value] + fields)
+
+
+def decode_instruction(line: str) -> Instruction:
+    """Parse one trace line back into an instruction."""
+    parts = line.split()
+    if not parts:
+        raise ValueError("cannot decode an empty trace line")
+    try:
+        opcode = Opcode(parts[0])
+    except ValueError as exc:
+        raise ValueError(f"unknown opcode {parts[0]!r}") from exc
+    cls = _OPCODE_TO_CLASS[opcode]
+    kwargs = {}
+    valid_fields = {f.name: f for f in dataclasses.fields(cls)}
+    for token in parts[1:]:
+        if "=" not in token:
+            raise ValueError(f"malformed field token {token!r} in line {line!r}")
+        name, raw = token.split("=", 1)
+        if name not in valid_fields:
+            raise ValueError(f"field {name!r} is not valid for opcode {opcode.value}")
+        field_type = valid_fields[name].type
+        if field_type in ("int", int):
+            kwargs[name] = int(raw)
+        else:
+            kwargs[name] = raw
+    return cls(**kwargs)
+
+
+def encode_program(program: Program) -> str:
+    """Serialise a program to trace text; the first line holds the label."""
+    lines = [f"# program: {program.label}"]
+    lines.extend(encode_instruction(inst) for inst in program)
+    return "\n".join(lines) + "\n"
+
+
+def decode_program(text: str) -> Program:
+    """Parse trace text produced by :func:`encode_program`."""
+    label = "program"
+    instructions = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            if "program:" in stripped:
+                label = stripped.split("program:", 1)[1].strip()
+            continue
+        instructions.append(decode_instruction(stripped))
+    return Program(label=label, instructions=instructions)

@@ -1,0 +1,108 @@
+"""Program container and static statistics for CENT instruction traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.isa.instructions import Instruction, Opcode
+
+__all__ = ["Program", "ProgramStats"]
+
+
+@dataclass
+class ProgramStats:
+    """Static statistics of a program, independent of any timing model."""
+
+    instruction_counts: Dict[Opcode, int] = field(default_factory=dict)
+    micro_op_counts: Dict[Opcode, int] = field(default_factory=dict)
+
+    def record(self, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        self.instruction_counts[opcode] = self.instruction_counts.get(opcode, 0) + 1
+        self.micro_op_counts[opcode] = (
+            self.micro_op_counts.get(opcode, 0) + instruction.micro_op_count
+        )
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instruction_counts.values())
+
+    @property
+    def total_micro_ops(self) -> int:
+        return sum(self.micro_op_counts.values())
+
+    def count(self, opcode: Opcode) -> int:
+        return self.instruction_counts.get(opcode, 0)
+
+    def micro_ops(self, opcode: Opcode) -> int:
+        return self.micro_op_counts.get(opcode, 0)
+
+    def mac_fraction(self) -> float:
+        """Fraction of arithmetic micro-ops that are MAC operations.
+
+        The paper observes that MAC operations constitute over 99% of the
+        arithmetic operations of a transformer block; this statistic lets
+        tests check the same property on compiled programs.
+        """
+        arithmetic = sum(
+            count for opcode, count in self.micro_op_counts.items() if opcode.is_arithmetic
+        )
+        if arithmetic == 0:
+            return 0.0
+        macs = self.micro_op_counts.get(Opcode.MAC_ABK, 0) + self.micro_op_counts.get(
+            Opcode.EW_MUL, 0
+        )
+        return macs / arithmetic
+
+
+class Program:
+    """An ordered list of CENT instructions with a label and static stats."""
+
+    def __init__(self, label: str = "program", instructions: Optional[Iterable[Instruction]] = None) -> None:
+        self.label = label
+        self._instructions: List[Instruction] = []
+        self.stats = ProgramStats()
+        if instructions is not None:
+            for instruction in instructions:
+                self.append(instruction)
+
+    def append(self, instruction: Instruction) -> None:
+        if not isinstance(instruction, Instruction):
+            raise TypeError(f"expected an Instruction, got {type(instruction).__name__}")
+        self._instructions.append(instruction)
+        self.stats.record(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        for instruction in instructions:
+            self.append(instruction)
+
+    def concat(self, other: "Program") -> "Program":
+        """Return a new program with ``other`` appended after ``self``."""
+        combined = Program(label=f"{self.label}+{other.label}")
+        combined.extend(self._instructions)
+        combined.extend(other._instructions)
+        return combined
+
+    def filter(self, predicate) -> "Program":
+        """Return a new program containing the instructions matching
+        ``predicate``."""
+        result = Program(label=f"{self.label}[filtered]")
+        result.extend(inst for inst in self._instructions if predicate(inst))
+        return result
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        return list(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __repr__(self) -> str:
+        return f"Program(label={self.label!r}, instructions={len(self)})"

@@ -1,0 +1,39 @@
+"""LLM parallelisation mappings onto the CXL network (paper §5).
+
+Three strategies distribute transformer blocks across CXL devices:
+
+* **Pipeline parallel (PP)** — each block is a pipeline stage mapped to a
+  group of PIM channels within one device; as many queries are in flight as
+  there are stages, maximising throughput.
+* **Tensor parallel (TP)** — each block is spread across all devices; the
+  fully-connected layers are sharded and the embedding vector is broadcast /
+  gathered through the CXL switch, minimising latency.
+* **Hybrid TP-PP** — each pipeline stage spans several devices, trading
+  throughput against latency.
+* **Data parallel (DP)** — whole-model replicas, used by the scalability
+  study to keep adding devices past the point where PP saturates.
+"""
+
+from repro.mapping.parallelism import (
+    ParallelismPlan,
+    PipelineParallel,
+    TensorParallel,
+    HybridParallel,
+    DataParallel,
+)
+from repro.mapping.placement import BlockPlacement, validate_capacity, placement_for
+from repro.mapping.planner import plan_for_throughput, plan_for_latency, scalability_plans
+
+__all__ = [
+    "ParallelismPlan",
+    "PipelineParallel",
+    "TensorParallel",
+    "HybridParallel",
+    "DataParallel",
+    "BlockPlacement",
+    "validate_capacity",
+    "placement_for",
+    "plan_for_throughput",
+    "plan_for_latency",
+    "scalability_plans",
+]

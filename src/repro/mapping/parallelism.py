@@ -1,0 +1,216 @@
+"""Parallelisation plans: pipeline, tensor, hybrid and data parallelism."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.models.config import ModelConfig
+
+__all__ = [
+    "ParallelismPlan",
+    "PipelineParallel",
+    "TensorParallel",
+    "HybridParallel",
+    "DataParallel",
+]
+
+#: Bytes of a BF16 element, used for embedding-vector transfer sizes.
+_BYTES_PER_ELEMENT = 2
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """How a model is distributed across the CXL devices.
+
+    Attributes
+    ----------
+    name:
+        Human-readable plan name, e.g. ``"PP=80"`` or ``"PP=4 TP=8"``.
+    num_devices:
+        Total CXL devices available to the plan (all replicas).
+    tp_devices:
+        Devices one transformer block spans.  ``1`` means the block lives
+        inside a single device (pure pipeline parallelism).
+    pp_stages:
+        Pipeline stages per replica; equals the number of queries processed
+        concurrently by one replica.
+    dp_replicas:
+        Independent model replicas (data parallelism).
+    channels_per_device:
+        PIM channels per CXL device (32 in the paper's configuration).
+    """
+
+    name: str
+    num_devices: int
+    tp_devices: int = 1
+    pp_stages: int = 1
+    dp_replicas: int = 1
+    channels_per_device: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0 or self.channels_per_device <= 0:
+            raise ValueError("device and channel counts must be positive")
+        if self.tp_devices <= 0 or self.pp_stages <= 0 or self.dp_replicas <= 0:
+            raise ValueError("parallelism degrees must be positive")
+        if self.tp_devices * self.dp_replicas > self.num_devices:
+            raise ValueError(
+                f"plan {self.name!r} needs at least "
+                f"{self.tp_devices * self.dp_replicas} devices, has {self.num_devices}"
+            )
+
+    # ------------------------------------------------------------------ structure
+
+    @property
+    def devices_per_replica(self) -> int:
+        return self.num_devices // self.dp_replicas
+
+    @property
+    def is_tensor_parallel(self) -> bool:
+        return self.tp_devices > 1
+
+    @property
+    def queries_in_flight(self) -> int:
+        """Concurrent queries across all replicas (the CENT batch size)."""
+        return self.pp_stages * self.dp_replicas
+
+    def blocks_per_stage(self, model: ModelConfig) -> int:
+        """Transformer blocks executed sequentially within one pipeline stage."""
+        return -(-model.num_layers // self.pp_stages)
+
+    def blocks_per_device(self, model: ModelConfig) -> int:
+        """Blocks whose weights (or weight shards) live on one device."""
+        if self.is_tensor_parallel:
+            # Every device of a stage group holds a 1/tp_devices shard of each
+            # block assigned to that stage.
+            return self.blocks_per_stage(model)
+        devices = min(self.devices_per_replica, model.num_layers)
+        return -(-model.num_layers // devices)
+
+    def devices_used(self, model: ModelConfig) -> int:
+        """Devices actually carrying weights (idle devices excluded)."""
+        if self.is_tensor_parallel:
+            return self.tp_devices * self.dp_replicas
+        per_device = self.blocks_per_device(model)
+        return min(self.devices_per_replica, -(-model.num_layers // per_device)) * self.dp_replicas
+
+    # ------------------------------------------------------------------ compute resources
+
+    def fc_channels_per_block(self, model: ModelConfig) -> int:
+        """PIM channels executing the fully-connected GEMVs of one block."""
+        if self.is_tensor_parallel:
+            return self.tp_devices * self.channels_per_device
+        per_device = self.blocks_per_device(model)
+        return max(self.channels_per_device // per_device, 1)
+
+    def attention_channels_per_block(self, model: ModelConfig) -> int:
+        """PIM channels executing the attention layer of one block.
+
+        Tensor parallelism confines attention (and the KV caches) to the
+        master device of the block to avoid AllReduce traffic (paper §5.2).
+        """
+        if self.is_tensor_parallel:
+            return self.channels_per_device
+        return self.fc_channels_per_block(model)
+
+    # ------------------------------------------------------------------ communication
+
+    def cxl_transfers_per_block(self, model: ModelConfig) -> List[Tuple[str, int, int]]:
+        """CXL traffic of one block: a list of (primitive, bytes, fan-out).
+
+        * Pure PP: one peer-to-peer send/receive of the embedding vector per
+          block boundary (16 KB for Llama2-70B), and only when the next stage
+          lives on a different device.
+        * TP / hybrid: before each group of sharded FC layers the embedding
+          vector is broadcast (or multicast within the stage's device group),
+          and the partial results are gathered back to the master device.
+        """
+        embedding_bytes = model.d_model * _BYTES_PER_ELEMENT
+        if not self.is_tensor_parallel:
+            blocks_on_device = self.blocks_per_device(model)
+            # Only the last block of a device hands off to another device.
+            if blocks_on_device <= 0:
+                return []
+            cross_device_fraction = 1.0 / blocks_on_device
+            return [("send_receive", int(embedding_bytes * cross_device_fraction), 1)]
+        fan_out = self.tp_devices - 1
+        if fan_out <= 0:
+            return []
+        primitive = "broadcast" if self.pp_stages == 1 else "multicast"
+        transfers: List[Tuple[str, int, int]] = []
+        # Four broadcast points per block: attention input (shared by Q/K/V),
+        # attention output projection input, FFN input (shared by W1/W3) and
+        # the W2 input; each followed by a gather of the sharded outputs.
+        ffn_out_bytes = model.d_ff * _BYTES_PER_ELEMENT
+        for gathered_bytes in (embedding_bytes, embedding_bytes, ffn_out_bytes, embedding_bytes):
+            transfers.append((primitive, embedding_bytes, fan_out))
+            transfers.append(("gather", gathered_bytes // max(self.tp_devices, 1), fan_out))
+        return transfers
+
+
+# ----------------------------------------------------------------------------- factories
+
+def PipelineParallel(
+    num_devices: int,
+    model: ModelConfig,
+    channels_per_device: int = 32,
+    dp_replicas: int = 1,
+) -> ParallelismPlan:
+    """Pure pipeline parallelism: one pipeline stage per transformer block."""
+    return ParallelismPlan(
+        name=f"PP={model.num_layers}" + (f" DP={dp_replicas}" if dp_replicas > 1 else ""),
+        num_devices=num_devices,
+        tp_devices=1,
+        pp_stages=model.num_layers,
+        dp_replicas=dp_replicas,
+        channels_per_device=channels_per_device,
+    )
+
+
+def TensorParallel(
+    num_devices: int,
+    channels_per_device: int = 32,
+) -> ParallelismPlan:
+    """Pure tensor parallelism: every block spans all devices, batch of one."""
+    return ParallelismPlan(
+        name=f"TP={num_devices}",
+        num_devices=num_devices,
+        tp_devices=num_devices,
+        pp_stages=1,
+        channels_per_device=channels_per_device,
+    )
+
+
+def HybridParallel(
+    num_devices: int,
+    tp_devices: int,
+    channels_per_device: int = 32,
+) -> ParallelismPlan:
+    """Hybrid TP-PP: each pipeline stage spans ``tp_devices`` devices."""
+    if num_devices % tp_devices != 0:
+        raise ValueError(
+            f"hybrid mapping needs num_devices ({num_devices}) divisible by "
+            f"tp_devices ({tp_devices})"
+        )
+    pp_stages = num_devices // tp_devices
+    return ParallelismPlan(
+        name=f"PP={pp_stages} TP={tp_devices}",
+        num_devices=num_devices,
+        tp_devices=tp_devices,
+        pp_stages=pp_stages,
+        channels_per_device=channels_per_device,
+    )
+
+
+def DataParallel(
+    num_devices: int,
+    model: ModelConfig,
+    dp_replicas: int,
+    channels_per_device: int = 32,
+) -> ParallelismPlan:
+    """Data parallelism over pipeline-parallel replicas (scalability study)."""
+    if num_devices % dp_replicas != 0:
+        raise ValueError("num_devices must be divisible by dp_replicas")
+    return PipelineParallel(
+        num_devices, model, channels_per_device=channels_per_device, dp_replicas=dp_replicas
+    )

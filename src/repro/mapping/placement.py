@@ -1,0 +1,144 @@
+"""Capacity validation and block placement.
+
+A pipeline stage must never be split across two CXL devices (paper §5.1), and
+the weights plus the KV caches of every in-flight query must fit in the PIM
+channels assigned to the block.  ``validate_capacity`` performs that check;
+``placement_for`` returns the per-block placement summary used by the
+performance model and by the examples to report where a model landed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.mapping.parallelism import ParallelismPlan
+from repro.models.config import ModelConfig
+from repro.models.memory import ModelMemoryProfile
+
+__all__ = ["BlockPlacement", "validate_capacity", "placement_for"]
+
+
+@dataclass(frozen=True)
+class BlockPlacement:
+    """Where one transformer block lives and what it must store."""
+
+    block_index: int
+    device_index: int
+    fc_channels: int
+    attention_channels: int
+    weight_bytes: int
+    kv_cache_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.kv_cache_bytes
+
+
+def _per_block_bytes(
+    model: ModelConfig,
+    plan: ParallelismPlan,
+    context_length: int,
+    kv_occupancy: float = 1.0,
+) -> tuple:
+    """(weight bytes, KV bytes) one block must store, before channel sharding.
+
+    ``kv_occupancy`` scales the aggregate KV footprint of the in-flight
+    queries; 1.0 reserves the full context for every query, lower values model
+    vLLM-style on-demand allocation where the in-flight queries are staggered
+    across their generation progress.
+    """
+    if not 0 < kv_occupancy <= 1:
+        raise ValueError("kv_occupancy must be in (0, 1]")
+    profile = ModelMemoryProfile(model)
+    weight_bytes = profile.block_parameter_bytes
+    kv_per_query = profile.kv_cache_bytes_per_block_per_query(context_length)
+    # Every in-flight query of the replica keeps its KV cache at the block.
+    kv_bytes = int(kv_per_query * plan.pp_stages * kv_occupancy)
+    return weight_bytes, kv_bytes
+
+
+def validate_capacity(
+    model: ModelConfig,
+    plan: ParallelismPlan,
+    context_length: int | None = None,
+    geometry: ChannelGeometry = GDDR6_PIM_GEOMETRY,
+    kv_occupancy: float = 1.0,
+) -> None:
+    """Raise ``MemoryError`` if the plan cannot hold the model.
+
+    ``context_length`` defaults to the model's maximum supported context.
+    """
+    if context_length is None:
+        context_length = model.max_context
+    weight_bytes, kv_bytes = _per_block_bytes(model, plan, context_length, kv_occupancy)
+    channel_capacity = geometry.channel_capacity_bytes
+
+    if plan.is_tensor_parallel:
+        # Weights are sharded across all tp devices; KV caches live on the
+        # master device of each stage group.
+        blocks_per_stage = plan.blocks_per_stage(model)
+        weight_per_device = blocks_per_stage * weight_bytes // plan.tp_devices
+        kv_per_device = blocks_per_stage * kv_bytes
+        device_capacity = plan.channels_per_device * channel_capacity
+        if weight_per_device + kv_per_device > device_capacity:
+            raise MemoryError(
+                f"{plan.name}: a stage's master device needs "
+                f"{(weight_per_device + kv_per_device) / 2**30:.1f} GiB but provides "
+                f"{device_capacity / 2**30:.1f} GiB"
+            )
+        return
+
+    channels = plan.fc_channels_per_block(model)
+    block_capacity = channels * channel_capacity
+    if weight_bytes + kv_bytes > block_capacity:
+        raise MemoryError(
+            f"{plan.name}: one block of {model.name} needs "
+            f"{(weight_bytes + kv_bytes) / 2**30:.2f} GiB "
+            f"(weights {weight_bytes / 2**30:.2f} GiB + KV {kv_bytes / 2**30:.2f} GiB) "
+            f"but its {channels} channels provide {block_capacity / 2**30:.2f} GiB"
+        )
+
+
+def placement_for(
+    model: ModelConfig,
+    plan: ParallelismPlan,
+    context_length: int | None = None,
+) -> List[BlockPlacement]:
+    """Return the placement of every transformer block under ``plan``."""
+    if context_length is None:
+        context_length = model.max_context
+    validate_capacity(model, plan, context_length)
+    weight_bytes, kv_bytes = _per_block_bytes(model, plan, context_length)
+    fc_channels = plan.fc_channels_per_block(model)
+    attention_channels = plan.attention_channels_per_block(model)
+
+    placements: List[BlockPlacement] = []
+    if plan.is_tensor_parallel:
+        blocks_per_stage = plan.blocks_per_stage(model)
+        for block in range(model.num_layers):
+            stage = block // blocks_per_stage
+            master_device = stage * plan.tp_devices
+            placements.append(BlockPlacement(
+                block_index=block,
+                device_index=master_device,
+                fc_channels=fc_channels,
+                attention_channels=attention_channels,
+                weight_bytes=weight_bytes,
+                kv_cache_bytes=kv_bytes,
+            ))
+        return placements
+
+    blocks_per_device = plan.blocks_per_device(model)
+    for block in range(model.num_layers):
+        device = block // blocks_per_device
+        placements.append(BlockPlacement(
+            block_index=block,
+            device_index=device,
+            fc_channels=fc_channels,
+            attention_channels=attention_channels,
+            weight_bytes=weight_bytes,
+            kv_cache_bytes=kv_bytes,
+        ))
+    return placements

@@ -1,0 +1,86 @@
+"""Automatic plan selection.
+
+The planner reproduces the choices the paper makes: pipeline parallelism for
+throughput-critical serving, tensor parallelism for latency-critical serving,
+and the PP + DP combination used by the scalability study (Figure 19), where
+devices beyond what pipeline parallelism can use efficiently are filled with
+additional data-parallel replicas and leftover devices stay idle rather than
+splitting a block across devices.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mapping.parallelism import (
+    DataParallel,
+    ParallelismPlan,
+    PipelineParallel,
+    TensorParallel,
+)
+from repro.mapping.placement import validate_capacity
+from repro.models.config import ModelConfig
+
+__all__ = ["plan_for_throughput", "plan_for_latency", "scalability_plans"]
+
+
+def plan_for_throughput(
+    model: ModelConfig,
+    num_devices: int,
+    channels_per_device: int = 32,
+    context_length: int | None = None,
+) -> ParallelismPlan:
+    """Pipeline-parallel plan with as many data-parallel replicas as the
+    device count supports without splitting any block across devices."""
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    # Throughput is proportional to the number of replicas times the channels
+    # each block receives (more channels -> proportionally shorter pipeline
+    # stages).  Among the capacity-feasible replica counts, pick the best
+    # score; ties favour fewer replicas (lower query latency), which matches
+    # the paper's "PP first, then DP as the system scales" methodology.
+    best: ParallelismPlan | None = None
+    best_score = -1
+    for replicas in range(1, num_devices + 1):
+        if num_devices % replicas != 0:
+            continue
+        plan = DataParallel(num_devices, model, dp_replicas=replicas,
+                            channels_per_device=channels_per_device)
+        try:
+            validate_capacity(model, plan, context_length)
+        except MemoryError:
+            break
+        score = replicas * plan.fc_channels_per_block(model)
+        if score > best_score:
+            best = plan
+            best_score = score
+    if best is None:
+        raise MemoryError(
+            f"{model.name} does not fit on {num_devices} devices in any "
+            "pipeline-parallel configuration"
+        )
+    return best
+
+
+def plan_for_latency(
+    model: ModelConfig,
+    num_devices: int,
+    channels_per_device: int = 32,
+    context_length: int | None = None,
+) -> ParallelismPlan:
+    """Tensor-parallel plan across all devices (latency-critical serving)."""
+    plan = TensorParallel(num_devices, channels_per_device=channels_per_device)
+    validate_capacity(model, plan, context_length)
+    return plan
+
+
+def scalability_plans(
+    model: ModelConfig,
+    device_counts: List[int],
+    channels_per_device: int = 32,
+) -> List[ParallelismPlan]:
+    """One throughput plan per device count (Figure 19 sweep)."""
+    return [
+        plan_for_throughput(model, devices, channels_per_device=channels_per_device)
+        for devices in device_counts
+    ]

@@ -1,0 +1,33 @@
+"""LLM model configurations and memory sizing.
+
+The evaluation uses Llama2 7B/13B/70B (main results), OPT-66B (CXL-PNM
+comparison) and GPT3-175B (AttAcc/NeuPIM comparison).  BERT and ResNet-152
+proxies exist only for the GPU-utilisation motivation figure.
+"""
+
+from repro.models.config import (
+    AttentionKind,
+    FfnKind,
+    ModelConfig,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    OPT_66B,
+    GPT3_175B,
+    MODEL_REGISTRY,
+)
+from repro.models.memory import ModelMemoryProfile, BYTES_PER_PARAM_BF16
+
+__all__ = [
+    "AttentionKind",
+    "FfnKind",
+    "ModelConfig",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "OPT_66B",
+    "GPT3_175B",
+    "MODEL_REGISTRY",
+    "ModelMemoryProfile",
+    "BYTES_PER_PARAM_BF16",
+]

@@ -1,0 +1,188 @@
+"""Decoder-only LLM configurations.
+
+A :class:`ModelConfig` captures the architectural parameters the simulator
+needs: hidden size, head structure (including grouped-query attention),
+feed-forward shape (gated SwiGLU for Llama2, plain two-matrix FFN for
+OPT/GPT3), layer count and context limit.  Parameter counts and per-token
+KV-cache sizes are derived, not hard-coded, so tests can check them against
+the published model sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "AttentionKind",
+    "FfnKind",
+    "ModelConfig",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "OPT_66B",
+    "GPT3_175B",
+    "MODEL_REGISTRY",
+]
+
+
+class AttentionKind(enum.Enum):
+    """Multi-head vs grouped-query attention."""
+
+    MULTI_HEAD = "multi_head"
+    GROUPED_QUERY = "grouped_query"
+
+
+class FfnKind(enum.Enum):
+    """Feed-forward network structure."""
+
+    GATED = "gated"        # SwiGLU: W1, W3 in parallel, SiLU, then W2
+    STANDARD = "standard"  # two matrices with an activation in between
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of one decoder-only LLM."""
+
+    name: str
+    num_layers: int
+    d_model: int
+    num_heads: int
+    num_kv_heads: int
+    d_ff: int
+    vocab_size: int
+    max_context: int
+    ffn_kind: FfnKind = FfnKind.GATED
+    activation: str = "silu"
+    positional_encoding: str = "rotary"
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.d_model <= 0 or self.d_ff <= 0:
+            raise ValueError("layer count and dimensions must be positive")
+        if self.num_heads <= 0 or self.num_kv_heads <= 0:
+            raise ValueError("head counts must be positive")
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError("num_heads must be divisible by num_kv_heads (GQA groups)")
+        if self.vocab_size <= 0 or self.max_context <= 0:
+            raise ValueError("vocab size and context length must be positive")
+
+    # ------------------------------------------------------------------ structure
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.num_heads
+
+    @property
+    def attention_kind(self) -> AttentionKind:
+        return (AttentionKind.GROUPED_QUERY
+                if self.num_kv_heads < self.num_heads
+                else AttentionKind.MULTI_HEAD)
+
+    @property
+    def gqa_group_size(self) -> int:
+        """Query heads sharing one KV head."""
+        return self.num_heads // self.num_kv_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the key/value projections."""
+        return self.num_kv_heads * self.head_dim
+
+    # ------------------------------------------------------------------ parameter counts
+
+    @property
+    def attention_params_per_layer(self) -> int:
+        """Wq, Wk, Wv, Wo parameter count for one layer."""
+        q_and_o = 2 * self.d_model * self.d_model
+        k_and_v = 2 * self.d_model * self.kv_dim
+        return q_and_o + k_and_v
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        matrices = 3 if self.ffn_kind is FfnKind.GATED else 2
+        return matrices * self.d_model * self.d_ff
+
+    @property
+    def norm_params_per_layer(self) -> int:
+        """Two RMSNorm/LayerNorm weight vectors per block."""
+        return 2 * self.d_model
+
+    @property
+    def params_per_layer(self) -> int:
+        return (self.attention_params_per_layer
+                + self.ffn_params_per_layer
+                + self.norm_params_per_layer)
+
+    @property
+    def embedding_params(self) -> int:
+        """Input plus output embedding tables."""
+        return 2 * self.vocab_size * self.d_model
+
+    @property
+    def total_params(self) -> int:
+        return self.num_layers * self.params_per_layer + self.embedding_params
+
+    # ------------------------------------------------------------------ KV cache
+
+    @property
+    def kv_cache_elements_per_token_per_layer(self) -> int:
+        """BF16 elements appended to the key and value caches per token."""
+        return 2 * self.kv_dim
+
+    def kv_cache_bytes_per_token(self, bytes_per_element: int = 2) -> int:
+        """KV-cache bytes per token across all layers."""
+        return (self.num_layers
+                * self.kv_cache_elements_per_token_per_layer
+                * bytes_per_element)
+
+    # ------------------------------------------------------------------ FLOPs (decode, per token)
+
+    def decode_flops_per_token(self, context_length: int) -> int:
+        """Arithmetic operations to decode one token at the given context.
+
+        GEMV against all weight matrices plus the attention score/output
+        GEMVs against the KV cache; the 2x factor counts multiply and add.
+        """
+        if context_length <= 0:
+            raise ValueError("context length must be positive")
+        weights = self.params_per_layer - self.norm_params_per_layer
+        attention_kv = 2 * context_length * self.num_heads * self.head_dim
+        per_layer = 2 * (weights + attention_kv)
+        output_embedding = 2 * self.vocab_size * self.d_model
+        return self.num_layers * per_layer + output_embedding
+
+
+LLAMA2_7B = ModelConfig(
+    name="Llama2-7B", num_layers=32, d_model=4096, num_heads=32, num_kv_heads=32,
+    d_ff=11008, vocab_size=32000, max_context=4096,
+)
+
+LLAMA2_13B = ModelConfig(
+    name="Llama2-13B", num_layers=40, d_model=5120, num_heads=40, num_kv_heads=40,
+    d_ff=13824, vocab_size=32000, max_context=4096,
+)
+
+LLAMA2_70B = ModelConfig(
+    name="Llama2-70B", num_layers=80, d_model=8192, num_heads=64, num_kv_heads=8,
+    d_ff=28672, vocab_size=32000, max_context=4096,
+)
+
+OPT_66B = ModelConfig(
+    name="OPT-66B", num_layers=64, d_model=9216, num_heads=72, num_kv_heads=72,
+    d_ff=36864, vocab_size=50272, max_context=2048,
+    ffn_kind=FfnKind.STANDARD, activation="gelu", positional_encoding="absolute",
+)
+
+GPT3_175B = ModelConfig(
+    name="GPT3-175B", num_layers=96, d_model=12288, num_heads=96, num_kv_heads=96,
+    d_ff=49152, vocab_size=50257, max_context=2048,
+    ffn_kind=FfnKind.STANDARD, activation="gelu", positional_encoding="absolute",
+)
+
+#: Lookup by name, used by examples and benchmarks.
+MODEL_REGISTRY = {
+    config.name: config
+    for config in (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B, OPT_66B, GPT3_175B)
+}

@@ -1,0 +1,80 @@
+"""Memory sizing of model parameters and KV caches.
+
+Both CENT and the GPU baseline store parameters and KV caches in BF16
+(2 bytes/element).  The memory profile answers the capacity questions the
+mapping layer and the GPU batching model need: how many bytes one transformer
+block occupies, how much KV cache one query of a given context length needs,
+and the largest batch that fits a given memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+
+__all__ = ["ModelMemoryProfile", "BYTES_PER_PARAM_BF16"]
+
+#: BF16 storage per parameter / activation element.
+BYTES_PER_PARAM_BF16 = 2
+
+
+@dataclass(frozen=True)
+class ModelMemoryProfile:
+    """Derived memory requirements of one model."""
+
+    model: ModelConfig
+    bytes_per_element: int = BYTES_PER_PARAM_BF16
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_element <= 0:
+            raise ValueError("bytes per element must be positive")
+
+    # ------------------------------------------------------------------ parameters
+
+    @property
+    def parameter_bytes(self) -> int:
+        return self.model.total_params * self.bytes_per_element
+
+    @property
+    def block_parameter_bytes(self) -> int:
+        """Weights of a single transformer block."""
+        return self.model.params_per_layer * self.bytes_per_element
+
+    @property
+    def embedding_bytes(self) -> int:
+        return self.model.embedding_params * self.bytes_per_element
+
+    # ------------------------------------------------------------------ KV cache
+
+    def kv_cache_bytes_per_token(self) -> int:
+        return self.model.kv_cache_bytes_per_token(self.bytes_per_element)
+
+    def kv_cache_bytes_per_query(self, context_length: int) -> int:
+        if context_length <= 0:
+            raise ValueError("context length must be positive")
+        return context_length * self.kv_cache_bytes_per_token()
+
+    def kv_cache_bytes_per_block_per_query(self, context_length: int) -> int:
+        return self.kv_cache_bytes_per_query(context_length) // self.model.num_layers
+
+    # ------------------------------------------------------------------ totals
+
+    def total_bytes(self, batch_size: int, context_length: int) -> int:
+        """Parameters plus KV caches for a batch at a given context length."""
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        return (self.parameter_bytes
+                + batch_size * self.kv_cache_bytes_per_query(context_length))
+
+    def block_bytes(self, batch_size: int, context_length: int) -> int:
+        """One transformer block's weights plus its share of the KV caches."""
+        return (self.block_parameter_bytes
+                + batch_size * self.kv_cache_bytes_per_block_per_query(context_length))
+
+    def max_batch_size(self, memory_budget_bytes: int, context_length: int) -> int:
+        """Largest batch whose parameters + KV caches fit the budget."""
+        if memory_budget_bytes <= self.parameter_bytes:
+            return 0
+        available = memory_budget_bytes - self.parameter_bytes
+        return available // self.kv_cache_bytes_per_query(context_length)

@@ -1,0 +1,32 @@
+"""Numeric primitives shared by the PIM and PNM functional models.
+
+The GDDR6-PIM near-bank processing units operate on Bfloat16 (BF16) values,
+the PNM exponent accelerators use a 10-order Taylor-series approximation, and
+activation functions are evaluated through lookup tables with linear
+interpolation.  This subpackage provides faithful software models of those
+numeric behaviours so the functional simulator reproduces the precision the
+hardware would deliver.
+"""
+
+from repro.numerics.bf16 import (
+    bf16_quantize,
+    bf16_to_float,
+    float_to_bf16_bits,
+    bf16_bits_to_float,
+    bf16_mac,
+)
+from repro.numerics.taylor import taylor_exp
+from repro.numerics.lut import ActivationLUT, silu, gelu, sigmoid
+
+__all__ = [
+    "bf16_quantize",
+    "bf16_to_float",
+    "float_to_bf16_bits",
+    "bf16_bits_to_float",
+    "bf16_mac",
+    "taylor_exp",
+    "ActivationLUT",
+    "silu",
+    "gelu",
+    "sigmoid",
+]

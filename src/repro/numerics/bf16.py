@@ -1,0 +1,74 @@
+"""Bfloat16 (BF16) arithmetic emulation.
+
+BF16 keeps the 8-bit exponent of IEEE-754 single precision but truncates the
+mantissa to 7 bits.  The near-bank processing units of a GDDR6-PIM channel
+multiply and accumulate BF16 operands; accumulation registers hold values with
+single-precision range, and results are written back as BF16.  These helpers
+emulate that behaviour on top of NumPy float32 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "float_to_bf16_bits",
+    "bf16_bits_to_float",
+    "bf16_quantize",
+    "bf16_to_float",
+    "bf16_mac",
+]
+
+
+def float_to_bf16_bits(values: np.ndarray) -> np.ndarray:
+    """Convert float32 values to their 16-bit BF16 bit patterns.
+
+    Rounding is round-to-nearest-even on the truncated mantissa, matching the
+    behaviour of commercial BF16 hardware.
+    """
+    as_f32 = np.asarray(values, dtype=np.float32)
+    bits = as_f32.view(np.uint32)
+    # Round-to-nearest-even: add 0x7FFF plus the LSB of the surviving mantissa.
+    rounding_bias = np.uint32(0x7FFF) + ((bits >> np.uint32(16)) & np.uint32(1))
+    rounded = bits + rounding_bias
+    return (rounded >> np.uint32(16)).astype(np.uint16)
+
+
+def bf16_bits_to_float(bits: np.ndarray) -> np.ndarray:
+    """Expand 16-bit BF16 bit patterns back to float32 values."""
+    as_u16 = np.asarray(bits, dtype=np.uint16)
+    expanded = as_u16.astype(np.uint32) << np.uint32(16)
+    return expanded.view(np.float32)
+
+
+def bf16_quantize(values: np.ndarray) -> np.ndarray:
+    """Quantize float values to BF16 precision, returned as float32.
+
+    This is the canonical "store to a DRAM bank" operation: the value keeps
+    only the precision a BF16 cell can represent.
+    """
+    return bf16_bits_to_float(float_to_bf16_bits(values))
+
+
+def bf16_to_float(values: np.ndarray) -> np.ndarray:
+    """Alias of :func:`bf16_quantize`, provided for readability at call sites
+    that semantically *read* BF16 data rather than *write* it."""
+    return bf16_quantize(values)
+
+
+def bf16_mac(
+    accumulator: np.ndarray,
+    operand_a: np.ndarray,
+    operand_b: np.ndarray,
+) -> np.ndarray:
+    """One multiply-accumulate step of the 16-lane near-bank MAC tree.
+
+    Operands are quantized to BF16 before the multiply (they come from a DRAM
+    bank and the global buffer respectively); products are summed in float32,
+    mirroring the wider accumulation registers of the PU.
+    """
+    a = bf16_quantize(operand_a)
+    b = bf16_quantize(operand_b)
+    return np.asarray(accumulator, dtype=np.float32) + np.sum(
+        a.astype(np.float32) * b.astype(np.float32), axis=-1
+    )

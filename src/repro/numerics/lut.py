@@ -1,0 +1,119 @@
+"""Lookup-table activation functions of the near-bank processing units.
+
+The activation-function (AF) unit inside each PU evaluates non-linear
+functions with lookup tables stored in the DRAM bank plus linear
+interpolation.  CENT decomposes GeLU, Swish/SiLU and their GLU variants into
+sigmoid/tanh lookups combined with PIM multiplications (paper §7.5), so the
+LUT model here covers sigmoid, tanh, SiLU and GeLU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numerics.bf16 import bf16_quantize
+
+__all__ = ["ActivationLUT", "sigmoid", "silu", "gelu", "AF_TABLE_IDS"]
+
+#: Identifier values used by the ``AF`` instruction's ``AFid`` field.
+AF_TABLE_IDS = {
+    "sigmoid": 0,
+    "tanh": 1,
+    "silu": 2,
+    "gelu": 3,
+    "exp": 4,
+}
+
+
+def sigmoid(values: np.ndarray) -> np.ndarray:
+    """Reference sigmoid used to build lookup tables."""
+    x = np.asarray(values, dtype=np.float64)
+    return (1.0 / (1.0 + np.exp(-x))).astype(np.float32)
+
+
+def silu(values: np.ndarray) -> np.ndarray:
+    """Reference SiLU (x * sigmoid(x))."""
+    x = np.asarray(values, dtype=np.float64)
+    return (x / (1.0 + np.exp(-x))).astype(np.float32)
+
+
+def gelu(values: np.ndarray) -> np.ndarray:
+    """Reference GeLU (tanh approximation used by most LLM implementations)."""
+    x = np.asarray(values, dtype=np.float64)
+    inner = np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)
+    return (0.5 * x * (1.0 + np.tanh(inner))).astype(np.float32)
+
+
+_REFERENCE_FUNCTIONS = {
+    "sigmoid": sigmoid,
+    "tanh": lambda x: np.tanh(np.asarray(x, dtype=np.float64)).astype(np.float32),
+    "silu": silu,
+    "gelu": gelu,
+    "exp": lambda x: np.exp(np.asarray(x, dtype=np.float64)).astype(np.float32),
+}
+
+
+@dataclass
+class ActivationLUT:
+    """Piecewise-linear lookup table for one activation function.
+
+    Parameters
+    ----------
+    function:
+        Name of the activation function; one of :data:`AF_TABLE_IDS`.
+    num_entries:
+        Number of table entries.  The hardware stores the table in one DRAM
+        row; 256 BF16 entries fit comfortably and give sub-0.5% error over the
+        clamped input range.
+    input_range:
+        Inputs are clamped to ``[-input_range, +input_range]`` before lookup,
+        matching the saturating behaviour of the hardware table.
+    """
+
+    function: str
+    num_entries: int = 256
+    input_range: float = 8.0
+    _grid: np.ndarray = field(init=False, repr=False)
+    _table: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.function not in _REFERENCE_FUNCTIONS:
+            raise ValueError(
+                f"unknown activation function {self.function!r}; "
+                f"expected one of {sorted(_REFERENCE_FUNCTIONS)}"
+            )
+        if self.num_entries < 2:
+            raise ValueError("a lookup table needs at least two entries")
+        if self.input_range <= 0:
+            raise ValueError("input_range must be positive")
+        self._grid = np.linspace(
+            -self.input_range, self.input_range, self.num_entries, dtype=np.float32
+        )
+        reference = _REFERENCE_FUNCTIONS[self.function]
+        self._table = bf16_quantize(reference(self._grid))
+
+    @property
+    def af_id(self) -> int:
+        """The ``AFid`` encoding of this table."""
+        return AF_TABLE_IDS[self.function]
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate the activation with LUT + linear interpolation.
+
+        Inputs and outputs are BF16-quantized, as in the PU datapath.
+        """
+        x = bf16_quantize(values).astype(np.float32)
+        clamped = np.clip(x, -self.input_range, self.input_range)
+        result = np.interp(clamped, self._grid, self._table.astype(np.float64))
+        return bf16_quantize(result.astype(np.float32))
+
+    def max_error(self, num_samples: int = 4096) -> float:
+        """Maximum absolute error versus the reference function over the
+        clamped input range.  Used by tests to bound LUT accuracy."""
+        samples = np.linspace(
+            -self.input_range, self.input_range, num_samples, dtype=np.float32
+        )
+        reference = _REFERENCE_FUNCTIONS[self.function](samples)
+        return float(np.max(np.abs(self.evaluate(samples) - reference)))

@@ -1,0 +1,48 @@
+"""Taylor-series exponent approximation used by the PNM exponent accelerators.
+
+Each of the 32 exponent accelerators in a CXL device divides a 256-bit shared
+buffer slot into 16 BF16 lanes and evaluates ``exp(x)`` per lane with a
+10-order Taylor series.  Softmax score vectors are the main consumer.  The
+series is evaluated around zero after range reduction by powers of two so the
+approximation stays accurate for the negative scores produced by the
+``x - max(x)`` normalisation step.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.numerics.bf16 import bf16_quantize
+
+__all__ = ["taylor_exp", "TAYLOR_ORDER"]
+
+#: Order of the Taylor expansion implemented in the exponent accelerator.
+TAYLOR_ORDER = 10
+
+# exp(x) = 2**k * exp(r) with r = x - k*ln2, |r| <= ln2/2, keeps the series
+# well conditioned.  ln2 is stored as a BF16 coefficient in hardware.
+_LN2 = math.log(2.0)
+
+
+def taylor_exp(values: np.ndarray, order: int = TAYLOR_ORDER) -> np.ndarray:
+    """Approximate ``exp(values)`` with an ``order``-term Taylor series.
+
+    The input is quantized to BF16 (it arrives from the shared buffer) and the
+    result is quantized to BF16 before being written back, as the accelerator
+    does.  Intermediate arithmetic uses float32, matching the accelerator's
+    wider internal datapath.
+    """
+    if order < 1:
+        raise ValueError(f"Taylor order must be >= 1, got {order}")
+    x = bf16_quantize(values).astype(np.float32)
+    k = np.round(x / _LN2)
+    r = x - k * _LN2
+    result = np.ones_like(r)
+    term = np.ones_like(r)
+    for i in range(1, order + 1):
+        term = term * r / np.float32(i)
+        result = result + term
+    result = result * np.exp2(k).astype(np.float32)
+    return bf16_quantize(result)

@@ -1,0 +1,15 @@
+"""GDDR6-PIM channel model: near-bank processing units and PIM controller.
+
+A PIM channel (Figure 7a) couples every DRAM bank with a near-bank processing
+unit (PU) containing a 16-lane BF16 MAC reduction tree, 32 accumulation
+registers, and an activation-function unit backed by lookup tables.  A 2 KB
+global buffer broadcasts 256-bit operands to all PUs.  The PIM controller
+receives micro-ops from the device decoder and converts them into DRAM
+commands scheduled by the :class:`repro.dram.channel.DRAMChannel` substrate.
+"""
+
+from repro.pim.pu import ProcessingUnit
+from repro.pim.global_buffer import GlobalBuffer
+from repro.pim.channel import PIMChannel, PIMChannelStats
+
+__all__ = ["ProcessingUnit", "GlobalBuffer", "PIMChannel", "PIMChannelStats"]

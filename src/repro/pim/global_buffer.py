@@ -1,0 +1,74 @@
+"""Functional model of the 2 KB per-channel global buffer.
+
+The global buffer holds the vector operand of a GEMV and broadcasts 256-bit
+slots to all 16 near-bank PUs concurrently.  It is addressed in 256-bit
+(16-element BF16) slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.bf16 import bf16_quantize
+
+__all__ = ["GlobalBuffer"]
+
+
+class GlobalBuffer:
+    """256-bit-slot addressed buffer shared by all PUs of a channel."""
+
+    def __init__(self, capacity_bytes: int = 2 * 1024, slot_bits: int = 256) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if slot_bits % 16 != 0:
+            raise ValueError("slot size must hold whole BF16 elements")
+        self.capacity_bytes = capacity_bytes
+        self.slot_bits = slot_bits
+        self.elements_per_slot = slot_bits // 16
+        self.num_slots = capacity_bytes // (slot_bits // 8)
+        self._data = np.zeros((self.num_slots, self.elements_per_slot), dtype=np.float32)
+
+    def write_slot(self, slot: int, values: np.ndarray) -> None:
+        """Write one 16-element slot (values are BF16-quantized on write)."""
+        self._check_slot(slot)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (self.elements_per_slot,):
+            raise ValueError(
+                f"expected {self.elements_per_slot} elements, got shape {values.shape}"
+            )
+        self._data[slot] = bf16_quantize(values)
+
+    def read_slot(self, slot: int) -> np.ndarray:
+        """Read one slot; the returned array is a copy."""
+        self._check_slot(slot)
+        return self._data[slot].copy()
+
+    def write_vector(self, start_slot: int, vector: np.ndarray) -> int:
+        """Write a vector across consecutive slots; returns slots consumed.
+
+        The final slot is zero-padded when the vector length is not a multiple
+        of 16, matching how the compiler pads operands.
+        """
+        vector = np.asarray(vector, dtype=np.float32).ravel()
+        num_slots = int(np.ceil(len(vector) / self.elements_per_slot))
+        if start_slot + num_slots > self.num_slots:
+            raise ValueError(
+                f"vector of {len(vector)} elements does not fit: needs {num_slots} slots "
+                f"starting at {start_slot}, buffer has {self.num_slots}"
+            )
+        padded = np.zeros(num_slots * self.elements_per_slot, dtype=np.float32)
+        padded[: len(vector)] = vector
+        for i in range(num_slots):
+            self.write_slot(start_slot + i, padded[i * self.elements_per_slot:(i + 1) * self.elements_per_slot])
+        return num_slots
+
+    def read_vector(self, start_slot: int, length: int) -> np.ndarray:
+        """Read ``length`` elements starting at ``start_slot``."""
+        num_slots = int(np.ceil(length / self.elements_per_slot))
+        self._check_slot(start_slot + num_slots - 1)
+        flat = self._data[start_slot:start_slot + num_slots].ravel()
+        return flat[:length].copy()
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")

@@ -1,0 +1,86 @@
+"""Functional model of a near-bank processing unit (PU).
+
+Each PU receives one 256-bit operand from its local DRAM bank and a second
+256-bit operand from either the global buffer or the neighbouring bank, and
+feeds a 16-lane BF16 multiplier array whose products are summed by a reduction
+tree into one of 32 accumulation registers.  An activation-function unit
+evaluates non-linear functions through lookup tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.numerics.bf16 import bf16_quantize
+from repro.numerics.lut import ActivationLUT, AF_TABLE_IDS
+
+__all__ = ["ProcessingUnit", "NUM_ACCUMULATION_REGISTERS", "MAC_LANES"]
+
+#: Number of accumulation registers designated by the CENT ISA.
+NUM_ACCUMULATION_REGISTERS = 32
+
+#: Width of the MAC reduction tree (BF16 elements per 256-bit operand).
+MAC_LANES = 16
+
+
+@dataclass
+class ProcessingUnit:
+    """One near-bank PU: MAC tree, accumulation registers, AF unit."""
+
+    bank_index: int
+    registers: np.ndarray = field(
+        default_factory=lambda: np.zeros(NUM_ACCUMULATION_REGISTERS, dtype=np.float32)
+    )
+    _luts: Dict[int, ActivationLUT] = field(default_factory=dict, repr=False)
+    mac_count: int = 0
+
+    def write_bias(self, value: float = 0.0, reg_id: int | None = None) -> None:
+        """Initialise one register (or all registers when ``reg_id`` is None)."""
+        if reg_id is None:
+            self.registers[:] = np.float32(value)
+        else:
+            self._check_register(reg_id)
+            self.registers[reg_id] = np.float32(value)
+
+    def mac(self, bank_operand: np.ndarray, broadcast_operand: np.ndarray, reg_id: int) -> None:
+        """One MAC step: 16 products reduced into register ``reg_id``."""
+        self._check_register(reg_id)
+        a = bf16_quantize(np.asarray(bank_operand, dtype=np.float32))
+        b = bf16_quantize(np.asarray(broadcast_operand, dtype=np.float32))
+        if a.shape != (MAC_LANES,) or b.shape != (MAC_LANES,):
+            raise ValueError(
+                f"MAC operands must have {MAC_LANES} BF16 lanes, "
+                f"got {a.shape} and {b.shape}"
+            )
+        self.registers[reg_id] += np.float32(np.dot(a, b))
+        self.mac_count += 1
+
+    def read_register(self, reg_id: int) -> float:
+        """Read one accumulation register as a BF16-quantized value."""
+        self._check_register(reg_id)
+        return float(bf16_quantize(np.float32(self.registers[reg_id])))
+
+    def apply_activation(self, af_id: int, reg_id: int) -> float:
+        """Apply the activation function ``af_id`` to register ``reg_id``."""
+        self._check_register(reg_id)
+        lut = self._lut_for(af_id)
+        result = lut.evaluate(np.float32(self.registers[reg_id]))
+        self.registers[reg_id] = np.float32(result)
+        return float(result)
+
+    def _lut_for(self, af_id: int) -> ActivationLUT:
+        if af_id not in self._luts:
+            names = {v: k for k, v in AF_TABLE_IDS.items()}
+            if af_id not in names:
+                raise ValueError(f"unknown activation function id {af_id}")
+            self._luts[af_id] = ActivationLUT(names[af_id])
+        return self._luts[af_id]
+
+    def _check_register(self, reg_id: int) -> None:
+        if not 0 <= reg_id < NUM_ACCUMULATION_REGISTERS:
+            raise ValueError(
+                f"register id {reg_id} out of range [0, {NUM_ACCUMULATION_REGISTERS})"
+            )

@@ -1,0 +1,32 @@
+"""Processing-near-memory (PNM) units of a CXL device.
+
+The CXL controller of every CENT device contains PNM units shared by the 32
+PIM channels (Figure 7b): 32 accumulators, 32 reduction trees, 32 exponent
+accelerators and 8 BOOM-2wide RISC-V cores, all communicating through a 64 KB
+shared buffer viewed as 256-bit registers.  They execute the infrequent
+non-MAC operations of a transformer block: Softmax normalisation, square
+root and inversion for RMSNorm, residual additions, and the complex/real
+transforms of rotary positional embedding.
+"""
+
+from repro.pnm.shared_buffer import SharedBuffer
+from repro.pnm.accelerators import (
+    Accumulator,
+    ReductionTree,
+    ExponentUnit,
+    PnmAcceleratorBank,
+    PnmLatencyModel,
+)
+from repro.pnm.riscv import RiscvCore, RiscvCluster, RISCV_ROUTINES
+
+__all__ = [
+    "SharedBuffer",
+    "Accumulator",
+    "ReductionTree",
+    "ExponentUnit",
+    "PnmAcceleratorBank",
+    "PnmLatencyModel",
+    "RiscvCore",
+    "RiscvCluster",
+    "RISCV_ROUTINES",
+]

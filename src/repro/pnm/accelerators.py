@@ -1,0 +1,132 @@
+"""PNM accelerators: accumulators, reduction trees and exponent units.
+
+Each CXL device contains 32 of each accelerator type (Figure 7b).  They
+operate on 256-bit shared-buffer slots (16 BF16 lanes) at the CXL controller
+clock (2.0 GHz after the 7 nm projection, §6).  The latency model charges one
+controller cycle per slot per accelerator, with all 32 instances of a type
+operating in parallel, which is how the paper's PNM latency component stays
+small relative to PIM latency (Figure 14c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numerics.bf16 import bf16_quantize
+from repro.numerics.taylor import taylor_exp
+from repro.pnm.shared_buffer import SharedBuffer
+
+__all__ = [
+    "Accumulator",
+    "ReductionTree",
+    "ExponentUnit",
+    "PnmAcceleratorBank",
+    "PnmLatencyModel",
+]
+
+
+class Accumulator:
+    """Lane-wise accumulation of two shared-buffer slots: Rd[i] += Rs[i]."""
+
+    def execute(self, destination: np.ndarray, source: np.ndarray) -> np.ndarray:
+        destination = bf16_quantize(np.asarray(destination, dtype=np.float32))
+        source = bf16_quantize(np.asarray(source, dtype=np.float32))
+        return bf16_quantize(destination + source)
+
+
+class ReductionTree:
+    """Reduce the 16 BF16 lanes of one slot to a single value in lane 0."""
+
+    def execute(self, source: np.ndarray) -> np.ndarray:
+        source = bf16_quantize(np.asarray(source, dtype=np.float32))
+        result = np.zeros_like(source)
+        result[0] = bf16_quantize(np.float32(np.sum(source.astype(np.float32))))
+        return result
+
+
+class ExponentUnit:
+    """Per-lane exponent via the 10-order Taylor approximation."""
+
+    def execute(self, source: np.ndarray) -> np.ndarray:
+        return taylor_exp(np.asarray(source, dtype=np.float32))
+
+
+@dataclass(frozen=True)
+class PnmLatencyModel:
+    """Latency parameters of the PNM accelerators.
+
+    ``clock_ghz`` is the CXL controller clock (2.0 GHz at 7 nm).  Each
+    accelerator instance processes one 256-bit slot per cycle; ``instances``
+    of the same type run in parallel.
+    """
+
+    clock_ghz: float = 2.0
+    instances: int = 32
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        if self.instances <= 0:
+            raise ValueError("instance count must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    def latency_ns(self, num_slots: int) -> float:
+        """Latency to process ``num_slots`` slots across all instances."""
+        if num_slots < 0:
+            raise ValueError("num_slots must be non-negative")
+        if num_slots == 0:
+            return 0.0
+        waves = -(-num_slots // self.instances)
+        return waves * self.cycle_ns
+
+    def latency_for_elements(self, num_elements: int) -> float:
+        """Latency to process a vector of ``num_elements`` BF16 values."""
+        if num_elements <= 0:
+            return 0.0
+        return self.latency_ns(SharedBuffer.slots_for(num_elements))
+
+
+class PnmAcceleratorBank:
+    """The full set of PNM accelerators of one device, with functional and
+    timing entry points used by the functional simulator and the performance
+    model respectively."""
+
+    def __init__(self, latency_model: PnmLatencyModel | None = None) -> None:
+        self.latency = latency_model or PnmLatencyModel()
+        self.accumulator = Accumulator()
+        self.reduction_tree = ReductionTree()
+        self.exponent_unit = ExponentUnit()
+        self.slot_operations: int = 0
+
+    # Functional operations on whole vectors -------------------------------
+
+    def accumulate(self, destination: np.ndarray, source: np.ndarray) -> np.ndarray:
+        """Element-wise accumulate two vectors (residual connections)."""
+        destination = np.asarray(destination, dtype=np.float32)
+        source = np.asarray(source, dtype=np.float32)
+        if destination.shape != source.shape:
+            raise ValueError("accumulate requires equal-shape vectors")
+        self.slot_operations += SharedBuffer.slots_for(destination.size)
+        return bf16_quantize(bf16_quantize(destination) + bf16_quantize(source))
+
+    def reduce_sum(self, source: np.ndarray) -> float:
+        """Sum all elements of a vector using the reduction trees."""
+        source = bf16_quantize(np.asarray(source, dtype=np.float32))
+        self.slot_operations += SharedBuffer.slots_for(source.size)
+        return float(bf16_quantize(np.float32(np.sum(source.astype(np.float32)))))
+
+    def exponent(self, source: np.ndarray) -> np.ndarray:
+        """Per-element exponent of a vector."""
+        source = np.asarray(source, dtype=np.float32)
+        self.slot_operations += SharedBuffer.slots_for(source.size)
+        return taylor_exp(source)
+
+    # Timing ---------------------------------------------------------------
+
+    def operation_latency_ns(self, num_elements: int) -> float:
+        return self.latency.latency_for_elements(num_elements)

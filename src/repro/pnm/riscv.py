@@ -1,0 +1,169 @@
+"""RISC-V cores of the PNM units.
+
+Each CXL device integrates 8 BOOM-2wide out-of-order RISC-V cores that execute
+the less common operations of a transformer block: square root and inversion
+for RMSNorm, the Softmax normalisation divide, residual vector additions, the
+complex/real packing of rotary positional embedding, and any future model-
+specific operations.  Cores see the shared buffer as byte-addressable memory.
+
+The functional model exposes the routines as named vector functions; the
+timing model charges cycles per element based on the routine's arithmetic
+complexity on a 2-wide core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.numerics.bf16 import bf16_quantize
+
+__all__ = ["RiscvCore", "RiscvCluster", "RISCV_ROUTINES", "RoutineSpec"]
+
+
+@dataclass(frozen=True)
+class RoutineSpec:
+    """Functional behaviour and per-element cycle cost of one routine."""
+
+    name: str
+    function: Callable[[np.ndarray], np.ndarray]
+    cycles_per_element: float
+    description: str
+
+
+def _sqrt_inv(values: np.ndarray) -> np.ndarray:
+    """1/sqrt(x) — the RMSNorm normalisation factor."""
+    x = np.asarray(values, dtype=np.float32)
+    with np.errstate(divide="ignore"):
+        return bf16_quantize(1.0 / np.sqrt(x))
+
+
+def _inverse(values: np.ndarray) -> np.ndarray:
+    """1/x — Softmax normalisation."""
+    x = np.asarray(values, dtype=np.float32)
+    with np.errstate(divide="ignore"):
+        return bf16_quantize(1.0 / x)
+
+
+def _residual_add(values: np.ndarray) -> np.ndarray:
+    """Vector addition of two concatenated halves (residual connection)."""
+    x = np.asarray(values, dtype=np.float32)
+    if x.size % 2 != 0:
+        raise ValueError("residual_add expects an even-length concatenated input")
+    half = x.size // 2
+    return bf16_quantize(x[:half] + x[half:])
+
+
+def _rope_pack(values: np.ndarray) -> np.ndarray:
+    """Pack a real head vector [a, b, c, d, ...] into interleaved complex
+    pairs [(a, b), (c, d), ...] laid out as [a, c, ..., b, d, ...]."""
+    x = np.asarray(values, dtype=np.float32)
+    if x.size % 2 != 0:
+        raise ValueError("rope_pack expects an even-length head vector")
+    real = x[0::2]
+    imag = x[1::2]
+    return bf16_quantize(np.concatenate([real, imag]))
+
+
+def _rope_unpack(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_rope_pack`."""
+    x = np.asarray(values, dtype=np.float32)
+    if x.size % 2 != 0:
+        raise ValueError("rope_unpack expects an even-length packed vector")
+    half = x.size // 2
+    result = np.empty_like(x)
+    result[0::2] = x[:half]
+    result[1::2] = x[half:]
+    return bf16_quantize(result)
+
+
+def _softmax_max(values: np.ndarray) -> np.ndarray:
+    """Running maximum used for numerically stable Softmax."""
+    x = np.asarray(values, dtype=np.float32)
+    return bf16_quantize(np.full_like(x, np.max(x)))
+
+
+def _generic(values: np.ndarray) -> np.ndarray:
+    """Identity routine used as a placeholder for future model operations."""
+    return bf16_quantize(np.asarray(values, dtype=np.float32))
+
+
+#: Registry of routines the compiler may reference by name.
+RISCV_ROUTINES: Dict[str, RoutineSpec] = {
+    "sqrt_inv": RoutineSpec("sqrt_inv", _sqrt_inv, cycles_per_element=12.0,
+                            description="1/sqrt(x) for RMSNorm"),
+    "inverse": RoutineSpec("inverse", _inverse, cycles_per_element=10.0,
+                           description="1/x for Softmax normalisation"),
+    "residual_add": RoutineSpec("residual_add", _residual_add, cycles_per_element=1.0,
+                                description="residual vector addition"),
+    "rope_pack": RoutineSpec("rope_pack", _rope_pack, cycles_per_element=1.5,
+                             description="real to complex packing for RoPE"),
+    "rope_unpack": RoutineSpec("rope_unpack", _rope_unpack, cycles_per_element=1.5,
+                               description="complex to real unpacking for RoPE"),
+    "softmax_max": RoutineSpec("softmax_max", _softmax_max, cycles_per_element=1.0,
+                               description="max-reduction for stable Softmax"),
+    "generic": RoutineSpec("generic", _generic, cycles_per_element=2.0,
+                           description="placeholder for future operations"),
+}
+
+
+@dataclass
+class RiscvCore:
+    """One BOOM-2wide core: functional routine execution plus a cycle model."""
+
+    core_id: int = 0
+    clock_ghz: float = 2.0
+    issue_width: int = 2
+    executed_elements: int = 0
+
+    def run(self, routine: str, values: np.ndarray) -> np.ndarray:
+        spec = self._spec(routine)
+        result = spec.function(np.asarray(values, dtype=np.float32))
+        self.executed_elements += int(np.asarray(values).size)
+        return result
+
+    def latency_ns(self, routine: str, num_elements: int) -> float:
+        """Latency for one core to process ``num_elements`` values."""
+        if num_elements <= 0:
+            return 0.0
+        spec = self._spec(routine)
+        cycles = num_elements * spec.cycles_per_element / self.issue_width
+        return cycles / self.clock_ghz
+
+    @staticmethod
+    def _spec(routine: str) -> RoutineSpec:
+        if routine not in RISCV_ROUTINES:
+            raise ValueError(
+                f"unknown RISC-V routine {routine!r}; known routines: "
+                f"{sorted(RISCV_ROUTINES)}"
+            )
+        return RISCV_ROUTINES[routine]
+
+
+@dataclass
+class RiscvCluster:
+    """The 8-core RISC-V cluster of one CXL device."""
+
+    num_cores: int = 8
+    clock_ghz: float = 2.0
+    cores: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("the cluster needs at least one core")
+        if not self.cores:
+            self.cores = [RiscvCore(core_id=i, clock_ghz=self.clock_ghz)
+                          for i in range(self.num_cores)]
+
+    def run(self, routine: str, values: np.ndarray) -> np.ndarray:
+        """Functional execution (work split is irrelevant to the result)."""
+        return self.cores[0].run(routine, values)
+
+    def latency_ns(self, routine: str, num_elements: int) -> float:
+        """Latency with the work striped across all cores."""
+        if num_elements <= 0:
+            return 0.0
+        per_core = -(-num_elements // self.num_cores)
+        return self.cores[0].latency_ns(routine, per_core)

@@ -1,0 +1,105 @@
+"""The 64 KB shared buffer of a CXL device.
+
+PIM channels and PNM units view the shared buffer as a file of 256-bit
+registers (2048 slots); the RISC-V cores view the same storage as a
+byte-addressable 64 KB region and access it with 16-bit loads and stores.
+Inter-device communication stages data in the shared buffer as well, so it is
+the rendezvous point for every data movement instruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.bf16 import bf16_quantize
+
+__all__ = ["SharedBuffer"]
+
+
+class SharedBuffer:
+    """64 KB buffer addressed as 256-bit slots of 16 BF16 elements."""
+
+    SLOT_BITS = 256
+    ELEMENTS_PER_SLOT = SLOT_BITS // 16
+
+    def __init__(self, capacity_bytes: int = 64 * 1024) -> None:
+        if capacity_bytes <= 0 or capacity_bytes % (self.SLOT_BITS // 8) != 0:
+            raise ValueError("capacity must be a positive multiple of the slot size")
+        self.capacity_bytes = capacity_bytes
+        self.num_slots = capacity_bytes // (self.SLOT_BITS // 8)
+        self._data = np.zeros((self.num_slots, self.ELEMENTS_PER_SLOT), dtype=np.float32)
+
+    # ------------------------------------------------------------------ slot view
+
+    def write_slot(self, slot: int, values: np.ndarray) -> None:
+        self._check_slot(slot)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (self.ELEMENTS_PER_SLOT,):
+            raise ValueError(
+                f"a slot holds {self.ELEMENTS_PER_SLOT} elements, got shape {values.shape}"
+            )
+        self._data[slot] = bf16_quantize(values)
+
+    def read_slot(self, slot: int) -> np.ndarray:
+        self._check_slot(slot)
+        return self._data[slot].copy()
+
+    # ------------------------------------------------------------------ vector view
+
+    def write_vector(self, start_slot: int, vector: np.ndarray) -> int:
+        """Write a vector across consecutive slots, zero-padding the tail.
+
+        Returns the number of slots consumed.
+        """
+        vector = np.asarray(vector, dtype=np.float32).ravel()
+        num_slots = self.slots_for(len(vector))
+        if start_slot < 0 or start_slot + num_slots > self.num_slots:
+            raise ValueError(
+                f"vector of {len(vector)} elements does not fit at slot {start_slot}: "
+                f"needs {num_slots} of {self.num_slots} slots"
+            )
+        padded = np.zeros(num_slots * self.ELEMENTS_PER_SLOT, dtype=np.float32)
+        padded[: len(vector)] = vector
+        self._data[start_slot:start_slot + num_slots] = bf16_quantize(
+            padded.reshape(num_slots, self.ELEMENTS_PER_SLOT)
+        )
+        return num_slots
+
+    def read_vector(self, start_slot: int, length: int) -> np.ndarray:
+        num_slots = self.slots_for(length)
+        self._check_slot(start_slot)
+        self._check_slot(start_slot + num_slots - 1)
+        return self._data[start_slot:start_slot + num_slots].ravel()[:length].copy()
+
+    # ------------------------------------------------------------------ byte view (RISC-V)
+
+    def load_halfword(self, byte_address: int) -> float:
+        """16-bit load as seen by a RISC-V core (returns the BF16 value)."""
+        slot, lane = self._byte_to_slot_lane(byte_address)
+        return float(self._data[slot, lane])
+
+    def store_halfword(self, byte_address: int, value: float) -> None:
+        """16-bit store as seen by a RISC-V core."""
+        slot, lane = self._byte_to_slot_lane(byte_address)
+        self._data[slot, lane] = bf16_quantize(np.float32(value))
+
+    # ------------------------------------------------------------------ helpers
+
+    @classmethod
+    def slots_for(cls, num_elements: int) -> int:
+        """Number of 256-bit slots needed to hold ``num_elements`` BF16 values."""
+        if num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+        return -(-num_elements // cls.ELEMENTS_PER_SLOT)
+
+    def _byte_to_slot_lane(self, byte_address: int) -> tuple:
+        if byte_address < 0 or byte_address + 2 > self.capacity_bytes:
+            raise ValueError(f"byte address {byte_address} out of range")
+        if byte_address % 2 != 0:
+            raise ValueError("16-bit accesses must be 2-byte aligned")
+        element_index = byte_address // 2
+        return divmod(element_index, self.ELEMENTS_PER_SLOT)
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")

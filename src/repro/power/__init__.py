@@ -1,0 +1,31 @@
+"""Power and energy models.
+
+CENT's power is activity based: the DRAM power calculator converts the
+per-command activity counters of the performance model into energy (with the
+MAC command drawing 3x the current of a gapless read, as measured for AiM),
+the CXL controller adds the synthesised custom-logic, memory-controller and
+RISC-V power, and the GPU model reproduces the TDP-throttling behaviour the
+paper measures with ``nvidia-smi``.
+"""
+
+from repro.power.dram_power import DramPowerParameters, DramPowerModel, GDDR6_PIM_POWER
+from repro.power.cxl_controller import CxlControllerPower, CXL_CONTROLLER_28NM
+from repro.power.cent_power import CentPowerModel, DevicePowerReport, SystemPowerReport
+from repro.power.gpu_power import GpuPowerModel, GpuPowerSample, A100_POWER
+from repro.power.energy import tokens_per_joule, energy_per_token
+
+__all__ = [
+    "DramPowerParameters",
+    "DramPowerModel",
+    "GDDR6_PIM_POWER",
+    "CxlControllerPower",
+    "CXL_CONTROLLER_28NM",
+    "CentPowerModel",
+    "DevicePowerReport",
+    "SystemPowerReport",
+    "GpuPowerModel",
+    "GpuPowerSample",
+    "A100_POWER",
+    "tokens_per_joule",
+    "energy_per_token",
+]

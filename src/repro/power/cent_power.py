@@ -1,0 +1,135 @@
+"""Activity-based power model of a CENT deployment (paper §7.2).
+
+Device power has three parts:
+
+* DRAM dynamic energy from the per-command activity of the performance model
+  (MAC and EW_MUL operations, activates/precharges, reads/writes),
+* DRAM background power per channel, and
+* the CXL controller (custom logic, memory controllers, RISC-V cores).
+
+A device hosting several pipeline stages runs all of them concurrently, so
+its activity is the per-block activity times the blocks it hosts, spread over
+one stage latency.  System power adds the host CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import CentConfig
+from repro.core.performance import BlockCost
+from repro.mapping.parallelism import ParallelismPlan
+from repro.models.config import ModelConfig
+from repro.power.cxl_controller import CxlControllerPower, CXL_CONTROLLER_28NM
+from repro.power.dram_power import DramPowerModel, GDDR6_PIM_POWER
+
+__all__ = ["DevicePowerReport", "SystemPowerReport", "CentPowerModel"]
+
+#: Average power of the host CPU (Xeon Gold 6430) attributed to inference.
+HOST_CPU_POWER_W = 125.0
+
+
+@dataclass(frozen=True)
+class DevicePowerReport:
+    """Average power of one CXL device."""
+
+    dram_dynamic_w: float
+    dram_background_w: float
+    controller_w: float
+    breakdown: Dict[str, float]
+
+    @property
+    def total_w(self) -> float:
+        return self.dram_dynamic_w + self.dram_background_w + self.controller_w
+
+
+@dataclass(frozen=True)
+class SystemPowerReport:
+    """Average power of the whole CENT system."""
+
+    device_w: float
+    devices_used: int
+    host_w: float
+
+    @property
+    def devices_total_w(self) -> float:
+        return self.device_w * self.devices_used
+
+    @property
+    def total_w(self) -> float:
+        return self.devices_total_w + self.host_w
+
+
+class CentPowerModel:
+    """Computes device and system power from block-level activity."""
+
+    def __init__(
+        self,
+        config: CentConfig,
+        dram_power: DramPowerModel | None = None,
+        controller: CxlControllerPower = CXL_CONTROLLER_28NM,
+        host_power_w: float = HOST_CPU_POWER_W,
+    ) -> None:
+        self.config = config
+        self.dram_power = dram_power or DramPowerModel(GDDR6_PIM_POWER, config.geometry)
+        self.controller = controller
+        self.host_power_w = host_power_w
+
+    # ------------------------------------------------------------------ device
+
+    def device_power(
+        self,
+        model: ModelConfig,
+        plan: ParallelismPlan,
+        block_cost: BlockCost,
+    ) -> DevicePowerReport:
+        """Average power of one active device under the given workload."""
+        blocks_per_device = plan.blocks_per_device(model)
+        stage_latency_s = plan.blocks_per_stage(model) * block_cost.breakdown.total_ns * 1e-9
+        if stage_latency_s <= 0:
+            raise ValueError("block cost must have positive latency")
+
+        if plan.is_tensor_parallel:
+            # One block at a time runs across all devices; each device executes
+            # its shard of the activity.
+            counts = {kind: count * self.config.channels_per_device
+                      for kind, count in block_cost.command_counts_per_channel.items()}
+            interval_s = block_cost.breakdown.total_ns * 1e-9
+        else:
+            # All pipeline stages of the device run concurrently.
+            counts = {kind: count * block_cost.fc_channels * blocks_per_device
+                      for kind, count in block_cost.command_counts_per_channel.items()}
+            interval_s = stage_latency_s
+
+        dynamic_w = self.dram_power.activity_energy_j(counts) / interval_s
+        background_w = self.dram_power.background_power_w(self.config.channels_per_device)
+        controller_w = self.controller.static_power_w()
+        breakdown = {
+            key: value / interval_s
+            for key, value in self.dram_power.energy_breakdown_j(counts).items()
+        }
+        return DevicePowerReport(
+            dram_dynamic_w=dynamic_w,
+            dram_background_w=background_w,
+            controller_w=controller_w,
+            breakdown=breakdown,
+        )
+
+    # ------------------------------------------------------------------ system
+
+    def system_power(
+        self,
+        model: ModelConfig,
+        plan: ParallelismPlan,
+        block_cost: BlockCost,
+        include_host: bool = True,
+    ) -> SystemPowerReport:
+        device = self.device_power(model, plan, block_cost)
+        devices_used = plan.devices_used(model)
+        host_w = self.host_power_w if include_host else 0.0
+        return SystemPowerReport(
+            device_w=device.total_w,
+            devices_used=devices_used,
+            host_w=host_w,
+        )

@@ -1,0 +1,79 @@
+"""CXL controller area and power (paper Table 5).
+
+The controller's custom logic (instruction buffer, shared buffer, PNM
+accelerators, RISC-V cores and glue) is synthesised at 28 nm; the memory
+controllers and the PCIe/PHY blocks are taken from published measurements.
+Area scales from 28 nm to 7 nm with the Stillmaker-Baas scaling equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["CxlControllerPower", "CXL_CONTROLLER_28NM"]
+
+#: Area scaling factor from 28 nm to 7 nm (Stillmaker & Baas 2017).
+AREA_SCALE_28_TO_7 = 0.107
+
+#: Components of the custom logic in 28 nm: (area mm^2, power W), Table 5.
+TABLE5_COMPONENTS: Dict[str, tuple] = {
+    "sram_instruction_buffer": (3.33, 0.61),
+    "shared_buffer": (0.11, 0.03),
+    "accelerators": (1.34, 0.18),
+    "riscv_cores": (2.94, 0.19),
+    "others": (0.12, 0.05),
+}
+
+
+@dataclass(frozen=True)
+class CxlControllerPower:
+    """Area/power of one CXL controller."""
+
+    components_28nm: Dict[str, tuple] = field(default_factory=lambda: dict(TABLE5_COMPONENTS))
+    #: Power of one GDDR6 memory controller serving two channels (W).
+    memory_controller_w: float = 0.3146
+    #: Number of memory controllers per device (16 controllers, 32 channels).
+    num_memory_controllers: int = 16
+    #: Power of one BOOM-2wide RISC-V core under load (W).
+    riscv_core_w: float = 0.25
+    num_riscv_cores: int = 8
+    #: Area of the memory controllers, PCIe controller and PHY blocks at 7 nm
+    #: (mm^2), measured from GPU die shots and scaled; analog PHY blocks scale
+    #: poorly, which is why they dominate the 19 mm^2 controller die.
+    io_blocks_area_7nm_mm2: float = 18.16
+
+    # ------------------------------------------------------------------ area
+
+    @property
+    def custom_logic_area_28nm_mm2(self) -> float:
+        return sum(area for area, _ in self.components_28nm.values())
+
+    @property
+    def custom_logic_area_7nm_mm2(self) -> float:
+        return self.custom_logic_area_28nm_mm2 * AREA_SCALE_28_TO_7
+
+    @property
+    def total_area_7nm_mm2(self) -> float:
+        """Total controller die area at 7 nm (~19 mm^2 in the paper)."""
+        return self.custom_logic_area_7nm_mm2 + self.io_blocks_area_7nm_mm2
+
+    # ------------------------------------------------------------------ power
+
+    @property
+    def custom_logic_power_w(self) -> float:
+        """Total custom-logic power of Table 5 (1.06 W at 28 nm)."""
+        return sum(power for _, power in self.components_28nm.values())
+
+    def static_power_w(self, riscv_utilization: float = 0.1) -> float:
+        """Controller power excluding DRAM: custom logic, memory controllers
+        and the RISC-V cluster at the given utilisation."""
+        if not 0 <= riscv_utilization <= 1:
+            raise ValueError("riscv_utilization must be within [0, 1]")
+        riscv = self.riscv_core_w * self.num_riscv_cores * riscv_utilization
+        controllers = self.memory_controller_w * self.num_memory_controllers
+        return self.custom_logic_power_w + controllers + riscv
+
+
+#: Default controller model used by the CENT power model and Table 5 bench.
+CXL_CONTROLLER_28NM = CxlControllerPower()

@@ -1,0 +1,22 @@
+"""Energy-efficiency metrics (tokens per Joule, Figure 15c)."""
+
+from __future__ import annotations
+
+__all__ = ["energy_per_token", "tokens_per_joule"]
+
+
+def energy_per_token(average_power_w: float, throughput_tokens_per_s: float) -> float:
+    """Joules consumed per generated token."""
+    if average_power_w < 0:
+        raise ValueError("power must be non-negative")
+    if throughput_tokens_per_s <= 0:
+        raise ValueError("throughput must be positive")
+    return average_power_w / throughput_tokens_per_s
+
+
+def tokens_per_joule(average_power_w: float, throughput_tokens_per_s: float) -> float:
+    """Tokens generated per Joule of system energy."""
+    energy = energy_per_token(average_power_w, throughput_tokens_per_s)
+    if energy == 0:
+        return float("inf")
+    return 1.0 / energy

@@ -1,0 +1,106 @@
+"""GPU power and clock-throttling model (paper Figure 15b).
+
+The paper measures A100 board power with ``nvidia-smi`` in 100 ms intervals:
+during vLLM initialisation the SM clock sits at its 1410 MHz maximum because
+utilisation is low; in the prefill stage high SM utilisation makes the power
+manager throttle the clock to stay inside the 300 W TDP; in the decoding
+stage the lower utilisation lets the clock rise again while memory bandwidth
+keeps the board near the TDP.  This model reproduces those three regimes and
+provides the per-phase average power used in the energy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["GpuPowerSample", "GpuPowerModel", "A100_POWER"]
+
+
+@dataclass(frozen=True)
+class GpuPowerSample:
+    """One sampled point of the board-power / clock trace."""
+
+    time_s: float
+    phase: str
+    sm_clock_mhz: float
+    board_power_w: float
+
+
+@dataclass(frozen=True)
+class GpuPowerModel:
+    """Phase-level power behaviour of one data-centre GPU."""
+
+    name: str = "A100-80GB"
+    tdp_w: float = 300.0
+    max_sm_clock_mhz: float = 1410.0
+    #: Clock the power manager settles at during compute-saturated prefill.
+    prefill_sm_clock_mhz: float = 1095.0
+    #: Clock during the memory-bound decoding stage.
+    decode_sm_clock_mhz: float = 1330.0
+    idle_power_w: float = 85.0
+    init_power_w: float = 120.0
+    #: Fraction of TDP drawn on average during each phase.
+    prefill_power_fraction: float = 0.99
+    decode_power_fraction: float = 0.95
+
+    def phase_power_w(self, phase: str) -> float:
+        """Average board power of one GPU in the given phase."""
+        if phase == "prefill":
+            return self.tdp_w * self.prefill_power_fraction
+        if phase == "decode":
+            return self.tdp_w * self.decode_power_fraction
+        if phase == "init":
+            return self.init_power_w
+        if phase == "idle":
+            return self.idle_power_w
+        raise ValueError(f"unknown phase {phase!r}")
+
+    def phase_clock_mhz(self, phase: str) -> float:
+        if phase == "prefill":
+            return self.prefill_sm_clock_mhz
+        if phase == "decode":
+            return self.decode_sm_clock_mhz
+        if phase in ("init", "idle"):
+            return self.max_sm_clock_mhz
+        raise ValueError(f"unknown phase {phase!r}")
+
+    def trace(
+        self,
+        init_s: float,
+        prefill_s: float,
+        decode_s: float,
+        sample_interval_s: float = 0.1,
+    ) -> List[GpuPowerSample]:
+        """A sampled power/clock trace over the three phases (Figure 15b)."""
+        if min(init_s, prefill_s, decode_s) < 0 or sample_interval_s <= 0:
+            raise ValueError("durations must be non-negative and the interval positive")
+        samples: List[GpuPowerSample] = []
+        time = 0.0
+        for phase, duration in (("init", init_s), ("prefill", prefill_s),
+                                ("decode", decode_s)):
+            steps = max(int(round(duration / sample_interval_s)), 1) if duration > 0 else 0
+            for _ in range(steps):
+                samples.append(GpuPowerSample(
+                    time_s=time,
+                    phase=phase,
+                    sm_clock_mhz=self.phase_clock_mhz(phase),
+                    board_power_w=self.phase_power_w(phase),
+                ))
+                time += sample_interval_s
+        return samples
+
+    def average_power_w(self, prefill_s: float, decode_s: float, num_gpus: int = 1) -> float:
+        """Time-weighted average power of ``num_gpus`` GPUs over a query."""
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        total = prefill_s + decode_s
+        if total <= 0:
+            raise ValueError("phase durations must sum to a positive time")
+        energy = (self.phase_power_w("prefill") * prefill_s
+                  + self.phase_power_w("decode") * decode_s)
+        return num_gpus * energy / total
+
+
+#: Default A100 80GB power model.
+A100_POWER = GpuPowerModel()

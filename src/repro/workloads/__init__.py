@@ -1,0 +1,23 @@
+"""Workload generation and service-level evaluation.
+
+The evaluation uses fixed-shape queries (512 prompt / 3584 decode tokens for
+the main results) and a ShareGPT-like length distribution for the NeuPIM
+comparison.  The real ShareGPT dataset is not redistributable, so
+``sharegpt_like_queries`` generates a deterministic synthetic trace with the
+same summary statistics (log-normal prompt and output lengths with the means
+reported for the dataset).
+"""
+
+from repro.workloads.queries import Query, fixed_queries, sharegpt_like_queries
+from repro.workloads.batching import max_feasible_batch, split_into_batches
+from repro.workloads.sla import SlaReport, evaluate_sla
+
+__all__ = [
+    "Query",
+    "fixed_queries",
+    "sharegpt_like_queries",
+    "max_feasible_batch",
+    "split_into_batches",
+    "SlaReport",
+    "evaluate_sla",
+]

@@ -1,0 +1,46 @@
+"""Batch formation under memory-capacity constraints (vLLM-style)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.models.config import ModelConfig
+from repro.models.memory import ModelMemoryProfile
+from repro.workloads.queries import Query
+
+__all__ = ["max_feasible_batch", "split_into_batches"]
+
+
+def max_feasible_batch(
+    model: ModelConfig,
+    memory_budget_bytes: int,
+    context_length: int,
+    requested_batch: int | None = None,
+) -> int:
+    """Largest batch whose weights + KV caches fit the budget.
+
+    When ``requested_batch`` is given the result is capped at it, mirroring
+    how the paper runs the GPU baseline at batch 128 unless memory forces a
+    smaller batch (Figure 1).
+    """
+    profile = ModelMemoryProfile(model)
+    feasible = profile.max_batch_size(memory_budget_bytes, context_length)
+    if feasible <= 0:
+        raise MemoryError(
+            f"{model.name} does not fit in {memory_budget_bytes / 2**30:.0f} GiB "
+            f"at context {context_length}"
+        )
+    if requested_batch is not None:
+        if requested_batch <= 0:
+            raise ValueError("requested batch must be positive")
+        return min(feasible, requested_batch)
+    return feasible
+
+
+def split_into_batches(queries: Sequence[Query], batch_size: int) -> List[List[Query]]:
+    """Partition a query trace into consecutive batches."""
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    if not queries:
+        return []
+    return [list(queries[i:i + batch_size]) for i in range(0, len(queries), batch_size)]

@@ -1,0 +1,69 @@
+"""Query definitions and synthetic trace generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["Query", "fixed_queries", "sharegpt_like_queries"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One inference request: a prompt and a number of tokens to generate."""
+
+    prompt_tokens: int
+    decode_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens <= 0 or self.decode_tokens <= 0:
+            raise ValueError("prompt and decode token counts must be positive")
+
+    @property
+    def total_context(self) -> int:
+        return self.prompt_tokens + self.decode_tokens
+
+
+def fixed_queries(count: int, prompt_tokens: int = 512, decode_tokens: int = 3584) -> List[Query]:
+    """A batch of identical queries (the paper's main evaluation shape)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return [Query(prompt_tokens, decode_tokens) for _ in range(count)]
+
+
+def sharegpt_like_queries(
+    count: int,
+    seed: int = 2025,
+    mean_prompt_tokens: float = 161.0,
+    mean_decode_tokens: float = 338.0,
+    sigma: float = 0.8,
+    max_context: int = 2048,
+) -> List[Query]:
+    """A deterministic synthetic trace with ShareGPT-like length statistics.
+
+    Prompt and output lengths follow log-normal distributions whose means
+    match the commonly reported ShareGPT averages (~161 prompt tokens, ~338
+    output tokens); lengths are clipped so the total stays within
+    ``max_context``.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if mean_prompt_tokens <= 0 or mean_decode_tokens <= 0 or sigma <= 0:
+        raise ValueError("length statistics must be positive")
+    rng = np.random.default_rng(seed)
+
+    def lengths(mean: float) -> np.ndarray:
+        mu = np.log(mean) - sigma**2 / 2.0
+        values = rng.lognormal(mean=mu, sigma=sigma, size=count)
+        return np.maximum(values.astype(int), 1)
+
+    prompts = lengths(mean_prompt_tokens)
+    outputs = lengths(mean_decode_tokens)
+    queries = []
+    for prompt, output in zip(prompts, outputs):
+        prompt = int(min(prompt, max_context - 1))
+        output = int(min(output, max_context - prompt))
+        queries.append(Query(max(prompt, 1), max(output, 1)))
+    return queries

@@ -1,0 +1,44 @@
+"""Shared fixtures: scaled-down models and systems that keep tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CentConfig
+from repro.models.config import ModelConfig
+
+
+@pytest.fixture
+def tiny_model() -> ModelConfig:
+    """A Llama-shaped model small enough for functional simulation."""
+    return ModelConfig(
+        name="tiny-llama",
+        num_layers=4,
+        d_model=64,
+        num_heads=4,
+        num_kv_heads=2,
+        d_ff=128,
+        vocab_size=512,
+        max_context=64,
+    )
+
+
+@pytest.fixture
+def small_model() -> ModelConfig:
+    """A mid-sized model used by performance-path tests (still fast)."""
+    return ModelConfig(
+        name="small-llama",
+        num_layers=8,
+        d_model=1024,
+        num_heads=16,
+        num_kv_heads=4,
+        d_ff=2816,
+        vocab_size=32000,
+        max_context=2048,
+    )
+
+
+@pytest.fixture
+def small_config() -> CentConfig:
+    """A 4-device CENT configuration with few context samples."""
+    return CentConfig(num_devices=4, context_samples=2)

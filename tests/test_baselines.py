@@ -1,0 +1,146 @@
+"""Unit tests for the GPU, CXL-PNM, AttAcc and NeuPIM baselines."""
+
+import pytest
+
+from repro.baselines.attacc import ATTACC_8GPU_8PIM, AttAccSystem
+from repro.baselines.cxl_pnm import CxlPnmSystem
+from repro.baselines.gpu import A100_80GB, GPUConfig, GPUSystem
+from repro.baselines.neupim import NEUPIM_8GPU_8PIM, NeuPimSystem
+from repro.baselines.roofline import AcceleratorEnvelope
+from repro.models.config import GPT3_175B, LLAMA2_7B, LLAMA2_70B, OPT_66B
+
+
+class TestGpuSystem:
+    def test_a100_envelope(self):
+        assert A100_80GB.memory_bytes == 80 * 1024**3
+        assert A100_80GB.bf16_tflops == 312.0
+        assert A100_80GB.tdp_w == 300.0
+
+    def test_model_must_fit(self):
+        with pytest.raises(MemoryError):
+            GPUSystem(LLAMA2_70B, num_gpus=1)
+        GPUSystem(LLAMA2_70B, num_gpus=4)
+
+    def test_max_batch_shrinks_with_context(self):
+        gpu = GPUSystem(LLAMA2_70B, num_gpus=4)
+        assert gpu.max_batch_size(4096) > gpu.max_batch_size(32768)
+
+    def test_decode_latency_grows_with_batch_and_context(self):
+        gpu = GPUSystem(LLAMA2_70B, num_gpus=4)
+        assert gpu.decode_step_latency_s(64, 4096) > gpu.decode_step_latency_s(16, 4096)
+        assert gpu.decode_step_latency_s(64, 8192) > gpu.decode_step_latency_s(64, 2048)
+
+    def test_throughput_saturates_with_batch(self):
+        # Figure 1: throughput grows with batch but with diminishing returns
+        # as the KV traffic dominates.
+        gpu = GPUSystem(LLAMA2_70B, num_gpus=4)
+        t32 = gpu.decode_throughput(32, 4096)
+        t128 = gpu.decode_throughput(128, 4096)
+        assert t128 > t32
+        assert t128 < 4 * t32
+
+    def test_prefill_is_compute_bound(self):
+        gpu = GPUSystem(LLAMA2_70B, num_gpus=4)
+        prefill_tps = gpu.prefill_throughput(32, 512)
+        decode_tps = gpu.decode_throughput(32, 4096)
+        assert prefill_tps > decode_tps
+
+    def test_decode_utilization_is_low(self):
+        gpu = GPUSystem(LLAMA2_70B, num_gpus=4)
+        assert gpu.decode_compute_utilization(128, 4096) < 0.4
+
+    def test_query_latency_includes_decode_growth(self):
+        gpu = GPUSystem(LLAMA2_7B, num_gpus=1)
+        short = gpu.query_latency_s(8, 512, 128)
+        long = gpu.query_latency_s(8, 512, 3584)
+        assert long > short * 10
+
+    def test_multi_gpu_derating(self):
+        single = GPUSystem(LLAMA2_7B, num_gpus=1)
+        quad = GPUSystem(LLAMA2_7B, num_gpus=4)
+        assert single.tp_efficiency == 1.0
+        assert quad.tp_efficiency < 1.0
+        assert quad.aggregate_bandwidth_gbps < 4 * single.aggregate_bandwidth_gbps
+
+    def test_end_to_end_throughput_positive(self):
+        gpu = GPUSystem(LLAMA2_7B, num_gpus=1)
+        assert gpu.end_to_end_throughput(32, 512, 512) > 0
+
+    def test_invalid_arguments(self):
+        gpu = GPUSystem(LLAMA2_7B, num_gpus=1)
+        with pytest.raises(ValueError):
+            gpu.decode_step_latency_s(0, 1024)
+        with pytest.raises(ValueError):
+            gpu.prefill_latency_s(1, 0)
+        with pytest.raises(ValueError):
+            GPUConfig(gemm_bandwidth_efficiency=0.0)
+
+
+class TestRooflineEnvelope:
+    def test_decode_bandwidth_bound(self):
+        envelope = AcceleratorEnvelope("test", tflops=100.0, memory_bandwidth_gbps=1000.0,
+                                       memory_capacity_bytes=512 * 1024**3)
+        latency = envelope.decode_step_latency_s(OPT_66B, batch_size=1, context_length=512)
+        weights_time = 2 * OPT_66B.total_params / (1000e9 * 0.7)
+        assert latency == pytest.approx(weights_time, rel=0.2)
+
+    def test_max_batch(self):
+        envelope = AcceleratorEnvelope("test", tflops=100.0, memory_bandwidth_gbps=1000.0,
+                                       memory_capacity_bytes=512 * 1024**3)
+        assert envelope.max_batch_size(OPT_66B, 1088) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorEnvelope("bad", tflops=0.0, memory_bandwidth_gbps=1.0,
+                                memory_capacity_bytes=1)
+
+
+class TestCxlPnm:
+    def test_figure17_configurations(self):
+        one = CxlPnmSystem(num_devices=1)
+        eight = CxlPnmSystem(num_devices=8)
+        assert one.tflops == pytest.approx(8.2)
+        assert one.memory_capacity_bytes == 512 * 1024**3
+        assert eight.memory_bandwidth_tbps == pytest.approx(8.8, rel=0.01)
+
+    def test_throughput_grows_with_devices(self):
+        small = CxlPnmSystem(1).end_to_end_throughput(OPT_66B, 64, 1024)
+        large = CxlPnmSystem(32).end_to_end_throughput(OPT_66B, 64, 1024)
+        assert large > small
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ValueError):
+            CxlPnmSystem(num_devices=0)
+
+
+class TestGpuPimBaselines:
+    def test_attacc_power(self):
+        system = AttAccSystem(GPT3_175B)
+        expected = 8 * 300 + 8 * ATTACC_8GPU_8PIM.pim_device_power_w
+        assert system.system_power_w == pytest.approx(expected)
+
+    def test_attacc_batching_helps_short_sequences(self):
+        system = AttAccSystem(GPT3_175B)
+        assert (system.end_to_end_throughput(256, 128, 128)
+                > system.end_to_end_throughput(64, 128, 128))
+
+    def test_attacc_long_context_hurts(self):
+        system = AttAccSystem(GPT3_175B)
+        assert (system.decode_step_latency_s(64, 4096)
+                > system.decode_step_latency_s(64, 256))
+
+    def test_neupim_overlap_faster_than_attacc_structure(self):
+        attacc = AttAccSystem(GPT3_175B)
+        neupim = NeuPimSystem(GPT3_175B)
+        # With the same batch/context, NeuPIM's dual-row-buffer overlap makes
+        # its decode step no slower than AttAcc's.
+        assert (neupim.decode_step_latency_s(128, 2048)
+                <= attacc.decode_step_latency_s(128, 2048) * 1.05)
+
+    def test_neupim_max_batch_positive(self):
+        assert NeuPimSystem(GPT3_175B).max_batch_size(2048) >= 1
+
+    def test_neupim_config_validation(self):
+        assert NEUPIM_8GPU_8PIM.overlap_fraction < 1.0
+        with pytest.raises(ValueError):
+            NeuPimSystem(GPT3_175B).decode_step_latency_s(0, 128)

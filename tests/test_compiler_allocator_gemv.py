@@ -1,0 +1,134 @@
+"""Unit tests for the weight allocator and the GEMV compiler."""
+
+import pytest
+
+from repro.compiler.allocator import ChannelAllocator
+from repro.compiler.gemv import compile_gemv
+from repro.dram.geometry import GDDR6_PIM_GEOMETRY
+from repro.isa.instructions import Opcode
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        allocator = ChannelAllocator()
+        first = allocator.allocate_matrix("a", rows_per_bank=4, columns=1024)
+        second = allocator.allocate_matrix("b", rows_per_bank=4, columns=1024)
+        assert first.base_row == 0
+        assert second.base_row == first.end_row
+
+    def test_wide_matrix_spans_whole_rows(self):
+        allocator = ChannelAllocator()
+        placement = allocator.allocate_matrix("wide", rows_per_bank=2, columns=4096)
+        # 4096 elements = 256 column accesses = 4 DRAM rows per matrix row.
+        assert placement.columns_per_matrix_row == 256
+        assert placement.dram_rows == 8
+
+    def test_narrow_matrix_packs_rows(self):
+        allocator = ChannelAllocator()
+        placement = allocator.allocate_matrix("narrow", rows_per_bank=16, columns=128)
+        # 128 elements = 8 columns; 8 matrix rows fit in a 64-column DRAM row.
+        assert placement.columns_per_matrix_row == 8
+        assert placement.dram_rows == 2
+
+    def test_duplicate_name_rejected(self):
+        allocator = ChannelAllocator()
+        allocator.allocate_matrix("w", rows_per_bank=1, columns=64)
+        with pytest.raises(ValueError):
+            allocator.allocate_matrix("w", rows_per_bank=1, columns=64)
+
+    def test_capacity_overflow_raises(self):
+        allocator = ChannelAllocator()
+        with pytest.raises(MemoryError):
+            allocator.allocate_matrix("huge", rows_per_bank=20000, columns=2048)
+
+    def test_utilization_tracks_usage(self):
+        allocator = ChannelAllocator()
+        assert allocator.utilization() == 0.0
+        allocator.allocate_matrix("w", rows_per_bank=1024, columns=1024)
+        assert 0.0 < allocator.utilization() <= 1.0
+        assert allocator.used_bytes_per_channel > 0
+
+    def test_lookup(self):
+        allocator = ChannelAllocator()
+        allocator.allocate_matrix("w", rows_per_bank=1, columns=64)
+        assert allocator.placement("w").name == "w"
+        with pytest.raises(KeyError):
+            allocator.placement("missing")
+
+    def test_invalid_dimensions(self):
+        allocator = ChannelAllocator()
+        with pytest.raises(ValueError):
+            allocator.allocate_matrix("w", rows_per_bank=0, columns=64)
+
+
+class TestGemvCompiler:
+    def test_instruction_mix_follows_figure11(self):
+        op = compile_gemv("gemv", out_dim=256, in_dim=512, num_channels=2)
+        opcodes = [inst.opcode for inst in op.program]
+        assert Opcode.WR_GB in opcodes
+        assert Opcode.WR_BIAS in opcodes
+        assert Opcode.MAC_ABK in opcodes
+        assert Opcode.RD_MAC in opcodes
+        # The vector is loaded before any MAC touches it.
+        assert opcodes.index(Opcode.WR_GB) < opcodes.index(Opcode.MAC_ABK)
+
+    def test_mac_micro_ops_cover_matrix(self):
+        out_dim, in_dim, channels = 1024, 2048, 4
+        op = compile_gemv("gemv", out_dim, in_dim, channels)
+        elements_per_channel = (out_dim // channels) * in_dim
+        covered = op.mac_micro_ops * 16 * GDDR6_PIM_GEOMETRY.num_banks
+        assert covered >= elements_per_channel
+        assert covered <= elements_per_channel * 1.2
+
+    def test_flops_and_bytes(self):
+        op = compile_gemv("gemv", out_dim=128, in_dim=256, num_channels=1)
+        assert op.flops == 2 * 128 * 256
+        assert op.dram_bytes_read == 128 * 256 * 2
+
+    def test_repeat_scales_work(self):
+        single = compile_gemv("g1", out_dim=256, in_dim=128, num_channels=2, repeat=1)
+        repeated = compile_gemv("g2", out_dim=256, in_dim=128, num_channels=2, repeat=4)
+        assert repeated.mac_micro_ops == 4 * single.mac_micro_ops
+        assert repeated.flops == 4 * single.flops
+
+    def test_one_rd_mac_per_sweep_per_repeat(self):
+        out_dim, channels = 512, 2
+        op = compile_gemv("gemv", out_dim, 128, channels)
+        sweeps = out_dim // channels // GDDR6_PIM_GEOMETRY.num_banks
+        assert op.program.stats.count(Opcode.RD_MAC) == sweeps
+
+    def test_register_ids_stay_in_range(self):
+        op = compile_gemv("gemv", out_dim=8192, in_dim=4096, num_channels=2)
+        for inst in op.program:
+            if inst.opcode is Opcode.MAC_ABK:
+                assert 0 <= inst.reg_id < 32
+
+    def test_addresses_stay_inside_placement(self):
+        allocator = ChannelAllocator()
+        op = compile_gemv("gemv", out_dim=2048, in_dim=4096, num_channels=2,
+                          allocator=allocator)
+        placement = allocator.placement("gemv")
+        for inst in op.program:
+            if inst.opcode is Opcode.MAC_ABK:
+                assert placement.base_row <= inst.row < placement.end_row
+                assert 0 <= inst.column < GDDR6_PIM_GEOMETRY.columns_per_row
+
+    def test_shared_allocator_accumulates(self):
+        allocator = ChannelAllocator()
+        compile_gemv("a", out_dim=512, in_dim=1024, num_channels=2, allocator=allocator)
+        compile_gemv("b", out_dim=512, in_dim=1024, num_channels=2, allocator=allocator)
+        assert allocator.placement("b").base_row > allocator.placement("a").base_row
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            compile_gemv("g", out_dim=0, in_dim=16, num_channels=1)
+        with pytest.raises(ValueError):
+            compile_gemv("g", out_dim=16, in_dim=16, num_channels=0)
+        with pytest.raises(ValueError):
+            compile_gemv("g", out_dim=16, in_dim=16, num_channels=1, repeat=0)
+
+    def test_more_channels_less_work_per_channel(self):
+        few = compile_gemv("few", out_dim=4096, in_dim=1024, num_channels=2)
+        many = compile_gemv("many", out_dim=4096, in_dim=1024, num_channels=8)
+        assert many.mac_micro_ops < few.mac_micro_ops
+        assert many.flops == few.flops

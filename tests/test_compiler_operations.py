@@ -1,0 +1,160 @@
+"""Unit tests for the non-GEMV operation compilers and the block compiler."""
+
+import pytest
+
+from repro.compiler.attention import compile_attention
+from repro.compiler.elementwise import compile_activation, compile_elementwise_multiply
+from repro.compiler.ffn import compile_ffn
+from repro.compiler.normalization import compile_rmsnorm
+from repro.compiler.operations import CompiledOperation, PnmTask, PnmUnit
+from repro.compiler.rope import compile_rope
+from repro.compiler.transformer import compile_transformer_block
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.models.config import FfnKind, LLAMA2_70B
+
+
+class TestOperationDataStructures:
+    def test_pnm_task_validation(self):
+        with pytest.raises(ValueError):
+            PnmTask(PnmUnit.EXPONENT, num_elements=0)
+        with pytest.raises(ValueError):
+            PnmTask(PnmUnit.RISCV, num_elements=4)  # missing routine
+
+    def test_compiled_operation_validation(self):
+        with pytest.raises(ValueError):
+            CompiledOperation("op", Program(), parallel_channels=0)
+        with pytest.raises(ValueError):
+            CompiledOperation("op", Program(), flops=-1)
+
+
+class TestElementwise:
+    def test_elementwise_covers_elements(self):
+        op = compile_elementwise_multiply("mul", num_elements=4096, num_channels=4)
+        micro_ops = op.program.stats.micro_ops(Opcode.EW_MUL)
+        # 4 bank groups x 16 lanes per micro-op, 1024 elements per channel.
+        assert micro_ops * 64 >= 1024
+
+    def test_activation_uses_lut(self):
+        op = compile_activation("act", num_elements=11008, num_channels=4,
+                                function="sigmoid")
+        assert op.program.stats.count(Opcode.AF) > 0
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            compile_activation("act", 128, 1, function="unknown")
+
+
+class TestRmsNormAndRope:
+    def test_rmsnorm_structure(self):
+        op = compile_rmsnorm("norm", hidden_dim=8192, num_channels=4)
+        assert op.program.stats.count(Opcode.MAC_ABK) >= 1   # dot product
+        assert op.program.stats.count(Opcode.EW_MUL) >= 2    # two scalings
+        units = {task.unit for task in op.pnm_tasks}
+        assert PnmUnit.RISCV in units                         # 1/sqrt
+        routines = {task.routine for task in op.pnm_tasks if task.routine}
+        assert "sqrt_inv" in routines
+
+    def test_rope_structure(self):
+        op = compile_rope("rope", num_elements=8192 + 1024, num_channels=4)
+        assert op.program.stats.count(Opcode.EW_MUL) >= 2
+        routines = [task.routine for task in op.pnm_tasks]
+        assert "rope_pack" in routines and "rope_unpack" in routines
+
+
+class TestAttention:
+    def test_gqa_unrolls_to_gemvs(self):
+        programs = compile_attention(LLAMA2_70B, context_length=1024, num_channels=8)
+        # The score GEMV reads the KV cache once per query head (8 query heads
+        # share each KV head), so the traffic is group_size times the cache.
+        kv_bytes = LLAMA2_70B.num_kv_heads * 1024 * LLAMA2_70B.head_dim * 2
+        assert programs.scores.dram_bytes_read == kv_bytes * LLAMA2_70B.gqa_group_size
+
+    def test_softmax_maps_to_pnm(self):
+        programs = compile_attention(LLAMA2_70B, context_length=512, num_channels=8)
+        units = {task.unit for task in programs.softmax.pnm_tasks}
+        assert PnmUnit.EXPONENT in units
+        assert PnmUnit.REDUCTION in units
+        assert PnmUnit.RISCV in units
+
+    def test_work_scales_with_context(self):
+        short = compile_attention(LLAMA2_70B, context_length=512, num_channels=8)
+        long = compile_attention(LLAMA2_70B, context_length=4096, num_channels=8)
+        assert long.scores.mac_micro_ops > short.scores.mac_micro_ops
+
+    def test_invalid_context_rejected(self):
+        with pytest.raises(ValueError):
+            compile_attention(LLAMA2_70B, context_length=0, num_channels=8)
+
+
+class TestFfn:
+    def test_gated_ffn_has_three_gemvs(self, small_model):
+        programs = compile_ffn(small_model, num_channels=4)
+        names = [op.name for op in programs.operations]
+        assert {"ffn.w1", "ffn.w3", "ffn.w2"} <= set(names)
+        assert "ffn.silu" in names
+
+    def test_standard_ffn_has_two_gemvs(self, small_model):
+        import dataclasses
+        opt_like = dataclasses.replace(small_model, ffn_kind=FfnKind.STANDARD,
+                                       activation="gelu")
+        programs = compile_ffn(opt_like, num_channels=4)
+        names = [op.name for op in programs.operations]
+        assert {"ffn.fc1", "ffn.fc2"} <= set(names)
+        assert "ffn.w3" not in names
+
+
+class TestTransformerBlock:
+    def test_block_structure(self, small_model):
+        block = compile_transformer_block(small_model, context_length=256, num_channels=4)
+        names = [op.name for op in block.operations]
+        for expected in ("attn.rmsnorm", "attn.wq", "attn.wk", "attn.wv", "attn.rope",
+                         "attention.scores", "attention.softmax", "attention.output",
+                         "attn.wo", "attn.residual", "ffn.rmsnorm", "ffn.w1",
+                         "ffn.residual"):
+            assert expected in names
+
+    def test_mac_fraction_dominates_small_model(self, small_model):
+        block = compile_transformer_block(small_model, context_length=1024, num_channels=4)
+        assert block.mac_fraction() > 0.95
+
+    def test_mac_fraction_exceeds_99_percent_for_llama7b(self):
+        from repro.models.config import LLAMA2_7B
+
+        block = compile_transformer_block(LLAMA2_7B, context_length=2048, num_channels=8)
+        assert block.mac_fraction() > 0.99
+
+    def test_flops_match_model_estimate(self, small_model):
+        context = 1024
+        block = compile_transformer_block(small_model, context, num_channels=4)
+        expected = small_model.decode_flops_per_token(context) / small_model.num_layers
+        # The block-level FLOP count should be within ~25% of the analytical
+        # per-layer estimate (rounding to 16-element granules, GQA unrolling).
+        assert block.total_flops == pytest.approx(expected, rel=0.3)
+
+    def test_attention_channels_split(self, small_model):
+        block = compile_transformer_block(small_model, context_length=256,
+                                          num_channels=16, attention_channels=4)
+        assert block.num_channels == 16
+        assert block.attention_channels == 4
+        scores = block.operation("attention.scores")
+        assert scores.parallel_channels == 4
+        wq = block.operation("attn.wq")
+        assert wq.parallel_channels == 16
+
+    def test_context_bounds_checked(self, small_model):
+        with pytest.raises(ValueError):
+            compile_transformer_block(small_model, context_length=small_model.max_context + 1,
+                                      num_channels=4)
+        with pytest.raises(ValueError):
+            compile_transformer_block(small_model, context_length=0, num_channels=4)
+
+    def test_unknown_operation_lookup(self, small_model):
+        block = compile_transformer_block(small_model, context_length=128, num_channels=4)
+        with pytest.raises(KeyError):
+            block.operation("does.not.exist")
+
+    def test_instruction_count_positive(self, small_model):
+        block = compile_transformer_block(small_model, context_length=128, num_channels=4)
+        assert block.total_instructions > 100
+        assert block.total_dram_bytes > 0

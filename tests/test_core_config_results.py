@@ -1,0 +1,99 @@
+"""Unit tests for the CENT configuration and result containers."""
+
+import pytest
+
+from repro.core.config import CentConfig
+from repro.core.results import InferenceResult, LatencyBreakdown
+
+
+class TestCentConfig:
+    def test_paper_defaults(self):
+        config = CentConfig()
+        assert config.num_devices == 32
+        assert config.total_channels == 1024
+        assert config.memory_capacity_bytes == 512 * 1024**3
+
+    def test_peak_rates_match_table4(self):
+        config = CentConfig()
+        # Table 4: 512 TB/s internal bandwidth, 512 TFLOPS PIM, 96 TFLOPS PNM.
+        assert config.peak_internal_bandwidth_tbps == pytest.approx(524.3, rel=0.05)
+        assert config.peak_pim_tflops == pytest.approx(524.3, rel=0.05)
+        assert config.peak_pnm_tflops == pytest.approx(98.3, rel=0.1)
+
+    def test_scaled_copy(self):
+        config = CentConfig(num_devices=32, context_samples=3)
+        scaled = config.scaled(8)
+        assert scaled.num_devices == 8
+        assert scaled.context_samples == 3
+        assert scaled.timing is config.timing
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CentConfig(num_devices=0)
+        with pytest.raises(ValueError):
+            CentConfig(context_samples=1)
+        with pytest.raises(ValueError):
+            CentConfig(kv_occupancy=0.0)
+        with pytest.raises(ValueError):
+            CentConfig(device_bus_gbps=0.0)
+
+
+class TestLatencyBreakdown:
+    def test_total_and_fractions(self):
+        breakdown = LatencyBreakdown(pim_ns=80, pnm_ns=10, cxl_ns=5, host_ns=5)
+        assert breakdown.total_ns == 100
+        fractions = breakdown.fractions()
+        assert fractions["pim"] == pytest.approx(0.8)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_scaled_and_plus(self):
+        a = LatencyBreakdown(pim_ns=10, pnm_ns=2, cxl_ns=1, host_ns=0)
+        b = a.scaled(3.0).plus(a)
+        assert b.pim_ns == pytest.approx(40)
+        assert b.total_ns == pytest.approx(4 * a.total_ns)
+
+    def test_zero_breakdown_fractions(self):
+        assert LatencyBreakdown().fractions()["pim"] == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(pim_ns=-1)
+
+
+class TestInferenceResult:
+    def _result(self) -> InferenceResult:
+        return InferenceResult(
+            model_name="m", plan_name="PP=4", prompt_tokens=100, decode_tokens=400,
+            queries_in_flight=4, prefill_latency_s=1.0, decode_latency_s=9.0,
+            prefill_throughput_tokens_per_s=400.0, decode_throughput_tokens_per_s=200.0,
+        )
+
+    def test_query_latency(self):
+        assert self._result().query_latency_s == pytest.approx(10.0)
+
+    def test_token_latency(self):
+        assert self._result().token_latency_s == pytest.approx(9.0 / 400)
+
+    def test_end_to_end_throughput(self):
+        result = self._result()
+        assert result.end_to_end_throughput_tokens_per_s == pytest.approx(4 * 400 / 10.0)
+
+    def test_tokens_per_joule(self):
+        result = self._result()
+        assert result.tokens_per_joule == 0.0
+        result.energy_per_token_j = 0.5
+        assert result.tokens_per_joule == pytest.approx(2.0)
+
+    def test_tokens_per_dollar(self):
+        result = self._result()
+        tokens_per_hour = result.end_to_end_throughput_tokens_per_s * 3600
+        assert result.tokens_per_dollar(2.0) == pytest.approx(tokens_per_hour / 2.0)
+        with pytest.raises(ValueError):
+            result.tokens_per_dollar(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InferenceResult("m", "p", prompt_tokens=-1, decode_tokens=1,
+                            queries_in_flight=1, prefill_latency_s=0, decode_latency_s=0,
+                            prefill_throughput_tokens_per_s=0,
+                            decode_throughput_tokens_per_s=0)

@@ -1,0 +1,103 @@
+"""Functional-simulator tests: PIM dataflow numerics versus NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.core.functional import (
+    FunctionalGemv,
+    FunctionalTransformerBlock,
+    ReferenceTransformerBlock,
+    make_block_weights,
+)
+from repro.models.config import ModelConfig
+from repro.numerics.bf16 import bf16_quantize
+
+
+@pytest.fixture
+def tiny(tiny_model) -> ModelConfig:
+    return tiny_model
+
+
+class TestFunctionalGemv:
+    def test_matches_numpy_dot(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(0, 0.1, size=(48, 64)).astype(np.float32)
+        vector = rng.normal(0, 1.0, size=64).astype(np.float32)
+        result = FunctionalGemv().execute(matrix, vector)
+        expected = bf16_quantize(matrix) @ bf16_quantize(vector)
+        assert np.allclose(result, expected, rtol=0.03, atol=0.03)
+
+    def test_non_multiple_dimensions_padded(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(10, 25)).astype(np.float32)
+        vector = rng.normal(size=25).astype(np.float32)
+        result = FunctionalGemv(num_banks=4).execute(matrix, vector)
+        expected = matrix @ vector
+        assert np.allclose(result, expected, rtol=0.05, atol=0.05)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalGemv().execute(np.zeros((4, 8)), np.zeros(4))
+
+    def test_invalid_bank_count(self):
+        with pytest.raises(ValueError):
+            FunctionalGemv(num_banks=0)
+
+
+class TestWeights:
+    def test_shapes_follow_model(self, tiny):
+        weights = make_block_weights(tiny)
+        assert weights["wq"].shape == (tiny.d_model, tiny.d_model)
+        assert weights["wk"].shape == (tiny.kv_dim, tiny.d_model)
+        assert weights["w1"].shape == (tiny.d_ff, tiny.d_model)
+
+    def test_deterministic_by_seed(self, tiny):
+        a = make_block_weights(tiny, seed=3)
+        b = make_block_weights(tiny, seed=3)
+        c = make_block_weights(tiny, seed=4)
+        assert np.array_equal(a["wq"], b["wq"])
+        assert not np.array_equal(a["wq"], c["wq"])
+
+
+class TestBlockAgainstReference:
+    def test_single_token_matches(self, tiny):
+        weights = make_block_weights(tiny, seed=11)
+        reference = ReferenceTransformerBlock(tiny, weights)
+        functional = FunctionalTransformerBlock(tiny, weights)
+        x = np.random.default_rng(11).normal(0, 1, tiny.d_model).astype(np.float32)
+        out_ref = reference.forward(x, position=0)
+        out_fun = functional.forward(x, position=0)
+        scale = np.max(np.abs(out_ref)) + 1e-6
+        assert np.max(np.abs(out_ref - out_fun)) / scale < 0.05
+
+    def test_multi_token_divergence_bounded(self, tiny):
+        weights = make_block_weights(tiny, seed=5)
+        reference = ReferenceTransformerBlock(tiny, weights)
+        functional = FunctionalTransformerBlock(tiny, weights)
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 1, tiny.d_model).astype(np.float32)
+        x_ref, x_fun = x.copy(), x.copy()
+        for position in range(3):
+            x_ref = reference.forward(x_ref, position)
+            x_fun = functional.forward(x_fun, position)
+        scale = np.max(np.abs(x_ref)) + 1e-6
+        assert np.max(np.abs(x_ref - x_fun)) / scale < 0.08
+
+    def test_kv_cache_grows(self, tiny):
+        weights = make_block_weights(tiny)
+        functional = FunctionalTransformerBlock(tiny, weights)
+        x = np.zeros(tiny.d_model, dtype=np.float32)
+        functional.forward(x, 0)
+        functional.forward(x, 1)
+        assert len(functional.key_cache) == 2
+        assert len(functional.value_cache) == 2
+
+    def test_reference_residual_path(self, tiny):
+        # With zero weights everywhere, the block must reduce to the identity
+        # (both residual connections pass the input through).
+        weights = {key: np.zeros_like(value) for key, value in make_block_weights(tiny).items()}
+        weights["rms1"] = np.ones(tiny.d_model, dtype=np.float32)
+        weights["rms2"] = np.ones(tiny.d_model, dtype=np.float32)
+        reference = ReferenceTransformerBlock(tiny, weights)
+        x = np.random.default_rng(0).normal(0, 1, tiny.d_model).astype(np.float32)
+        assert np.allclose(reference.forward(x, 0), x, atol=1e-5)

@@ -1,0 +1,115 @@
+"""Unit tests for the cost models (die, packaging, NRE, TCO)."""
+
+import pytest
+
+from repro.cost.die import DieCostModel, WaferSpec
+from repro.cost.nre import NreBreakdown, NreCostModel
+from repro.cost.packaging import PackagingCostModel
+from repro.cost.tco import (
+    CENT_SYSTEM_COST,
+    GPU_SYSTEM_COST,
+    SystemCost,
+    TcoModel,
+    cent_controller_unit_cost,
+)
+
+
+class TestDieCost:
+    def test_dies_per_wafer_reasonable(self):
+        model = DieCostModel()
+        dies = model.dies_per_wafer(19.0)
+        # A 300 mm wafer holds on the order of 3000 dies of ~19 mm^2.
+        assert 2500 < dies < 4000
+
+    def test_yield_decreases_with_area(self):
+        model = DieCostModel()
+        assert model.yield_fraction(19.0) > model.yield_fraction(400.0)
+        assert 0.9 < model.yield_fraction(19.0) <= 1.0
+
+    def test_cost_per_good_die_about_three_dollars(self):
+        # Paper: $9,346 wafer, 19 mm^2 die -> a few dollars per die.
+        assert 2.0 < DieCostModel().cost_per_good_die(19.0) < 5.0
+
+    def test_larger_die_costs_more(self):
+        model = DieCostModel()
+        assert model.cost_per_good_die(100.0) > model.cost_per_good_die(19.0)
+
+    def test_invalid_area_rejected(self):
+        with pytest.raises(ValueError):
+            DieCostModel().cost_per_good_die(0.0)
+
+    def test_wafer_validation(self):
+        with pytest.raises(ValueError):
+            WaferSpec(cost_usd=0.0)
+
+
+class TestPackaging:
+    def test_2d_fraction(self):
+        assert PackagingCostModel().package_2d(100.0) == pytest.approx(29.0)
+
+    def test_2_5d_more_expensive_than_2d_for_small_chips(self):
+        packaging = PackagingCostModel()
+        assert packaging.package_2_5d(800.0, num_dies=9) > packaging.package_2d(3.0)
+
+    def test_invalid_inputs(self):
+        packaging = PackagingCostModel()
+        with pytest.raises(ValueError):
+            packaging.package_2d(-1.0)
+        with pytest.raises(ValueError):
+            packaging.package_2_5d(0.0, 1)
+
+
+class TestNre:
+    def test_total_in_paper_range(self):
+        # Figure 12 shows a total NRE around $20-25M.
+        assert 15.0 < NreBreakdown().total_musd < 30.0
+
+    def test_amortisation(self):
+        model = NreCostModel()
+        assert model.per_unit_cost(3_000_000) == pytest.approx(
+            NreBreakdown().total_usd / 3e6)
+        assert model.per_unit_cost(1_000_000) > model.per_unit_cost(5_000_000)
+
+    def test_cost_vs_volume_sweep(self):
+        sweep = NreCostModel().cost_vs_volume([1.0, 3.0, 5.0])
+        assert sorted(sweep.values(), reverse=True) == list(sweep.values())
+
+    def test_invalid_volume(self):
+        with pytest.raises(ValueError):
+            NreCostModel().per_unit_cost(0)
+
+
+class TestTco:
+    def test_controller_unit_cost_near_paper(self):
+        breakdown = cent_controller_unit_cost()
+        assert breakdown["total"] == pytest.approx(11.9, rel=0.2)
+        assert breakdown["total"] == pytest.approx(
+            breakdown["die"] + breakdown["packaging"] + breakdown["nre"])
+
+    def test_system_hardware_costs_match_table6(self):
+        assert CENT_SYSTEM_COST.hardware_cost_usd == pytest.approx(14_873, rel=0.05)
+        assert GPU_SYSTEM_COST.hardware_cost_usd == pytest.approx(42_128, rel=0.01)
+
+    def test_owned_tco_rates_match_table4(self):
+        tco = TcoModel()
+        assert tco.cent_tco_per_hour(32, 1160.0, owned=True) == pytest.approx(0.73, abs=0.1)
+        assert tco.gpu_tco_per_hour(4, 1400.0, owned=True) == pytest.approx(1.76, abs=0.2)
+
+    def test_rental_tco_gpu_much_higher(self):
+        tco = TcoModel()
+        assert tco.gpu_tco_per_hour(4, 1400.0, owned=False) > 4.0
+        assert tco.cent_tco_per_hour(32, 1160.0, owned=False) < 1.5
+
+    def test_tokens_per_dollar(self):
+        tco = TcoModel()
+        assert tco.tokens_per_dollar(1000.0, 1.0) == pytest.approx(3.6e6)
+        with pytest.raises(ValueError):
+            tco.tokens_per_dollar(1000.0, 0.0)
+
+    def test_operational_cost(self):
+        tco = TcoModel()
+        assert tco.operational_cost_per_hour(1000.0) == pytest.approx(0.139)
+
+    def test_system_cost_validation(self):
+        with pytest.raises(ValueError):
+            SystemCost("bad", components_usd={"x": -1.0})

@@ -1,0 +1,104 @@
+"""Unit tests for the CXL flit and port models."""
+
+import pytest
+
+from repro.cxl.flit import (
+    FLIT_PAYLOAD_BYTES,
+    Flit,
+    FlitType,
+    HeaderSlotCode,
+    PBR_FLIT_BYTES,
+    flits_for_payload,
+)
+from repro.cxl.port import ChannelName, CxlPort, VirtualChannel
+
+
+class TestFlit:
+    def test_sizes(self):
+        assert PBR_FLIT_BYTES == 256
+        assert FLIT_PAYLOAD_BYTES < PBR_FLIT_BYTES
+
+    def test_unicast_destination(self):
+        flit = Flit(FlitType.REQUEST_WITH_DATA, source_device=0, destination_device=5,
+                    payload_bytes=64)
+        assert flit.destinations == (5,)
+        assert flit.expects_acknowledgements == 1
+
+    def test_broadcast_mask_decoding(self):
+        flit = Flit(FlitType.REQUEST_WITH_DATA, source_device=0,
+                    header_code=HeaderSlotCode.BROADCAST,
+                    device_id_mask=0b1011, payload_bytes=16)
+        assert flit.destinations == (0, 1, 3)
+        assert flit.expects_acknowledgements == 3
+
+    def test_read_request_expects_no_write_ack(self):
+        flit = Flit(FlitType.REQUEST, source_device=1, destination_device=2)
+        assert flit.expects_acknowledgements == 0
+
+    def test_unicast_with_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Flit(FlitType.REQUEST, source_device=0, destination_device=1, device_id_mask=3)
+
+    def test_broadcast_without_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Flit(FlitType.REQUEST, source_device=0, header_code=HeaderSlotCode.BROADCAST)
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Flit(FlitType.REQUEST_WITH_DATA, source_device=0, destination_device=1,
+                 payload_bytes=PBR_FLIT_BYTES + 1)
+
+    def test_flits_for_payload(self):
+        assert flits_for_payload(0) == 1
+        assert flits_for_payload(FLIT_PAYLOAD_BYTES) == 1
+        assert flits_for_payload(FLIT_PAYLOAD_BYTES + 1) == 2
+        assert flits_for_payload(16 * 1024) == -(-16 * 1024 // FLIT_PAYLOAD_BYTES)
+        with pytest.raises(ValueError):
+            flits_for_payload(-1)
+
+
+class TestPort:
+    def test_transmit_and_drain(self):
+        port = CxlPort(device_id=0)
+        flit = Flit(FlitType.REQUEST_WITH_DATA, source_device=0, destination_device=1,
+                    payload_bytes=32)
+        port.transmit(flit)
+        assert port.flits_transmitted == 1
+        drained = port.drain_tx()
+        assert drained == [flit]
+        assert port.drain_tx() == []
+
+    def test_transmit_foreign_flit_rejected(self):
+        port = CxlPort(device_id=0)
+        with pytest.raises(ValueError):
+            port.transmit(Flit(FlitType.REQUEST, source_device=3, destination_device=0))
+
+    def test_receive_routes_to_virtual_channels(self):
+        port = CxlPort(device_id=1)
+        from_remote = Flit(FlitType.REQUEST_WITH_DATA, source_device=0,
+                           destination_device=1, payload_bytes=8)
+        from_host = Flit(FlitType.REQUEST_WITH_DATA, source_device=1,
+                         destination_device=1, payload_bytes=8)
+        port.receive(from_remote)
+        port.receive(from_host, from_host=True)
+        assert port.pending(ChannelName.RX_R2L_RWD) == 1
+        assert port.pending(ChannelName.RX_H2L_RWD) == 1
+        assert port.flits_received == 2
+
+    def test_acknowledgement_lands_on_ndr_channel(self):
+        port = CxlPort(device_id=2)
+        ack = Flit(FlitType.NO_DATA_RESPONSE, source_device=5, destination_device=2)
+        port.receive(ack)
+        assert port.pending(ChannelName.RX_R2L_NDR) == 1
+        assert port.pop(ChannelName.RX_R2L_NDR) is ack
+
+    def test_virtual_channel_overflow(self):
+        channel = VirtualChannel(ChannelName.RX_R2L_RWD, capacity=1)
+        flit = Flit(FlitType.REQUEST, source_device=0, destination_device=1)
+        channel.push(flit)
+        with pytest.raises(RuntimeError):
+            channel.push(flit)
+
+    def test_empty_channel_pop_returns_none(self):
+        channel = VirtualChannel(ChannelName.TX_L2H_DRS)
+        assert channel.pop() is None

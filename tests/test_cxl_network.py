@@ -1,0 +1,138 @@
+"""Unit tests for the CXL link model, switch, transactions and primitives."""
+
+import pytest
+
+from repro.cxl.flit import Flit, FlitType, HeaderSlotCode
+from repro.cxl.link import CXL_3_0_LINK, CxlLinkParameters
+from repro.cxl.primitives import all_reduce, broadcast, gather, multicast, send_receive
+from repro.cxl.switch import CxlSwitch
+from repro.cxl.transactions import Transaction, TransactionType, transaction_latency_ns
+
+
+class TestLinkParameters:
+    def test_device_link_is_x4(self):
+        assert CXL_3_0_LINK.device_bandwidth_gbps == pytest.approx(4 * 7.75)
+
+    def test_host_link_is_x16(self):
+        assert CXL_3_0_LINK.host_bandwidth_gbps == pytest.approx(16 * 7.75)
+
+    def test_multicast_derating(self):
+        assert CXL_3_0_LINK.multicast_device_bandwidth_gbps == pytest.approx(
+            CXL_3_0_LINK.device_bandwidth_gbps / 2)
+        assert CXL_3_0_LINK.multicast_latency_ns == pytest.approx(
+            2 * CXL_3_0_LINK.base_latency_ns)
+
+    def test_transfer_time_scales_with_size(self):
+        small = CXL_3_0_LINK.transfer_ns(1024)
+        large = CXL_3_0_LINK.transfer_ns(1024 * 1024)
+        assert large > small
+
+    def test_cxl_latency_below_rdma(self):
+        # The paper motivates CXL with ~8x lower latency than RDMA (~2 us).
+        assert CXL_3_0_LINK.base_latency_ns < 2000 / 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CxlLinkParameters(base_latency_ns=0)
+        with pytest.raises(ValueError):
+            CxlLinkParameters(multicast_bandwidth_derating=1.5)
+
+
+class TestTransactions:
+    def test_write_transaction_latency(self):
+        transaction = Transaction(TransactionType.WRITE, 0, 1, payload_bytes=16 * 1024)
+        latency = transaction_latency_ns(transaction)
+        assert latency > CXL_3_0_LINK.base_latency_ns
+        assert transaction.num_flits > 1
+
+    def test_multicast_transaction_slower(self):
+        transaction = Transaction(TransactionType.WRITE, 0, 1, payload_bytes=16 * 1024)
+        assert (transaction_latency_ns(transaction, multicast=True)
+                > transaction_latency_ns(transaction, multicast=False))
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(TransactionType.READ, 0, 1, payload_bytes=-1)
+
+
+class TestSwitch:
+    def test_unicast_routing(self):
+        switch = CxlSwitch(num_devices=4)
+        flit = Flit(FlitType.REQUEST_WITH_DATA, source_device=0, destination_device=2,
+                    payload_bytes=64)
+        assert switch.route(flit) == [2]
+        assert switch.stats.unicast_flits == 1
+
+    def test_broadcast_routing_and_acks(self):
+        switch = CxlSwitch(num_devices=8)
+        flit = Flit(FlitType.REQUEST_WITH_DATA, source_device=0,
+                    header_code=HeaderSlotCode.BROADCAST,
+                    device_id_mask=0b11111110, payload_bytes=64)
+        destinations = switch.route(flit)
+        assert destinations == list(range(1, 8))
+        assert switch.acknowledge(flit) == 7
+        assert switch.stats.broadcast_flits == 1
+
+    def test_unknown_destination_rejected(self):
+        switch = CxlSwitch(num_devices=2)
+        with pytest.raises(ValueError):
+            switch.route(Flit(FlitType.REQUEST, source_device=0, destination_device=5))
+
+    def test_lane_capacity_enforced(self):
+        # A 144-lane switch supports at most 32 x4 devices plus the x16 host.
+        CxlSwitch(num_devices=32)
+        with pytest.raises(ValueError):
+            CxlSwitch(num_devices=33)
+
+    def test_node_limit_enforced(self):
+        with pytest.raises(ValueError):
+            CxlSwitch(num_devices=5000, num_lanes=10**6, num_ports=10**6)
+
+    def test_larger_switch_supports_more_devices(self):
+        switch = CxlSwitch(num_devices=64, num_lanes=272, num_ports=136)
+        assert switch.num_devices == 64
+
+    def test_point_to_point_vs_replicated(self):
+        switch = CxlSwitch(num_devices=4)
+        assert switch.replicated_ns(16 * 1024, fan_out=3) > switch.point_to_point_ns(16 * 1024)
+
+
+class TestPrimitives:
+    def test_send_receive_volume(self):
+        result = send_receive(16 * 1024)
+        assert result.bytes_moved == 16 * 1024
+        assert result.fan == 1
+
+    def test_broadcast_counts_copies(self):
+        result = broadcast(16 * 1024, num_destinations=31)
+        assert result.bytes_moved == 16 * 1024 * 31
+        assert result.latency_ns > send_receive(16 * 1024).latency_ns
+
+    def test_multicast_same_cost_as_broadcast(self):
+        assert multicast(4096, 7).latency_ns == pytest.approx(broadcast(4096, 7).latency_ns)
+
+    def test_gather_serialises_on_receiver(self):
+        few = gather(512, num_senders=4)
+        many = gather(512, num_senders=31)
+        assert many.latency_ns > few.latency_ns
+        assert many.bytes_moved == 512 * 31
+
+    def test_all_reduce_is_gather_plus_broadcast(self):
+        result = all_reduce(16 * 1024, num_devices=8)
+        expected = (gather(16 * 1024, 7).latency_ns + broadcast(16 * 1024, 7).latency_ns)
+        assert result.latency_ns == pytest.approx(expected)
+
+    def test_all_reduce_single_device_free(self):
+        assert all_reduce(1024, num_devices=1).latency_ns == 0.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast(1024, 0)
+        with pytest.raises(ValueError):
+            gather(1024, 0)
+
+    def test_pp_transfer_negligible_vs_block_time(self):
+        # The paper notes the 16 KB inter-stage transfer is negligible
+        # compared to PIM latencies (hundreds of microseconds).
+        result = send_receive(16 * 1024)
+        assert result.latency_ns < 10_000

@@ -1,0 +1,149 @@
+"""Unit tests for the DRAM command scheduler (bank state + channel timing)."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.channel import CommandStats, DRAMChannel
+from repro.dram.commands import CommandType, DRAMCommand
+from repro.dram.timing import GDDR6_PIM_TIMINGS
+
+
+@pytest.fixture
+def channel() -> DRAMChannel:
+    return DRAMChannel(apply_refresh_derating=False)
+
+
+class TestBank:
+    def test_activate_then_column(self):
+        bank = Bank(index=0, timing=GDDR6_PIM_TIMINGS)
+        bank.record_activate(0.0, row=5)
+        assert bank.open_row == 5
+        assert bank.earliest_column(0.0, is_write=False) == pytest.approx(18.0)
+        assert bank.earliest_column(0.0, is_write=True) == pytest.approx(14.0)
+
+    def test_column_without_open_row_fails(self):
+        bank = Bank(index=0, timing=GDDR6_PIM_TIMINGS)
+        with pytest.raises(RuntimeError):
+            bank.earliest_column(0.0, is_write=False)
+
+    def test_precharge_respects_ras(self):
+        bank = Bank(index=0, timing=GDDR6_PIM_TIMINGS)
+        bank.record_activate(10.0, row=1)
+        assert bank.earliest_precharge(10.0) == pytest.approx(37.0)
+
+    def test_reactivation_respects_rc(self):
+        bank = Bank(index=0, timing=GDDR6_PIM_TIMINGS)
+        bank.record_activate(0.0, row=1)
+        bank.record_precharge(27.0)
+        assert bank.earliest_activate(0.0) == pytest.approx(43.0)
+
+
+class TestCommandStats:
+    def test_record_and_count(self):
+        stats = CommandStats()
+        stats.record(CommandType.ACT, 3)
+        stats.record(CommandType.ACT)
+        assert stats.count(CommandType.ACT) == 4
+        assert stats.total == 4
+
+    def test_merge(self):
+        a, b = CommandStats(), CommandStats()
+        a.record(CommandType.RD, 2)
+        b.record(CommandType.RD, 3)
+        b.record(CommandType.WR, 1)
+        a.merge(b)
+        assert a.count(CommandType.RD) == 5
+        assert a.count(CommandType.WR) == 1
+
+
+class TestDRAMChannel:
+    def test_read_after_activate_waits_trcd(self, channel):
+        activate_time = channel.issue(DRAMCommand(CommandType.ACT, bank=0, row=3))
+        read_time = channel.issue(DRAMCommand(CommandType.RD, bank=0, row=3, column=0))
+        assert read_time - activate_time >= GDDR6_PIM_TIMINGS.t_rcd_rd
+
+    def test_all_bank_macs_pipeline_at_tccds(self, channel):
+        # Back-to-back MACab commands pipeline at tCCD_S (the 1 GHz PU clock),
+        # one 256-bit operand per bank per nanosecond.
+        channel.issue(DRAMCommand(CommandType.ACT_ALL, row=0))
+        first = channel.issue(DRAMCommand(CommandType.MAC_ALL, row=0, column=0))
+        second = channel.issue(DRAMCommand(CommandType.MAC_ALL, row=0, column=1))
+        assert second - first == pytest.approx(GDDR6_PIM_TIMINGS.t_ccd_s)
+
+    def test_same_bank_columns_use_ccd_l(self, channel):
+        channel.issue(DRAMCommand(CommandType.ACT, bank=0, row=0))
+        first = channel.issue(DRAMCommand(CommandType.RD, bank=0, column=0))
+        second = channel.issue(DRAMCommand(CommandType.RD, bank=0, column=1))
+        assert second - first >= GDDR6_PIM_TIMINGS.t_ccd_l
+
+    def test_activate_all_waits_for_all_banks(self, channel):
+        channel.issue(DRAMCommand(CommandType.ACT, bank=0, row=0))
+        time = channel.issue(DRAMCommand(CommandType.ACT_ALL, row=1))
+        # Bank 0 was just activated, so the all-bank activate must wait tRC.
+        assert time >= GDDR6_PIM_TIMINGS.t_rc
+
+    def test_column_burst_matches_individual_issues(self):
+        burst_channel = DRAMChannel(apply_refresh_derating=False)
+        loop_channel = DRAMChannel(apply_refresh_derating=False)
+        burst_channel.issue(DRAMCommand(CommandType.ACT_ALL, row=0))
+        loop_channel.issue(DRAMCommand(CommandType.ACT_ALL, row=0))
+        burst_last = burst_channel.issue_column_burst(
+            DRAMCommand(CommandType.MAC_ALL, row=0, column=0), count=32)
+        loop_last = 0.0
+        for column in range(32):
+            loop_last = loop_channel.issue(
+                DRAMCommand(CommandType.MAC_ALL, row=0, column=column))
+        assert burst_last == pytest.approx(loop_last)
+        assert (burst_channel.stats.count(CommandType.MAC_ALL)
+                == loop_channel.stats.count(CommandType.MAC_ALL))
+
+    def test_column_burst_rejects_non_column(self, channel):
+        with pytest.raises(ValueError):
+            channel.issue_column_burst(DRAMCommand(CommandType.ACT, row=0), count=4)
+
+    def test_column_burst_rejects_zero_count(self, channel):
+        with pytest.raises(ValueError):
+            channel.issue_column_burst(DRAMCommand(CommandType.RD, bank=0), count=0)
+
+    def test_stats_accumulate(self, channel):
+        channel.issue(DRAMCommand(CommandType.ACT_ALL, row=0))
+        for column in range(4):
+            channel.issue(DRAMCommand(CommandType.MAC_ALL, row=0, column=column))
+        channel.issue(DRAMCommand(CommandType.PRE_ALL))
+        assert channel.stats.count(CommandType.ACT_ALL) == 1
+        assert channel.stats.count(CommandType.MAC_ALL) == 4
+        assert channel.stats.count(CommandType.PRE_ALL) == 1
+
+    def test_reset_time_keeps_stats(self, channel):
+        channel.issue(DRAMCommand(CommandType.ACT_ALL, row=0))
+        channel.reset_time()
+        assert channel.now_ns == 0.0
+        assert channel.stats.count(CommandType.ACT_ALL) == 1
+
+    def test_completion_time_adds_cas_latency(self, channel):
+        completion = channel.completion_time(100.0)
+        assert completion == pytest.approx(100.0 + GDDR6_PIM_TIMINGS.t_cl
+                                           + GDDR6_PIM_TIMINGS.burst_ns)
+
+    def test_refresh_derating_increases_completion(self):
+        derated = DRAMChannel(apply_refresh_derating=True)
+        plain = DRAMChannel(apply_refresh_derating=False)
+        assert derated.completion_time(1000.0) > plain.completion_time(1000.0)
+
+    def test_peak_internal_bandwidth(self, channel):
+        # 16 banks x 32 B per 1 ns = 512 GB/s per channel.
+        assert channel.peak_internal_bandwidth_gbps() == pytest.approx(512.0)
+
+    def test_peak_compute(self, channel):
+        # 16 PUs x 32 FLOP per 1 ns = 512 GFLOPS per channel.
+        assert channel.peak_compute_gflops() == pytest.approx(512.0)
+
+    def test_mac_requires_open_rows(self, channel):
+        with pytest.raises(RuntimeError):
+            channel.issue(DRAMCommand(CommandType.MAC_ALL, row=0, column=0))
+
+    def test_refresh_advances_time(self, channel):
+        channel.issue(DRAMCommand(CommandType.ACT_ALL, row=0))
+        before = channel.now_ns
+        after = channel.issue(DRAMCommand(CommandType.REF))
+        assert after >= before

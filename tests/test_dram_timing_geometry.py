@@ -1,0 +1,78 @@
+"""Unit tests for DRAM timing parameters and channel geometry."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY
+from repro.dram.timing import GDDR6_PIM_TIMINGS, TimingParameters
+
+
+class TestTimingParameters:
+    def test_paper_table4_values(self):
+        t = GDDR6_PIM_TIMINGS
+        assert t.t_rcd_rd == 18.0
+        assert t.t_ras == 27.0
+        assert t.t_cl == 25.0
+        assert t.t_rcd_wr == 14.0
+        assert t.t_ccd_s == 1.0
+        assert t.t_rp == 16.0
+
+    def test_row_cycle_is_ras_plus_rp(self):
+        assert GDDR6_PIM_TIMINGS.t_rc == pytest.approx(43.0)
+
+    def test_pu_clock_is_one_ghz(self):
+        assert GDDR6_PIM_TIMINGS.pu_clock_ghz == pytest.approx(1.0)
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            TimingParameters(t_rcd_rd=-1.0)
+
+    def test_ccd_l_must_cover_ccd_s(self):
+        with pytest.raises(ValueError):
+            TimingParameters(t_ccd_s=2.0, t_ccd_l=1.0)
+
+    def test_ras_must_cover_rcd(self):
+        with pytest.raises(ValueError):
+            TimingParameters(t_rcd_rd=30.0, t_ras=20.0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GDDR6_PIM_TIMINGS.t_cl = 10.0
+
+
+class TestChannelGeometry:
+    def test_sixteen_banks(self):
+        assert GDDR6_PIM_GEOMETRY.num_banks == 16
+
+    def test_channel_capacity_is_512mb(self):
+        assert GDDR6_PIM_GEOMETRY.channel_capacity_bytes == 512 * 1024 * 1024
+
+    def test_columns_per_row(self):
+        # 2 KB row / 32 B access = 64 column accesses per row.
+        assert GDDR6_PIM_GEOMETRY.columns_per_row == 64
+
+    def test_elements_per_access(self):
+        assert GDDR6_PIM_GEOMETRY.elements_per_access == 16
+
+    def test_global_buffer_slots(self):
+        assert GDDR6_PIM_GEOMETRY.global_buffer_slots == 64
+
+    def test_rows_per_bank(self):
+        assert GDDR6_PIM_GEOMETRY.rows_per_bank == 16384
+
+    def test_sixteen_gigabit_module_doubles_capacity(self):
+        geometry = ChannelGeometry(bank_capacity_bytes=64 * 1024 * 1024)
+        assert geometry.channel_capacity_bytes == 2 * GDDR6_PIM_GEOMETRY.channel_capacity_bytes
+
+    def test_invalid_bank_count_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(num_bank_groups=0)
+
+    def test_capacity_must_be_whole_rows(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(bank_capacity_bytes=1000, row_size_bytes=2048)
+
+    def test_access_granularity_holds_bf16(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(access_granularity_bits=100)

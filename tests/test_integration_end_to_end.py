@@ -1,0 +1,125 @@
+"""Integration tests across the full stack (compiler -> timing -> system).
+
+These use scaled-down models and small device counts so the whole file runs
+in a few seconds, while still exercising the complete pipeline the paper's
+evaluation relies on: compilation, per-block simulation, parallelisation,
+inference aggregation, power annotation and baseline comparison.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.gpu import GPUSystem
+from repro.core.config import CentConfig
+from repro.core.system import CentSystem
+from repro.mapping.parallelism import HybridParallel, PipelineParallel, TensorParallel
+from repro.models.config import LLAMA2_7B, ModelConfig
+
+
+@pytest.fixture(scope="module")
+def model() -> ModelConfig:
+    return ModelConfig(name="integration-llama", num_layers=8, d_model=1024,
+                       num_heads=16, num_kv_heads=4, d_ff=2816, vocab_size=32000,
+                       max_context=2048)
+
+
+@pytest.fixture(scope="module")
+def system(model) -> CentSystem:
+    return CentSystem(CentConfig(num_devices=8, context_samples=2), model)
+
+
+class TestMappingTradeoffs:
+    @pytest.fixture(scope="class")
+    def llama7b_system(self):
+        return CentSystem(CentConfig(num_devices=8, context_samples=2), LLAMA2_7B)
+
+    def test_throughput_vs_latency_tradeoff(self, llama7b_system):
+        pp = llama7b_system.run_inference(128, 384, plan=PipelineParallel(8, LLAMA2_7B),
+                                          with_power=False)
+        tp = llama7b_system.run_inference(128, 384, plan=TensorParallel(8),
+                                          with_power=False)
+        hybrid = llama7b_system.run_inference(128, 384, plan=HybridParallel(8, 2),
+                                              with_power=False)
+        # Pipeline parallelism maximises throughput, tensor parallelism
+        # minimises latency, the hybrid sits in between on both axes.
+        assert pp.decode_throughput_tokens_per_s > hybrid.decode_throughput_tokens_per_s
+        assert hybrid.decode_throughput_tokens_per_s > tp.decode_throughput_tokens_per_s
+        assert tp.query_latency_s < hybrid.query_latency_s < pp.query_latency_s
+
+    def test_cxl_share_grows_with_tp(self, llama7b_system):
+        pp = llama7b_system.token_breakdown(PipelineParallel(8, LLAMA2_7B), 512).fractions()
+        tp = llama7b_system.token_breakdown(TensorParallel(8), 512).fractions()
+        assert tp["cxl"] > pp["cxl"]
+        assert pp["pim"] > 0.5
+        assert tp["pim"] > 0.25
+
+    def test_scaling_devices_improves_throughput(self, model):
+        small = CentSystem(CentConfig(num_devices=4, context_samples=2), model)
+        large = CentSystem(CentConfig(num_devices=8, context_samples=2), model)
+        small_result = small.run_inference(128, 384, plan=PipelineParallel(4, model),
+                                           with_power=False)
+        large_result = large.run_inference(128, 384, plan=PipelineParallel(8, model),
+                                           with_power=False)
+        assert (large_result.decode_throughput_tokens_per_s
+                > small_result.decode_throughput_tokens_per_s)
+
+
+class TestContextBehaviour:
+    def test_longer_context_lowers_throughput(self, system, model):
+        plan = PipelineParallel(8, model)
+        short = system.run_inference(64, 192, plan=plan, with_power=False)
+        long = system.run_inference(512, 1536, plan=plan, with_power=False)
+        assert long.decode_throughput_tokens_per_s < short.decode_throughput_tokens_per_s
+
+    def test_prefill_and_decode_throughput_similar(self, system, model):
+        # CENT processes prompt tokens through the same pipeline as decode
+        # tokens, so the two throughputs are of the same order (unlike GPUs).
+        result = system.run_inference(256, 256, plan=PipelineParallel(8, model),
+                                      with_power=False)
+        ratio = (result.prefill_throughput_tokens_per_s
+                 / result.decode_throughput_tokens_per_s)
+        assert 0.8 < ratio < 2.0
+
+
+class TestPowerIntegration:
+    def test_power_scales_with_devices_used(self, model):
+        system = CentSystem(CentConfig(num_devices=8, context_samples=2), model)
+        result = system.run_inference(128, 384, plan=PipelineParallel(8, model))
+        assert result.average_power_w > 100.0  # host + devices
+        assert result.energy_per_token_j > 0
+        assert result.tokens_per_joule > 0
+
+
+class TestAgainstGpuBaseline:
+    def test_cent_wins_decode_loses_prefill(self):
+        # The paper's headline qualitative result on a small deployment:
+        # CENT outperforms the GPU on memory-bound decoding, the GPU wins the
+        # compute-bound prefill stage.
+        cent = CentSystem(CentConfig(num_devices=8, context_samples=2), LLAMA2_7B)
+        cent_result = cent.run_inference(512, 1024, plan=PipelineParallel(8, LLAMA2_7B),
+                                         with_power=False)
+        gpu = GPUSystem(LLAMA2_7B, num_gpus=1)
+        batch = min(gpu.max_batch_size(1536), 128)
+        gpu_prefill_tps = gpu.prefill_throughput(batch, 512)
+        gpu_decode_tps = batch * 1024 / (
+            gpu.query_latency_s(batch, 512, 1024) - gpu.prefill_latency_s(batch, 512))
+        assert cent_result.decode_throughput_tokens_per_s > gpu_decode_tps
+        assert cent_result.prefill_throughput_tokens_per_s < gpu_prefill_tps
+
+
+class TestLongContextCapacity:
+    def test_denser_modules_enable_longer_contexts(self):
+        from repro.dram.geometry import ChannelGeometry
+        from repro.models.config import LLAMA2_13B
+
+        plan = PipelineParallel(8, LLAMA2_13B)
+        small = CentSystem(CentConfig(num_devices=8, context_samples=2), LLAMA2_13B)
+        with pytest.raises(MemoryError):
+            small.run_inference(512, 3584, plan=plan, with_power=False)
+        dense = CentSystem(
+            CentConfig(num_devices=8, context_samples=2,
+                       geometry=ChannelGeometry(bank_capacity_bytes=64 * 1024 * 1024)),
+            LLAMA2_13B)
+        result = dense.run_inference(512, 3584, plan=plan, with_power=False)
+        assert result.decode_throughput_tokens_per_s > 0

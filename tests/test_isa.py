@@ -1,0 +1,167 @@
+"""Unit tests for the CENT ISA: instructions, programs and trace encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    ActivationFunction,
+    BroadcastCxl,
+    ElementwiseMul,
+    Exponent,
+    MacAllBank,
+    Opcode,
+    Program,
+    ReadMacRegister,
+    ReadSingleBank,
+    RecvCxl,
+    RiscvOp,
+    SendCxl,
+    WriteBias,
+    WriteGlobalBuffer,
+    WriteSingleBank,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+
+
+class TestOpcodes:
+    def test_classification_is_partition(self):
+        for opcode in Opcode:
+            kinds = [opcode.is_pim, opcode.is_pnm, opcode.is_cxl]
+            assert sum(kinds) == 1, f"{opcode} must belong to exactly one class"
+
+    def test_arithmetic_set(self):
+        assert Opcode.MAC_ABK.is_arithmetic
+        assert Opcode.EXP.is_arithmetic
+        assert not Opcode.SEND_CXL.is_arithmetic
+
+    def test_table2_and_table3_covered(self):
+        names = {opcode.value for opcode in Opcode}
+        assert {"MAC_ABK", "EW_MUL", "AF", "EXP", "RED", "ACC", "RISCV",
+                "SEND_CXL", "RECV_CXL", "BCAST_CXL", "WR_SBK", "RD_SBK",
+                "WR_ABK", "COPY_BKGB", "COPY_GBBK", "WR_BIAS", "RD_MAC",
+                "WR_GB"} == names
+
+
+class TestInstructionValidation:
+    def test_mac_requires_positive_op_size(self):
+        with pytest.raises(ValueError):
+            MacAllBank(ch_mask=1, op_size=0)
+
+    def test_mac_register_bounds(self):
+        with pytest.raises(ValueError):
+            MacAllBank(ch_mask=1, op_size=1, reg_id=32)
+
+    def test_channel_mask_required(self):
+        with pytest.raises(ValueError):
+            ElementwiseMul(ch_mask=0, op_size=1)
+
+    def test_riscv_names_routine(self):
+        instruction = RiscvOp(op_size=4, routine="sqrt_inv")
+        assert instruction.routine == "sqrt_inv"
+
+    def test_send_device_id_non_negative(self):
+        with pytest.raises(ValueError):
+            SendCxl(device_id=-1)
+
+    def test_broadcast_fanout_positive(self):
+        with pytest.raises(ValueError):
+            BroadcastCxl(device_count=0)
+
+    def test_micro_op_count_defaults(self):
+        assert MacAllBank(ch_mask=1, op_size=7).micro_op_count == 7
+        assert WriteBias(ch_mask=1).micro_op_count == 1
+
+
+class TestProgram:
+    def _sample_program(self) -> Program:
+        program = Program(label="sample")
+        program.append(WriteGlobalBuffer(ch_mask=3, op_size=8, column=0, rs=0))
+        program.append(WriteBias(ch_mask=3, rs=0))
+        program.append(MacAllBank(ch_mask=3, op_size=64, row=1, column=0, reg_id=0))
+        program.append(ReadMacRegister(ch_mask=3, rd=1, reg_id=0))
+        program.append(Exponent(op_size=4, rd=2, rs=1))
+        return program
+
+    def test_counts(self):
+        program = self._sample_program()
+        assert len(program) == 5
+        assert program.stats.total_instructions == 5
+        assert program.stats.count(Opcode.MAC_ABK) == 1
+        assert program.stats.micro_ops(Opcode.MAC_ABK) == 64
+
+    def test_mac_fraction(self):
+        program = self._sample_program()
+        assert 0 < program.stats.mac_fraction() < 1
+
+    def test_concat(self):
+        program = self._sample_program()
+        combined = program.concat(program)
+        assert len(combined) == 10
+
+    def test_filter(self):
+        program = self._sample_program()
+        pim_only = program.filter(lambda inst: inst.opcode.is_pim)
+        assert len(pim_only) == 4
+
+    def test_indexing_and_iteration(self):
+        program = self._sample_program()
+        assert program[0].opcode is Opcode.WR_GB
+        assert [inst.opcode for inst in program][-1] is Opcode.EXP
+
+    def test_type_checked(self):
+        program = Program()
+        with pytest.raises(TypeError):
+            program.append("MAC_ABK")
+
+
+class TestEncoding:
+    def test_instruction_roundtrip(self):
+        original = MacAllBank(ch_mask=255, op_size=64, row=12, column=8, reg_id=3)
+        decoded = decode_instruction(encode_instruction(original))
+        assert decoded == original
+
+    def test_program_roundtrip(self):
+        program = Program(label="trace-test")
+        program.append(WriteSingleBank(ch_id=1, op_size=2, bank=3, row=4, column=5, rs=6))
+        program.append(ReadSingleBank(ch_id=1, op_size=2, bank=3, row=4, column=7, rd=8))
+        program.append(RecvCxl(num_slots=4))
+        program.append(ActivationFunction(ch_mask=1, af_id=2, reg_id=3))
+        decoded = decode_program(encode_program(program))
+        assert decoded.label == "trace-test"
+        assert len(decoded) == len(program)
+        assert decoded.instructions == program.instructions
+
+    def test_riscv_routine_survives_roundtrip(self):
+        original = RiscvOp(op_size=16, pc=128, rd=1, rs=2, routine="rope_pack")
+        assert decode_instruction(encode_instruction(original)) == original
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            decode_instruction("NOT_AN_OPCODE op_size=1")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            decode_instruction("MAC_ABK bogus=1")
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(ValueError):
+            decode_instruction("MAC_ABK op_size")
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ValueError):
+            decode_instruction("")
+
+    @given(
+        ch_mask=st.integers(min_value=1, max_value=2**32 - 1),
+        op_size=st.integers(min_value=1, max_value=4096),
+        row=st.integers(min_value=0, max_value=16383),
+        column=st.integers(min_value=0, max_value=63),
+        reg_id=st.integers(min_value=0, max_value=31),
+    )
+    def test_mac_roundtrip_property(self, ch_mask, op_size, row, column, reg_id):
+        original = MacAllBank(ch_mask=ch_mask, op_size=op_size, row=row,
+                              column=column, reg_id=reg_id)
+        assert decode_instruction(encode_instruction(original)) == original

@@ -1,0 +1,144 @@
+"""Unit tests for parallelisation plans, placement and the planner."""
+
+import pytest
+
+from repro.dram.geometry import ChannelGeometry
+from repro.mapping.parallelism import (
+    DataParallel,
+    HybridParallel,
+    ParallelismPlan,
+    PipelineParallel,
+    TensorParallel,
+)
+from repro.mapping.placement import placement_for, validate_capacity
+from repro.mapping.planner import plan_for_latency, plan_for_throughput, scalability_plans
+from repro.models.config import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B
+
+
+class TestParallelismPlans:
+    def test_pipeline_parallel_batch_equals_layers(self):
+        plan = PipelineParallel(32, LLAMA2_70B)
+        assert plan.pp_stages == 80
+        assert plan.queries_in_flight == 80
+        assert not plan.is_tensor_parallel
+
+    def test_paper_channel_assignment_for_70b(self):
+        # 80 blocks over 32 devices -> 3 blocks per device, 27 devices used,
+        # 10 channels per block (the paper's configuration).
+        plan = PipelineParallel(32, LLAMA2_70B)
+        assert plan.blocks_per_device(LLAMA2_70B) == 3
+        assert plan.devices_used(LLAMA2_70B) == 27
+        assert plan.fc_channels_per_block(LLAMA2_70B) == 10
+
+    def test_tensor_parallel_uses_all_channels(self):
+        plan = TensorParallel(32)
+        assert plan.is_tensor_parallel
+        assert plan.queries_in_flight == 1
+        assert plan.fc_channels_per_block(LLAMA2_70B) == 32 * 32
+        # Attention is confined to the master device.
+        assert plan.attention_channels_per_block(LLAMA2_70B) == 32
+
+    def test_hybrid_plan(self):
+        plan = HybridParallel(32, tp_devices=8)
+        assert plan.pp_stages == 4
+        assert plan.tp_devices == 8
+        assert plan.blocks_per_stage(LLAMA2_70B) == 20
+
+    def test_hybrid_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            HybridParallel(32, tp_devices=5)
+
+    def test_data_parallel_replicas(self):
+        plan = DataParallel(16, LLAMA2_7B, dp_replicas=2)
+        assert plan.dp_replicas == 2
+        assert plan.devices_per_replica == 8
+        assert plan.queries_in_flight == 2 * LLAMA2_7B.num_layers
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            ParallelismPlan("bad", num_devices=2, tp_devices=4)
+        with pytest.raises(ValueError):
+            ParallelismPlan("bad", num_devices=0)
+
+    def test_cxl_traffic_pp_is_peer_to_peer(self):
+        plan = PipelineParallel(32, LLAMA2_70B)
+        transfers = plan.cxl_transfers_per_block(LLAMA2_70B)
+        assert all(primitive == "send_receive" for primitive, _, _ in transfers)
+
+    def test_cxl_traffic_tp_has_broadcast_and_gather(self):
+        plan = TensorParallel(32)
+        transfers = plan.cxl_transfers_per_block(LLAMA2_70B)
+        primitives = {primitive for primitive, _, _ in transfers}
+        assert primitives == {"broadcast", "gather"}
+        total_bytes = sum(num_bytes for _, num_bytes, _ in transfers)
+        # The paper reports ~135 KB of CXL traffic per Llama2-70B block.
+        assert 64 * 1024 < total_bytes < 256 * 1024
+
+    def test_cxl_traffic_hybrid_uses_multicast(self):
+        plan = HybridParallel(32, tp_devices=8)
+        primitives = {primitive for primitive, _, _ in plan.cxl_transfers_per_block(LLAMA2_70B)}
+        assert "multicast" in primitives
+
+
+class TestPlacement:
+    def test_validate_accepts_paper_configurations(self):
+        validate_capacity(LLAMA2_7B, PipelineParallel(8, LLAMA2_7B))
+        validate_capacity(LLAMA2_13B, PipelineParallel(20, LLAMA2_13B))
+        validate_capacity(LLAMA2_70B, PipelineParallel(32, LLAMA2_70B))
+        validate_capacity(LLAMA2_70B, TensorParallel(32))
+
+    def test_validate_rejects_too_few_devices(self):
+        with pytest.raises(MemoryError):
+            validate_capacity(LLAMA2_70B, PipelineParallel(8, LLAMA2_70B))
+
+    def test_kv_occupancy_relaxes_capacity(self):
+        plan = PipelineParallel(8, LLAMA2_13B)
+        with pytest.raises(MemoryError):
+            validate_capacity(LLAMA2_13B, plan, context_length=4096)
+        validate_capacity(LLAMA2_13B, plan, context_length=4096, kv_occupancy=0.3)
+
+    def test_larger_banks_increase_capacity(self):
+        plan = PipelineParallel(12, LLAMA2_70B)
+        with pytest.raises(MemoryError):
+            validate_capacity(LLAMA2_70B, plan, context_length=4096)
+        big_banks = ChannelGeometry(bank_capacity_bytes=64 * 1024 * 1024)
+        validate_capacity(LLAMA2_70B, plan, context_length=4096, geometry=big_banks)
+
+    def test_placement_covers_every_block(self):
+        plan = PipelineParallel(32, LLAMA2_70B)
+        placements = placement_for(LLAMA2_70B, plan)
+        assert len(placements) == LLAMA2_70B.num_layers
+        assert placements[0].device_index == 0
+        assert placements[-1].device_index == plan.devices_used(LLAMA2_70B) - 1
+        assert all(p.total_bytes > 0 for p in placements)
+
+    def test_tensor_parallel_placement_uses_stage_masters(self):
+        plan = TensorParallel(4)
+        placements = placement_for(LLAMA2_7B, plan)
+        assert {p.device_index for p in placements} == {0}
+        assert placements[0].fc_channels == 4 * 32
+
+
+class TestPlanner:
+    def test_throughput_plan_matches_paper_deployments(self):
+        assert plan_for_throughput(LLAMA2_7B, 8, context_length=4096).dp_replicas == 1
+        assert plan_for_throughput(LLAMA2_70B, 32, context_length=4096).pp_stages == 80
+
+    def test_throughput_plan_uses_dp_at_scale(self):
+        plan = plan_for_throughput(LLAMA2_70B, 128, context_length=4096)
+        assert plan.dp_replicas >= 2
+
+    def test_throughput_plan_rejects_undersized_system(self):
+        with pytest.raises(MemoryError):
+            plan_for_throughput(LLAMA2_70B, 4, context_length=4096)
+
+    def test_latency_plan_is_tensor_parallel(self):
+        plan = plan_for_latency(LLAMA2_70B, 32)
+        assert plan.is_tensor_parallel
+        assert plan.tp_devices == 32
+
+    def test_scalability_plans_cover_counts(self):
+        plans = scalability_plans(LLAMA2_70B, [32, 64])
+        assert len(plans) == 2
+        assert plans[0].num_devices == 32
+        assert plans[1].num_devices == 64

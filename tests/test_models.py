@@ -1,0 +1,110 @@
+"""Unit tests for model configurations and memory sizing."""
+
+import pytest
+
+from repro.models.config import (
+    GPT3_175B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    MODEL_REGISTRY,
+    OPT_66B,
+    AttentionKind,
+    FfnKind,
+    ModelConfig,
+)
+from repro.models.memory import BYTES_PER_PARAM_BF16, ModelMemoryProfile
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize("model, billions", [
+        (LLAMA2_7B, 6.7), (LLAMA2_13B, 13.0), (LLAMA2_70B, 69.0),
+        (OPT_66B, 66.0), (GPT3_175B, 175.0),
+    ])
+    def test_total_params_close_to_published(self, model, billions):
+        assert model.total_params == pytest.approx(billions * 1e9, rel=0.12)
+
+    def test_head_dim(self):
+        assert LLAMA2_70B.head_dim == 128
+        assert LLAMA2_7B.head_dim == 128
+
+    def test_llama70b_uses_gqa(self):
+        assert LLAMA2_70B.attention_kind is AttentionKind.GROUPED_QUERY
+        assert LLAMA2_70B.gqa_group_size == 8
+        assert LLAMA2_70B.kv_dim == 1024
+
+    def test_llama7b_uses_mha(self):
+        assert LLAMA2_7B.attention_kind is AttentionKind.MULTI_HEAD
+        assert LLAMA2_7B.gqa_group_size == 1
+
+    def test_ffn_kinds(self):
+        assert LLAMA2_70B.ffn_kind is FfnKind.GATED
+        assert GPT3_175B.ffn_kind is FfnKind.STANDARD
+
+    def test_registry(self):
+        assert MODEL_REGISTRY["Llama2-70B"] is LLAMA2_70B
+        assert len(MODEL_REGISTRY) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", num_layers=0, d_model=64, num_heads=4, num_kv_heads=2,
+                        d_ff=128, vocab_size=100, max_context=64)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", num_layers=2, d_model=65, num_heads=4, num_kv_heads=2,
+                        d_ff=128, vocab_size=100, max_context=64)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", num_layers=2, d_model=64, num_heads=4, num_kv_heads=3,
+                        d_ff=128, vocab_size=100, max_context=64)
+
+    def test_decode_flops_grow_with_context(self):
+        assert (LLAMA2_7B.decode_flops_per_token(4096)
+                > LLAMA2_7B.decode_flops_per_token(1024))
+
+
+class TestMemoryProfile:
+    def test_llama70b_weights_about_140_gb(self):
+        profile = ModelMemoryProfile(LLAMA2_70B)
+        assert profile.parameter_bytes == pytest.approx(138e9, rel=0.06)
+
+    def test_kv_cache_per_token_llama70b(self):
+        # 2 (K,V) x 80 layers x 1024 kv_dim x 2 bytes = 320 KiB per token.
+        profile = ModelMemoryProfile(LLAMA2_70B)
+        assert profile.kv_cache_bytes_per_token() == 2 * 80 * 1024 * 2
+
+    def test_gqa_shrinks_kv_cache(self):
+        assert (ModelMemoryProfile(LLAMA2_70B).kv_cache_bytes_per_token()
+                < 4 * ModelMemoryProfile(LLAMA2_7B).kv_cache_bytes_per_token())
+
+    def test_block_bytes_partition_totals(self):
+        profile = ModelMemoryProfile(LLAMA2_7B)
+        per_block = profile.block_bytes(batch_size=4, context_length=1024)
+        total = profile.total_bytes(batch_size=4, context_length=1024)
+        assert per_block * LLAMA2_7B.num_layers <= total
+
+    def test_max_batch_size_decreases_with_context(self):
+        profile = ModelMemoryProfile(LLAMA2_70B)
+        memory = 4 * 80 * 1024**3
+        assert (profile.max_batch_size(memory, 4096)
+                > profile.max_batch_size(memory, 32768))
+
+    def test_figure1_memory_requirement_shape(self):
+        # Llama2-70B at 4K context and batch 128 exceeds 320 GB of GPU memory
+        # only slightly; batch 256 clearly exceeds it (Figure 1).
+        profile = ModelMemoryProfile(LLAMA2_70B)
+        gpu_memory = 4 * 80 * 1024**3
+        assert profile.total_bytes(64, 4096) < gpu_memory
+        assert profile.total_bytes(256, 4096) > gpu_memory
+
+    def test_bytes_per_param(self):
+        assert BYTES_PER_PARAM_BF16 == 2
+
+    def test_zero_budget_rejected(self):
+        profile = ModelMemoryProfile(LLAMA2_7B)
+        assert profile.max_batch_size(profile.parameter_bytes, 4096) == 0
+
+    def test_invalid_inputs_rejected(self):
+        profile = ModelMemoryProfile(LLAMA2_7B)
+        with pytest.raises(ValueError):
+            profile.kv_cache_bytes_per_query(0)
+        with pytest.raises(ValueError):
+            profile.total_bytes(0, 128)

@@ -1,0 +1,106 @@
+"""Unit tests for BF16 emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numerics.bf16 import (
+    bf16_bits_to_float,
+    bf16_mac,
+    bf16_quantize,
+    bf16_to_float,
+    float_to_bf16_bits,
+)
+
+
+class TestBitConversion:
+    def test_exact_values_survive(self):
+        values = np.array([0.0, 1.0, -2.0, 0.5, 256.0], dtype=np.float32)
+        assert np.array_equal(bf16_quantize(values), values)
+
+    def test_bits_are_uint16(self):
+        bits = float_to_bf16_bits(np.array([1.0, -1.0], dtype=np.float32))
+        assert bits.dtype == np.uint16
+
+    def test_one_has_expected_pattern(self):
+        assert float_to_bf16_bits(np.array([1.0]))[0] == 0x3F80
+
+    def test_negative_sign_bit(self):
+        assert float_to_bf16_bits(np.array([-1.0]))[0] == 0xBF80
+
+    def test_roundtrip_of_bit_patterns(self):
+        bits = np.arange(0, 0x7F80, 7, dtype=np.uint16)  # positive finite values
+        recovered = float_to_bf16_bits(bf16_bits_to_float(bits))
+        assert np.array_equal(bits, recovered)
+
+    def test_quantization_error_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-100, 100, size=1000).astype(np.float32)
+        quantized = bf16_quantize(values)
+        relative = np.abs(quantized - values) / np.maximum(np.abs(values), 1e-6)
+        assert np.max(relative) < 2 ** -7
+
+    def test_quantization_idempotent(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=100).astype(np.float32)
+        once = bf16_quantize(values)
+        assert np.array_equal(once, bf16_quantize(once))
+
+    def test_bf16_to_float_alias(self):
+        values = np.array([3.14159, -2.71828], dtype=np.float32)
+        assert np.array_equal(bf16_to_float(values), bf16_quantize(values))
+
+    def test_scalar_input(self):
+        assert bf16_quantize(np.float32(1.5)) == 1.5
+
+    def test_zero_preserved(self):
+        assert bf16_quantize(np.array([0.0]))[0] == 0.0
+
+    def test_large_values_keep_exponent(self):
+        value = np.array([3.0e38], dtype=np.float32)
+        assert np.isfinite(bf16_quantize(value))[0]
+
+
+class TestMac:
+    def test_single_mac_matches_dot(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=16).astype(np.float32)
+        b = rng.normal(size=16).astype(np.float32)
+        result = bf16_mac(np.float32(0.0), a, b)
+        expected = float(np.dot(bf16_quantize(a), bf16_quantize(b)))
+        assert result == pytest.approx(expected, rel=1e-6)
+
+    def test_accumulator_added(self):
+        a = np.ones(16, dtype=np.float32)
+        b = np.ones(16, dtype=np.float32)
+        assert bf16_mac(np.float32(10.0), a, b) == pytest.approx(26.0)
+
+    def test_batched_mac(self):
+        a = np.ones((4, 16), dtype=np.float32)
+        b = np.full((4, 16), 2.0, dtype=np.float32)
+        result = bf16_mac(np.zeros(4, dtype=np.float32), a, b)
+        assert np.allclose(result, 32.0)
+
+
+class TestBf16Properties:
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                              width=32), min_size=1, max_size=64))
+    def test_quantization_is_idempotent(self, values):
+        array = np.array(values, dtype=np.float32)
+        once = bf16_quantize(array)
+        assert np.array_equal(once, bf16_quantize(once))
+
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                              width=32), min_size=1, max_size=64))
+    def test_quantization_error_within_half_ulp(self, values):
+        array = np.array(values, dtype=np.float32)
+        quantized = bf16_quantize(array)
+        relative = np.abs(quantized - array) / np.maximum(np.abs(array), 1e-20)
+        # BF16 keeps 8 mantissa bits (7 stored); round-to-nearest keeps the
+        # relative error within 2^-8.
+        assert np.all((relative <= 2 ** -8) | (np.abs(array) < 1e-30))
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32))
+    def test_quantization_preserves_sign(self, value):
+        quantized = float(bf16_quantize(np.float32(value)))
+        assert quantized == 0.0 or np.sign(quantized) == np.sign(value)

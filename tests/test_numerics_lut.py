@@ -1,0 +1,65 @@
+"""Unit tests for the lookup-table activation functions."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.lut import AF_TABLE_IDS, ActivationLUT, gelu, sigmoid, silu
+
+
+class TestReferenceFunctions:
+    def test_sigmoid_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sigmoid_saturation(self):
+        assert sigmoid(np.array([20.0]))[0] == pytest.approx(1.0, abs=1e-6)
+        assert sigmoid(np.array([-20.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_silu_is_x_times_sigmoid(self):
+        x = np.linspace(-4, 4, 17).astype(np.float32)
+        assert np.allclose(silu(x), x * sigmoid(x), atol=1e-6)
+
+    def test_gelu_zero(self):
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gelu_positive_large(self):
+        assert gelu(np.array([6.0]))[0] == pytest.approx(6.0, rel=1e-3)
+
+
+class TestActivationLUT:
+    @pytest.mark.parametrize("function", sorted(AF_TABLE_IDS))
+    def test_lut_error_bounded(self, function):
+        lut = ActivationLUT(function, num_entries=256, input_range=8.0)
+        if function == "exp":
+            # exp grows to ~3000 over the range; use relative error instead.
+            samples = np.linspace(-8, 8, 500).astype(np.float32)
+            relative = np.abs(lut.evaluate(samples) - np.exp(samples)) / np.exp(samples)
+            assert np.median(relative) < 0.05
+        else:
+            assert lut.max_error() < 0.05
+
+    def test_af_id_matches_registry(self):
+        for function, af_id in AF_TABLE_IDS.items():
+            assert ActivationLUT(function).af_id == af_id
+
+    def test_inputs_clamped(self):
+        lut = ActivationLUT("sigmoid", input_range=4.0)
+        inside = lut.evaluate(np.array([4.0], dtype=np.float32))
+        outside = lut.evaluate(np.array([100.0], dtype=np.float32))
+        assert inside[0] == outside[0]
+
+    def test_more_entries_more_accurate(self):
+        coarse = ActivationLUT("silu", num_entries=32).max_error()
+        fine = ActivationLUT("silu", num_entries=512).max_error()
+        assert fine <= coarse
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationLUT("swishish")
+
+    def test_too_few_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationLUT("sigmoid", num_entries=1)
+
+    def test_nonpositive_range_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationLUT("sigmoid", input_range=0.0)

@@ -1,0 +1,55 @@
+"""Unit tests for the Taylor-series exponent accelerator model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numerics.taylor import TAYLOR_ORDER, taylor_exp
+
+
+def test_default_order_is_ten():
+    assert TAYLOR_ORDER == 10
+
+
+def test_exp_zero_is_one():
+    assert taylor_exp(np.array([0.0], dtype=np.float32))[0] == pytest.approx(1.0, rel=1e-2)
+
+
+def test_matches_reference_on_softmax_range():
+    # Softmax scores after max-subtraction are non-positive.
+    x = np.linspace(-20.0, 0.0, 101).astype(np.float32)
+    approx = taylor_exp(x)
+    reference = np.exp(x.astype(np.float64))
+    assert np.max(np.abs(approx - reference)) < 2e-2
+
+
+def test_relative_error_small_for_moderate_inputs():
+    x = np.linspace(-8.0, 8.0, 201).astype(np.float32)
+    approx = taylor_exp(x).astype(np.float64)
+    reference = np.exp(x.astype(np.float64))
+    relative = np.abs(approx - reference) / reference
+    assert np.max(relative) < 2e-2
+
+
+def test_monotonic_on_grid():
+    x = np.linspace(-10.0, 5.0, 64).astype(np.float32)
+    y = taylor_exp(x)
+    assert np.all(np.diff(y) >= 0)
+
+
+def test_lower_order_is_less_accurate():
+    x = np.linspace(-2.0, 2.0, 33).astype(np.float32)
+    reference = np.exp(x.astype(np.float64))
+    high = np.max(np.abs(taylor_exp(x, order=10) - reference))
+    low = np.max(np.abs(taylor_exp(x, order=2) - reference))
+    assert high <= low
+
+
+def test_invalid_order_rejected():
+    with pytest.raises(ValueError):
+        taylor_exp(np.array([1.0]), order=0)
+
+
+@given(st.floats(min_value=-15.0, max_value=5.0, allow_nan=False, width=32))
+def test_positive_everywhere(value):
+    assert taylor_exp(np.array([value], dtype=np.float32))[0] > 0.0

@@ -1,0 +1,126 @@
+"""Unit tests for the PIM channel timing model (instruction execution)."""
+
+import pytest
+
+from repro.dram.commands import CommandType
+from repro.isa.instructions import (
+    ActivationFunction,
+    CopyBankToGlobalBuffer,
+    ElementwiseMul,
+    Exponent,
+    MacAllBank,
+    ReadMacRegister,
+    ReadSingleBank,
+    WriteAllBanks,
+    WriteBias,
+    WriteGlobalBuffer,
+    WriteSingleBank,
+)
+from repro.pim.channel import PIMChannel
+
+
+@pytest.fixture
+def channel() -> PIMChannel:
+    return PIMChannel(channel_id=0)
+
+
+class TestMacExecution:
+    def test_single_mac_instruction_latency(self, channel):
+        latency = channel.execute(MacAllBank(ch_mask=1, op_size=64, row=0, column=0))
+        # One ACTab (tRCD) + 64 MACs at 1 ns + CAS/burst completion.
+        assert latency >= 64.0
+        assert latency < 200.0
+
+    def test_sustained_mac_rate(self, channel):
+        # A long burst amortises the activation overhead.  MACab commands
+        # pipeline at the 1 ns PU clock; the per-row activate/precharge
+        # overhead keeps the sustained rate between 1 and 2 ns per all-bank
+        # MAC micro-op (roughly 50-65% of the 512 GB/s channel peak).
+        op_size = 64
+        rows = 64
+        total = 0.0
+        for row in range(rows):
+            total += channel.execute(MacAllBank(ch_mask=1, op_size=op_size, row=row))
+        per_mac = total / (rows * op_size)
+        assert 1.0 <= per_mac <= 2.0
+
+    def test_same_row_reuses_activation(self, channel):
+        first = channel.execute(MacAllBank(ch_mask=1, op_size=8, row=0, column=0))
+        second = channel.execute(MacAllBank(ch_mask=1, op_size=8, row=0, column=8))
+        assert second < first  # no second ACTab
+
+    def test_row_switch_precharges(self, channel):
+        channel.execute(MacAllBank(ch_mask=1, op_size=8, row=0))
+        channel.execute(MacAllBank(ch_mask=1, op_size=8, row=1))
+        assert channel.dram.stats.count(CommandType.PRE_ALL) >= 1
+        assert channel.dram.stats.count(CommandType.ACT_ALL) == 2
+
+    def test_mac_micro_ops_counted(self, channel):
+        channel.execute(MacAllBank(ch_mask=1, op_size=32, row=0))
+        assert channel.stats.mac_micro_ops == 32
+        assert channel.dram.stats.count(CommandType.MAC_ALL) == 32
+
+
+class TestOtherInstructions:
+    def test_elementwise_mul_uses_bank_groups(self, channel):
+        channel.execute(ElementwiseMul(ch_mask=1, op_size=4, row=0))
+        assert channel.dram.stats.count(CommandType.EWMUL) == 16  # 4 groups x 4 ops
+
+    def test_activation_instruction(self, channel):
+        latency = channel.execute(ActivationFunction(ch_mask=1, af_id=0, reg_id=0))
+        assert latency > 0
+
+    def test_single_bank_write_and_read(self, channel):
+        channel.execute(WriteSingleBank(ch_id=0, op_size=4, bank=2, row=1, column=0, rs=0))
+        channel.execute(ReadSingleBank(ch_id=0, op_size=4, bank=2, row=1, column=4, rd=0))
+        assert channel.dram.stats.count(CommandType.WR) == 4
+        assert channel.dram.stats.count(CommandType.RD) == 4
+        assert channel.stats.shared_buffer_transfers == 8
+
+    def test_write_all_banks_touches_every_bank(self, channel):
+        channel.execute(WriteAllBanks(ch_id=0, row=0, column=0, rs=0))
+        assert channel.dram.stats.count(CommandType.WR) == channel.geometry.num_banks
+
+    def test_copy_bank_to_global_buffer(self, channel):
+        channel.execute(CopyBankToGlobalBuffer(ch_mask=1, op_size=8, row=0))
+        assert channel.dram.stats.count(CommandType.RD) == 8
+
+    def test_register_io_counts_transfers(self, channel):
+        channel.execute(WriteBias(ch_mask=1, rs=0))
+        channel.execute(ReadMacRegister(ch_mask=1, rd=0, reg_id=0))
+        assert channel.stats.shared_buffer_transfers == 2
+
+    def test_write_global_buffer_streams_slots(self, channel):
+        latency = channel.execute(WriteGlobalBuffer(ch_mask=1, op_size=64, column=0, rs=0))
+        assert latency == pytest.approx(64 * channel.timing.t_ccd_s)
+        assert channel.stats.global_buffer_writes == 64
+
+    def test_pnm_instruction_rejected(self, channel):
+        with pytest.raises(ValueError):
+            channel.execute(Exponent(op_size=1, rd=0, rs=0))
+
+    def test_execute_program_accumulates(self, channel):
+        program = [
+            WriteGlobalBuffer(ch_mask=1, op_size=4, column=0, rs=0),
+            WriteBias(ch_mask=1, rs=0),
+            MacAllBank(ch_mask=1, op_size=4, row=0, column=0),
+            ReadMacRegister(ch_mask=1, rd=0, reg_id=0),
+        ]
+        latency = channel.execute_program(program)
+        assert latency == pytest.approx(channel.busy_until_ns)
+        assert latency > 0
+
+    def test_close_row_precharges(self, channel):
+        channel.execute(MacAllBank(ch_mask=1, op_size=4, row=0))
+        channel.close_row()
+        assert channel.dram.stats.count(CommandType.PRE_ALL) == 1
+
+    def test_reset_timing_clears_clock(self, channel):
+        channel.execute(MacAllBank(ch_mask=1, op_size=4, row=0))
+        channel.reset_timing()
+        assert channel.busy_until_ns == 0.0
+        assert channel.stats.mac_micro_ops == 4  # statistics survive
+
+    def test_peak_rates_match_paper(self, channel):
+        assert channel.peak_internal_bandwidth_gbps() == pytest.approx(512.0)
+        assert channel.peak_compute_gflops() == pytest.approx(512.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the near-bank PU and the global buffer."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.bf16 import bf16_quantize
+from repro.numerics.lut import AF_TABLE_IDS
+from repro.pim.global_buffer import GlobalBuffer
+from repro.pim.pu import MAC_LANES, NUM_ACCUMULATION_REGISTERS, ProcessingUnit
+
+
+class TestProcessingUnit:
+    def test_register_file_size(self):
+        pu = ProcessingUnit(bank_index=0)
+        assert len(pu.registers) == NUM_ACCUMULATION_REGISTERS == 32
+
+    def test_mac_accumulates_dot_product(self):
+        pu = ProcessingUnit(bank_index=0)
+        a = np.arange(16, dtype=np.float32)
+        b = np.ones(16, dtype=np.float32)
+        pu.write_bias(0.0, 0)
+        pu.mac(a, b, reg_id=0)
+        assert pu.read_register(0) == pytest.approx(float(np.sum(a)), rel=1e-2)
+
+    def test_mac_counts_operations(self):
+        pu = ProcessingUnit(bank_index=0)
+        for _ in range(5):
+            pu.mac(np.ones(16, dtype=np.float32), np.ones(16, dtype=np.float32), 1)
+        assert pu.mac_count == 5
+        assert pu.read_register(1) == pytest.approx(80.0)
+
+    def test_write_bias_specific_register(self):
+        pu = ProcessingUnit(bank_index=0)
+        pu.write_bias(3.0, reg_id=7)
+        assert pu.read_register(7) == pytest.approx(3.0)
+        assert pu.read_register(6) == 0.0
+
+    def test_write_bias_all_registers(self):
+        pu = ProcessingUnit(bank_index=0)
+        pu.write_bias(1.5)
+        assert all(pu.read_register(i) == pytest.approx(1.5) for i in range(32))
+
+    def test_wrong_operand_width_rejected(self):
+        pu = ProcessingUnit(bank_index=0)
+        with pytest.raises(ValueError):
+            pu.mac(np.ones(8, dtype=np.float32), np.ones(16, dtype=np.float32), 0)
+
+    def test_register_bounds_checked(self):
+        pu = ProcessingUnit(bank_index=0)
+        with pytest.raises(ValueError):
+            pu.read_register(32)
+        with pytest.raises(ValueError):
+            pu.write_bias(0.0, reg_id=-1)
+
+    def test_activation_function_sigmoid(self):
+        pu = ProcessingUnit(bank_index=0)
+        pu.write_bias(0.0, reg_id=0)
+        result = pu.apply_activation(AF_TABLE_IDS["sigmoid"], reg_id=0)
+        assert result == pytest.approx(0.5, abs=0.02)
+
+    def test_unknown_activation_rejected(self):
+        pu = ProcessingUnit(bank_index=0)
+        with pytest.raises(ValueError):
+            pu.apply_activation(99, reg_id=0)
+
+    def test_results_are_bf16_quantized(self):
+        pu = ProcessingUnit(bank_index=0)
+        a = np.full(16, 1.001, dtype=np.float32)
+        b = np.full(16, 1.0, dtype=np.float32)
+        pu.mac(a, b, 0)
+        value = pu.read_register(0)
+        assert value == pytest.approx(float(bf16_quantize(np.float32(value))))
+
+    def test_lanes_constant(self):
+        assert MAC_LANES == 16
+
+
+class TestGlobalBuffer:
+    def test_capacity_and_slots(self):
+        gb = GlobalBuffer()
+        assert gb.capacity_bytes == 2048
+        assert gb.num_slots == 64
+        assert gb.elements_per_slot == 16
+
+    def test_slot_roundtrip(self):
+        gb = GlobalBuffer()
+        values = np.arange(16, dtype=np.float32)
+        gb.write_slot(3, values)
+        assert np.array_equal(gb.read_slot(3), values)
+
+    def test_write_quantizes_to_bf16(self):
+        gb = GlobalBuffer()
+        values = np.full(16, 1.0009765625, dtype=np.float32)
+        gb.write_slot(0, values)
+        assert np.array_equal(gb.read_slot(0), bf16_quantize(values))
+
+    def test_vector_roundtrip_with_padding(self):
+        gb = GlobalBuffer()
+        vector = np.arange(40, dtype=np.float32)
+        slots = gb.write_vector(0, vector)
+        assert slots == 3
+        assert np.array_equal(gb.read_vector(0, 40), vector)
+
+    def test_vector_overflow_rejected(self):
+        gb = GlobalBuffer()
+        with pytest.raises(ValueError):
+            gb.write_vector(0, np.zeros(2048, dtype=np.float32))
+
+    def test_slot_bounds_checked(self):
+        gb = GlobalBuffer()
+        with pytest.raises(ValueError):
+            gb.read_slot(64)
+
+    def test_wrong_slot_shape_rejected(self):
+        gb = GlobalBuffer()
+        with pytest.raises(ValueError):
+            gb.write_slot(0, np.zeros(8, dtype=np.float32))
+
+    def test_read_is_a_copy(self):
+        gb = GlobalBuffer()
+        gb.write_slot(0, np.ones(16, dtype=np.float32))
+        view = gb.read_slot(0)
+        view[:] = 99.0
+        assert gb.read_slot(0)[0] == 1.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GlobalBuffer(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            GlobalBuffer(slot_bits=100)

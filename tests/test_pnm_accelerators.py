@@ -1,0 +1,90 @@
+"""Unit tests for the PNM accelerators and their latency model."""
+
+import numpy as np
+import pytest
+
+from repro.pnm.accelerators import (
+    Accumulator,
+    ExponentUnit,
+    PnmAcceleratorBank,
+    PnmLatencyModel,
+    ReductionTree,
+)
+
+
+class TestFunctionalUnits:
+    def test_accumulator_lane_wise(self):
+        result = Accumulator().execute(np.ones(16, dtype=np.float32),
+                                       np.full(16, 2.0, dtype=np.float32))
+        assert np.allclose(result, 3.0)
+
+    def test_reduction_tree_sums_to_lane_zero(self):
+        result = ReductionTree().execute(np.arange(16, dtype=np.float32))
+        assert result[0] == pytest.approx(120.0)
+        assert np.all(result[1:] == 0.0)
+
+    def test_exponent_unit_matches_exp(self):
+        x = np.linspace(-4, 0, 16).astype(np.float32)
+        result = ExponentUnit().execute(x)
+        assert np.allclose(result, np.exp(x), rtol=2e-2)
+
+
+class TestLatencyModel:
+    def test_cycle_time(self):
+        model = PnmLatencyModel(clock_ghz=2.0, instances=32)
+        assert model.cycle_ns == pytest.approx(0.5)
+
+    def test_parallel_instances(self):
+        model = PnmLatencyModel(clock_ghz=2.0, instances=32)
+        # 32 slots processed in one wave, 33 slots need two waves.
+        assert model.latency_ns(32) == pytest.approx(0.5)
+        assert model.latency_ns(33) == pytest.approx(1.0)
+
+    def test_zero_slots_free(self):
+        assert PnmLatencyModel().latency_ns(0) == 0.0
+
+    def test_elements_to_slots(self):
+        model = PnmLatencyModel(clock_ghz=2.0, instances=32)
+        assert model.latency_for_elements(16 * 32) == pytest.approx(0.5)
+        assert model.latency_for_elements(16 * 32 + 1) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PnmLatencyModel().latency_ns(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PnmLatencyModel(clock_ghz=0.0)
+        with pytest.raises(ValueError):
+            PnmLatencyModel(instances=0)
+
+
+class TestAcceleratorBank:
+    def test_accumulate_vectors(self):
+        bank = PnmAcceleratorBank()
+        a = np.arange(40, dtype=np.float32)
+        b = np.ones(40, dtype=np.float32)
+        assert np.allclose(bank.accumulate(a, b), a + b, atol=0.25)
+
+    def test_accumulate_shape_mismatch(self):
+        bank = PnmAcceleratorBank()
+        with pytest.raises(ValueError):
+            bank.accumulate(np.zeros(4), np.zeros(5))
+
+    def test_reduce_sum(self):
+        bank = PnmAcceleratorBank()
+        assert bank.reduce_sum(np.ones(100, dtype=np.float32)) == pytest.approx(100.0)
+
+    def test_exponent_vector(self):
+        bank = PnmAcceleratorBank()
+        x = np.linspace(-3, 0, 33).astype(np.float32)
+        assert np.allclose(bank.exponent(x), np.exp(x), rtol=2e-2)
+
+    def test_slot_operations_tracked(self):
+        bank = PnmAcceleratorBank()
+        bank.reduce_sum(np.ones(32, dtype=np.float32))
+        assert bank.slot_operations == 2
+
+    def test_operation_latency_delegates(self):
+        bank = PnmAcceleratorBank()
+        assert bank.operation_latency_ns(16 * 32) == pytest.approx(0.5)

@@ -1,0 +1,81 @@
+"""Unit tests for the RISC-V PNM cores."""
+
+import numpy as np
+import pytest
+
+from repro.pnm.riscv import RISCV_ROUTINES, RiscvCluster, RiscvCore
+
+
+class TestRoutines:
+    def test_registry_contains_paper_operations(self):
+        for routine in ("sqrt_inv", "inverse", "residual_add", "rope_pack",
+                        "rope_unpack", "softmax_max"):
+            assert routine in RISCV_ROUTINES
+
+    def test_sqrt_inv(self):
+        core = RiscvCore()
+        result = core.run("sqrt_inv", np.array([4.0], dtype=np.float32))
+        assert result[0] == pytest.approx(0.5, rel=1e-2)
+
+    def test_inverse(self):
+        core = RiscvCore()
+        result = core.run("inverse", np.array([8.0], dtype=np.float32))
+        assert result[0] == pytest.approx(0.125, rel=1e-2)
+
+    def test_residual_add(self):
+        core = RiscvCore()
+        x = np.concatenate([np.ones(8), np.full(8, 2.0)]).astype(np.float32)
+        assert np.allclose(core.run("residual_add", x), 3.0)
+
+    def test_residual_add_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            RiscvCore().run("residual_add", np.ones(7, dtype=np.float32))
+
+    def test_rope_pack_unpack_roundtrip(self):
+        core = RiscvCore()
+        head = np.arange(128, dtype=np.float32)
+        packed = core.run("rope_pack", head)
+        unpacked = core.run("rope_unpack", packed)
+        assert np.array_equal(unpacked, head)
+
+    def test_softmax_max(self):
+        core = RiscvCore()
+        scores = np.array([1.0, 5.0, -2.0, 3.0], dtype=np.float32)
+        assert np.all(core.run("softmax_max", scores) == 5.0)
+
+    def test_unknown_routine_rejected(self):
+        with pytest.raises(ValueError):
+            RiscvCore().run("nonexistent", np.ones(4))
+
+    def test_executed_elements_counted(self):
+        core = RiscvCore()
+        core.run("generic", np.ones(10, dtype=np.float32))
+        assert core.executed_elements == 10
+
+
+class TestLatency:
+    def test_core_latency_scales_with_elements(self):
+        core = RiscvCore()
+        assert core.latency_ns("residual_add", 200) == pytest.approx(
+            2 * core.latency_ns("residual_add", 100))
+
+    def test_core_latency_depends_on_routine(self):
+        core = RiscvCore()
+        assert core.latency_ns("sqrt_inv", 100) > core.latency_ns("residual_add", 100)
+
+    def test_zero_elements_free(self):
+        assert RiscvCore().latency_ns("generic", 0) == 0.0
+
+    def test_cluster_distributes_work(self):
+        cluster = RiscvCluster(num_cores=8)
+        single = RiscvCore().latency_ns("residual_add", 8000)
+        assert cluster.latency_ns("residual_add", 8000) == pytest.approx(single / 8)
+
+    def test_cluster_functional_matches_core(self):
+        cluster = RiscvCluster()
+        x = np.array([16.0], dtype=np.float32)
+        assert cluster.run("sqrt_inv", x)[0] == pytest.approx(0.25, rel=1e-2)
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            RiscvCluster(num_cores=0)

@@ -1,0 +1,87 @@
+"""Unit tests for the 64 KB shared buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pnm.shared_buffer import SharedBuffer
+
+
+class TestSlotView:
+    def test_capacity(self):
+        buffer = SharedBuffer()
+        assert buffer.capacity_bytes == 64 * 1024
+        assert buffer.num_slots == 2048
+        assert buffer.ELEMENTS_PER_SLOT == 16
+
+    def test_slot_roundtrip(self):
+        buffer = SharedBuffer()
+        values = np.linspace(-1, 1, 16).astype(np.float32)
+        buffer.write_slot(100, values)
+        assert np.allclose(buffer.read_slot(100), values, atol=1e-2)
+
+    def test_slot_bounds(self):
+        buffer = SharedBuffer()
+        with pytest.raises(ValueError):
+            buffer.write_slot(2048, np.zeros(16, dtype=np.float32))
+
+    def test_wrong_shape_rejected(self):
+        buffer = SharedBuffer()
+        with pytest.raises(ValueError):
+            buffer.write_slot(0, np.zeros(15, dtype=np.float32))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SharedBuffer(capacity_bytes=100)
+
+
+class TestVectorView:
+    def test_vector_roundtrip(self):
+        buffer = SharedBuffer()
+        vector = np.arange(100, dtype=np.float32)
+        slots = buffer.write_vector(10, vector)
+        assert slots == 7
+        assert np.array_equal(buffer.read_vector(10, 100), vector)
+
+    def test_vector_overflow_rejected(self):
+        buffer = SharedBuffer()
+        with pytest.raises(ValueError):
+            buffer.write_vector(2040, np.zeros(200, dtype=np.float32))
+
+    def test_slots_for(self):
+        assert SharedBuffer.slots_for(1) == 1
+        assert SharedBuffer.slots_for(16) == 1
+        assert SharedBuffer.slots_for(17) == 2
+        with pytest.raises(ValueError):
+            SharedBuffer.slots_for(0)
+
+
+class TestByteView:
+    def test_halfword_store_load(self):
+        buffer = SharedBuffer()
+        buffer.store_halfword(32, 1.5)
+        assert buffer.load_halfword(32) == pytest.approx(1.5)
+
+    def test_byte_view_aliases_slot_view(self):
+        buffer = SharedBuffer()
+        values = np.arange(16, dtype=np.float32)
+        buffer.write_slot(0, values)
+        # Element 3 of slot 0 lives at byte address 6.
+        assert buffer.load_halfword(6) == pytest.approx(3.0)
+
+    def test_unaligned_access_rejected(self):
+        buffer = SharedBuffer()
+        with pytest.raises(ValueError):
+            buffer.load_halfword(3)
+
+    def test_out_of_range_rejected(self):
+        buffer = SharedBuffer()
+        with pytest.raises(ValueError):
+            buffer.store_halfword(64 * 1024, 1.0)
+
+
+@given(st.integers(min_value=1, max_value=512))
+def test_slots_for_covers_elements(num_elements):
+    slots = SharedBuffer.slots_for(num_elements)
+    assert slots * 16 >= num_elements
+    assert (slots - 1) * 16 < num_elements

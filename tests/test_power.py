@@ -1,0 +1,162 @@
+"""Unit tests for the power models (DRAM, controller, CENT system, GPU)."""
+
+import pytest
+
+from repro.core.config import CentConfig
+from repro.core.performance import PerformanceModel
+from repro.dram.commands import CommandType
+from repro.mapping.parallelism import PipelineParallel
+from repro.models.config import LLAMA2_7B
+from repro.power.cent_power import CentPowerModel
+from repro.power.cxl_controller import CXL_CONTROLLER_28NM, CxlControllerPower
+from repro.power.dram_power import DramPowerModel, DramPowerParameters, GDDR6_PIM_POWER
+from repro.power.energy import energy_per_token, tokens_per_joule
+from repro.power.gpu_power import A100_POWER, GpuPowerModel
+
+
+class TestDramPower:
+    def test_mac_energy_per_command(self):
+        model = DramPowerModel()
+        # mac_pj_per_bit x 256 bits x 16 banks per MACab command.
+        assert model.command_energy_nj(CommandType.MAC_ALL) == pytest.approx(
+            GDDR6_PIM_POWER.mac_pj_per_bit * 256 * 16 * 1e-3)
+
+    def test_mac_draws_more_current_than_a_read(self):
+        p = GDDR6_PIM_POWER
+        assert p.mac_pj_per_bit > 1.5 * p.read_pj_per_bit
+        # The paper's headline comparison: a MAC_ABK bit costs far less than
+        # the 3.97 pJ/bit of an HBM2 read on the GPU side.
+        assert p.mac_pj_per_bit < 3.97 / 5
+
+    def test_all_bank_activate_scales_with_banks(self):
+        model = DramPowerModel()
+        assert model.command_energy_nj(CommandType.ACT_ALL) == pytest.approx(
+            16 * model.command_energy_nj(CommandType.ACT))
+
+    def test_activity_energy_accumulates(self):
+        model = DramPowerModel()
+        counts = {CommandType.MAC_ALL: 1000, CommandType.ACT_ALL: 10, CommandType.PRE_ALL: 10}
+        energy = model.activity_energy_j(counts)
+        assert energy > 0
+        breakdown = model.energy_breakdown_j(counts)
+        assert breakdown["pim_ops"] > breakdown["activate_precharge"]
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            DramPowerModel().activity_energy_j({CommandType.RD: -1})
+
+    def test_average_power(self):
+        model = DramPowerModel()
+        counts = {CommandType.MAC_ALL: 10**6}
+        power = model.average_power_w(counts, interval_s=1e-3, num_channels=32)
+        assert power > model.background_power_w(32)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DramPowerParameters(mac_pj_per_bit=-1.0)
+
+
+class TestControllerPower:
+    def test_table5_totals(self):
+        controller = CXL_CONTROLLER_28NM
+        assert controller.custom_logic_area_28nm_mm2 == pytest.approx(7.84, abs=0.02)
+        assert controller.custom_logic_power_w == pytest.approx(1.06, abs=0.01)
+
+    def test_7nm_die_area_about_19mm2(self):
+        assert CXL_CONTROLLER_28NM.total_area_7nm_mm2 == pytest.approx(19.0, rel=0.15)
+
+    def test_static_power_includes_memory_controllers(self):
+        controller = CxlControllerPower()
+        assert controller.static_power_w() > 16 * 0.3
+        assert controller.static_power_w(riscv_utilization=1.0) > controller.static_power_w(0.0)
+
+    def test_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            CxlControllerPower().static_power_w(riscv_utilization=2.0)
+
+
+class TestCentPower:
+    @pytest.fixture(scope="class")
+    def small_setup(self):
+        from repro.models.config import ModelConfig
+
+        model = ModelConfig(name="small-llama", num_layers=8, d_model=1024, num_heads=16,
+                            num_kv_heads=4, d_ff=2816, vocab_size=32000, max_context=2048)
+        config = CentConfig(num_devices=4, context_samples=2)
+        performance = PerformanceModel(config)
+        plan = PipelineParallel(4, model)
+        cost = performance.block_cost(model, plan, 512)
+        return config, model, plan, cost
+
+    def test_device_power_positive_and_bounded(self, small_setup):
+        config, model, plan, cost = small_setup
+        report = CentPowerModel(config).device_power(model, plan, cost)
+        assert 1.0 < report.total_w < 300.0
+        assert report.dram_dynamic_w > 0
+        assert report.controller_w > 0
+
+    def test_breakdown_dominated_by_pim_ops(self, small_setup):
+        config, model, plan, cost = small_setup
+        report = CentPowerModel(config).device_power(model, plan, cost)
+        assert report.breakdown["pim_ops"] > report.breakdown["data_movement"]
+
+    def test_system_power_includes_host(self, small_setup):
+        config, model, plan, cost = small_setup
+        power_model = CentPowerModel(config)
+        with_host = power_model.system_power(model, plan, cost, include_host=True)
+        without = power_model.system_power(model, plan, cost, include_host=False)
+        assert with_host.total_w == pytest.approx(without.total_w + power_model.host_power_w)
+        assert with_host.devices_used <= config.num_devices
+
+    def test_llama7b_device_power_in_tens_of_watts(self):
+        # The paper reports ~32 W per device; the reproduction should land in
+        # the same order of magnitude (tens of watts, far below a 300 W GPU).
+        config = CentConfig(num_devices=8, context_samples=2)
+        performance = PerformanceModel(config)
+        plan = PipelineParallel(8, LLAMA2_7B)
+        cost = performance.block_cost(LLAMA2_7B, plan, 1024)
+        report = CentPowerModel(config).device_power(LLAMA2_7B, plan, cost)
+        assert 10.0 < report.total_w < 150.0
+
+
+class TestGpuPower:
+    def test_phase_powers(self):
+        assert A100_POWER.phase_power_w("prefill") <= 300.0
+        assert A100_POWER.phase_power_w("decode") > 0.9 * 300.0
+        assert A100_POWER.phase_power_w("init") < A100_POWER.phase_power_w("decode")
+
+    def test_phase_clocks_show_throttling(self):
+        assert A100_POWER.phase_clock_mhz("init") == 1410.0
+        assert A100_POWER.phase_clock_mhz("prefill") < A100_POWER.phase_clock_mhz("decode")
+
+    def test_trace_phases_in_order(self):
+        trace = A100_POWER.trace(init_s=1.0, prefill_s=2.0, decode_s=3.0)
+        phases = [sample.phase for sample in trace]
+        assert phases[0] == "init" and phases[-1] == "decode"
+        assert phases.index("prefill") < phases.index("decode")
+
+    def test_average_power_weighted(self):
+        avg = A100_POWER.average_power_w(prefill_s=1.0, decode_s=9.0, num_gpus=4)
+        assert 4 * 250 < avg <= 4 * 300
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            A100_POWER.phase_power_w("bogus")
+
+    def test_custom_model(self):
+        model = GpuPowerModel(tdp_w=700.0)
+        assert model.phase_power_w("decode") > 600.0
+
+
+class TestEnergyMetrics:
+    def test_energy_per_token(self):
+        assert energy_per_token(1000.0, 2000.0) == pytest.approx(0.5)
+
+    def test_tokens_per_joule(self):
+        assert tokens_per_joule(1000.0, 2000.0) == pytest.approx(2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            energy_per_token(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            tokens_per_joule(100.0, 0.0)

@@ -1,0 +1,147 @@
+"""Property-based tests of core invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.gemv import compile_gemv
+from repro.cxl.link import CXL_3_0_LINK
+from repro.cxl.primitives import broadcast, gather, send_receive
+from repro.dram.channel import DRAMChannel
+from repro.dram.commands import CommandType, DRAMCommand
+from repro.isa.instructions import MacAllBank, WriteGlobalBuffer
+from repro.models.config import ModelConfig
+from repro.models.memory import ModelMemoryProfile
+from repro.pim.channel import PIMChannel
+from repro.pnm.shared_buffer import SharedBuffer
+
+
+# --------------------------------------------------------------------------- model strategies
+
+def model_configs():
+    return st.builds(
+        ModelConfig,
+        name=st.just("prop-model"),
+        num_layers=st.integers(min_value=1, max_value=16),
+        d_model=st.sampled_from([64, 128, 256, 512]),
+        num_heads=st.sampled_from([4, 8]),
+        num_kv_heads=st.sampled_from([2, 4]),
+        d_ff=st.sampled_from([128, 384, 1024]),
+        vocab_size=st.integers(min_value=256, max_value=4096),
+        max_context=st.sampled_from([128, 512, 2048]),
+    )
+
+
+@given(model_configs())
+def test_model_parameter_counts_consistent(model):
+    # Per-layer parameters times layers plus embeddings equals the total.
+    assert model.total_params == (model.num_layers * model.params_per_layer
+                                  + model.embedding_params)
+    assert model.kv_dim <= model.d_model
+    assert model.head_dim * model.num_heads == model.d_model
+
+
+@given(model_configs(), st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=2048))
+def test_memory_profile_monotonic(model, batch, context):
+    profile = ModelMemoryProfile(model)
+    total = profile.total_bytes(batch, context)
+    assert total >= profile.parameter_bytes
+    assert profile.total_bytes(batch + 1, context) > total
+    assert profile.total_bytes(batch, context + 1) > total
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_memory_budget_max_batch_fits(budget_kv_bytes):
+    model = ModelConfig("prop", num_layers=2, d_model=64, num_heads=4, num_kv_heads=2,
+                        d_ff=128, vocab_size=256, max_context=128)
+    profile = ModelMemoryProfile(model)
+    budget = profile.parameter_bytes + budget_kv_bytes
+    batch = profile.max_batch_size(budget, context_length=128)
+    if batch > 0:
+        assert profile.total_bytes(batch, 128) <= budget
+    assert profile.total_bytes(batch + 1, 128) > budget
+
+
+# --------------------------------------------------------------------------- timing invariants
+
+@given(st.lists(st.sampled_from([CommandType.ACT_ALL, CommandType.MAC_ALL,
+                                 CommandType.PRE_ALL]), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_dram_issue_times_are_monotonic(kinds):
+    channel = DRAMChannel(apply_refresh_derating=False)
+    previous = -1.0
+    row_open = False
+    for kind in kinds:
+        if kind is CommandType.MAC_ALL and not row_open:
+            continue
+        issue = channel.issue(DRAMCommand(kind, row=0))
+        assert issue >= previous
+        previous = issue
+        row_open = kind is CommandType.ACT_ALL or (row_open and kind is CommandType.MAC_ALL)
+
+
+@given(st.integers(min_value=1, max_value=256), st.integers(min_value=1, max_value=8))
+@settings(max_examples=30)
+def test_pim_latency_scales_with_op_size(op_size, rows):
+    channel = PIMChannel()
+    for row in range(rows):
+        channel.execute(MacAllBank(ch_mask=1, op_size=op_size, row=row))
+    total = channel.busy_until_ns
+    # Lower bound: one MAC per tCCD_S; upper bound: generous per-row overhead.
+    assert total >= op_size * rows * channel.timing.t_ccd_s
+    assert total <= rows * (op_size * channel.timing.t_ccd_s + 200.0)
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_wr_gb_latency_linear(op_size):
+    channel = PIMChannel()
+    latency = channel.execute(WriteGlobalBuffer(ch_mask=1, op_size=op_size, column=0, rs=0))
+    assert latency == op_size * channel.timing.t_ccd_s
+
+
+# --------------------------------------------------------------------------- communication invariants
+
+@given(st.integers(min_value=1, max_value=10**7))
+def test_send_latency_has_floor_and_grows(num_bytes):
+    result = send_receive(num_bytes)
+    assert result.latency_ns >= CXL_3_0_LINK.base_latency_ns
+    assert send_receive(num_bytes * 2).latency_ns >= result.latency_ns
+
+
+@given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=63))
+def test_broadcast_never_cheaper_than_send(num_bytes, fan_out):
+    assert broadcast(num_bytes, fan_out).latency_ns >= send_receive(num_bytes).latency_ns
+
+
+@given(st.integers(min_value=1, max_value=10**5), st.integers(min_value=1, max_value=63))
+def test_gather_volume_scales_with_senders(num_bytes, senders):
+    result = gather(num_bytes, senders)
+    assert result.bytes_moved == num_bytes * senders
+    assert result.latency_ns >= CXL_3_0_LINK.base_latency_ns
+
+
+# --------------------------------------------------------------------------- storage invariants
+
+@given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+                min_size=1, max_size=200),
+       st.integers(min_value=0, max_value=100))
+def test_shared_buffer_roundtrip(values, start_slot):
+    buffer = SharedBuffer()
+    vector = np.array(values, dtype=np.float32)
+    buffer.write_vector(start_slot, vector)
+    read_back = buffer.read_vector(start_slot, len(vector))
+    # Storage is BF16, so round-trip error is bounded by BF16 precision.
+    assert np.all(np.abs(read_back - vector) <= np.maximum(np.abs(vector) * 2**-7, 1e-3))
+
+
+# --------------------------------------------------------------------------- compiler invariants
+
+@given(st.integers(min_value=16, max_value=1024), st.integers(min_value=16, max_value=512),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_gemv_flops_independent_of_channel_count(out_dim, in_dim, channels):
+    op = compile_gemv("prop", out_dim, in_dim, channels)
+    assert op.flops == 2 * out_dim * in_dim
+    # The per-channel MAC work covers at least the channel's share of elements.
+    covered = op.mac_micro_ops * 256
+    assert covered * channels >= out_dim * in_dim

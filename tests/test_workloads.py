@@ -1,0 +1,87 @@
+"""Unit tests for query generation, batching and SLA evaluation."""
+
+import pytest
+
+from repro.models.config import LLAMA2_7B, LLAMA2_70B
+from repro.workloads.batching import max_feasible_batch, split_into_batches
+from repro.workloads.queries import Query, fixed_queries, sharegpt_like_queries
+from repro.workloads.sla import evaluate_sla
+
+
+class TestQueries:
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            Query(prompt_tokens=0, decode_tokens=10)
+        assert Query(512, 3584).total_context == 4096
+
+    def test_fixed_queries(self):
+        queries = fixed_queries(8)
+        assert len(queries) == 8
+        assert all(q.prompt_tokens == 512 and q.decode_tokens == 3584 for q in queries)
+
+    def test_sharegpt_like_deterministic(self):
+        a = sharegpt_like_queries(64, seed=1)
+        b = sharegpt_like_queries(64, seed=1)
+        c = sharegpt_like_queries(64, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_sharegpt_like_statistics(self):
+        queries = sharegpt_like_queries(2000, seed=0)
+        mean_prompt = sum(q.prompt_tokens for q in queries) / len(queries)
+        mean_output = sum(q.decode_tokens for q in queries) / len(queries)
+        assert 80 < mean_prompt < 260
+        assert 180 < mean_output < 480
+
+    def test_sharegpt_like_respects_context_limit(self):
+        queries = sharegpt_like_queries(500, max_context=2048)
+        assert all(q.total_context <= 2048 for q in queries)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            fixed_queries(0)
+        with pytest.raises(ValueError):
+            sharegpt_like_queries(0)
+
+
+class TestBatching:
+    def test_max_feasible_batch_caps_at_request(self):
+        memory = 4 * 80 * 1024**3
+        batch = max_feasible_batch(LLAMA2_70B, memory, 2304, requested_batch=128)
+        assert batch == 128
+
+    def test_max_feasible_batch_capacity_limited(self):
+        memory = 80 * 1024**3
+        batch = max_feasible_batch(LLAMA2_7B, memory, 4096, requested_batch=128)
+        assert batch < 128
+
+    def test_model_must_fit(self):
+        with pytest.raises(MemoryError):
+            max_feasible_batch(LLAMA2_70B, 80 * 1024**3, 4096)
+
+    def test_split_into_batches(self):
+        queries = fixed_queries(10)
+        batches = split_into_batches(queries, 4)
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert split_into_batches([], 4) == []
+        with pytest.raises(ValueError):
+            split_into_batches(queries, 0)
+
+
+class TestSla:
+    def test_classification(self):
+        points = [(10.0, 100.0), (20.0, 200.0), (40.0, 300.0)]
+        report = evaluate_sla(points, sla_latency_s=25.0)
+        assert len(report.compliant_points) == 2
+        assert len(report.violating_points) == 1
+        assert report.best_compliant_throughput == 200.0
+        assert report.violation_fraction == pytest.approx(1 / 3)
+
+    def test_empty_points(self):
+        report = evaluate_sla([], sla_latency_s=10.0)
+        assert report.best_compliant_throughput == 0.0
+        assert report.violation_fraction == 0.0
+
+    def test_invalid_sla(self):
+        with pytest.raises(ValueError):
+            evaluate_sla([(1.0, 1.0)], sla_latency_s=0.0)
