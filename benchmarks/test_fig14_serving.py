@@ -1,0 +1,56 @@
+"""Serving-mode Figure 14b/14d: measured QoS under trace-driven traffic.
+
+Runs the event-driven serving variants of the QoS and query-latency studies
+on the Llama2-7B deployment (8 devices) so the benchmark stays fast; the
+paper-scale defaults (Llama2-70B, 32 devices) are exercised by
+``examples/online_serving.py``.
+"""
+
+from repro.evaluation import (
+    figure14b_qos_serving,
+    figure14d_query_latency_serving,
+    format_table,
+)
+from repro.models.config import LLAMA2_7B
+
+
+def test_fig14b_qos_serving(benchmark, once, capsys):
+    result = once(benchmark, figure14b_qos_serving,
+                  model=LLAMA2_7B, num_devices=8, num_queries=60,
+                  sla_latency_s=30.0, context_step=512)
+    rows = result["cent"]
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 14b (serving): CENT mappings"))
+
+    assert len(rows) >= 3
+    for row in rows:
+        assert row["completed"] == 60
+        assert 0 < row["ttft_p50_s"] <= row["ttft_p99_s"]
+        assert 0 < row["tbt_p50_s"] <= row["tbt_p99_s"]
+        assert row["goodput_tokens_per_s"] <= row["throughput_tokens_per_s"]
+    # The paper's QoS trade-off: tensor parallelism buys query latency (the
+    # full-TP mapping is fastest per query), pipeline parallelism buys batch
+    # slots; the measured per-token time shrinks as TP grows.
+    pure_pp = max(rows, key=lambda r: r["slots"])
+    pure_tp = min(rows, key=lambda r: r["slots"])
+    assert pure_tp["query_latency_p50_s"] < pure_pp["query_latency_p50_s"]
+    assert pure_tp["tbt_p50_s"] < pure_pp["tbt_p50_s"]
+    report = result["sla"]
+    assert (len(report.compliant_points) + len(report.violating_points)) == len(rows)
+
+
+def test_fig14d_query_latency_serving(benchmark, once, capsys):
+    rows = once(benchmark, figure14d_query_latency_serving,
+                model=LLAMA2_7B, num_devices=8, output_sizes=(128, 512, 1024),
+                queries_per_point=16, context_step=512)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Figure 14d (serving): latency vs output size"))
+
+    assert [row["output_tokens"] for row in rows] == [128, 512, 1024]
+    # Decoding dominates and grows with the output length.
+    decode = [row["decode_p50_min"] for row in rows]
+    assert decode == sorted(decode)
+    for row in rows:
+        assert row["decode_p50_min"] > row["ttft_p50_min"] > 0

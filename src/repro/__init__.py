@@ -14,17 +14,30 @@ Inference".  It provides:
 * the end-to-end CENT system and performance model (``repro.core``),
 * power, energy and total-cost-of-ownership models (``repro.power``,
   ``repro.cost``),
-* GPU and PIM/PNM baselines (``repro.baselines``), and
+* GPU and PIM/PNM baselines (``repro.baselines``),
+* an event-driven serving engine with request arrival processes,
+  KV-capacity-aware admission and vLLM-style continuous batching
+  (``repro.serving``, ``repro.workloads``), and
 * the evaluation harness regenerating the paper's tables and figures
-  (``repro.evaluation``).
+  (``repro.evaluation``), including serving-mode QoS studies.
 
-Quickstart::
+Quickstart (static batch, the paper's evaluation shape)::
 
     from repro import CentSystem, CentConfig, LLAMA2_7B
 
     system = CentSystem(CentConfig(num_devices=8), LLAMA2_7B)
     result = system.run_inference(prompt_tokens=512, decode_tokens=512)
     print(result.decode_throughput_tokens_per_s)
+
+Quickstart (trace-driven serving; see ``examples/online_serving.py``)::
+
+    from repro import ServingEngine
+    from repro.workloads import poisson_arrivals, sharegpt_like_queries, with_arrivals
+
+    trace = with_arrivals(sharegpt_like_queries(200),
+                          poisson_arrivals(200, rate_qps=0.5))
+    result = ServingEngine(system).run(trace, sla_latency_s=60.0)
+    print(result.ttft.p99_s, result.tbt.p50_s, result.goodput_tokens_per_s)
 """
 
 from repro.models.config import (
@@ -37,7 +50,13 @@ from repro.models.config import (
 )
 from repro.core.config import CentConfig
 from repro.core.system import CentSystem
-from repro.core.results import InferenceResult, LatencyBreakdown
+from repro.core.results import (
+    InferenceResult,
+    LatencyBreakdown,
+    LatencyStats,
+    ServingResult,
+)
+from repro.serving.engine import ServingEngine
 from repro.mapping.parallelism import (
     DataParallel,
     HybridParallel,
@@ -58,6 +77,9 @@ __all__ = [
     "CentSystem",
     "InferenceResult",
     "LatencyBreakdown",
+    "LatencyStats",
+    "ServingResult",
+    "ServingEngine",
     "ParallelismPlan",
     "PipelineParallel",
     "TensorParallel",

@@ -10,8 +10,15 @@ latency and activity counts for the power and cost models.
 """
 
 from repro.core.config import CentConfig
-from repro.core.results import InferenceResult, LatencyBreakdown
+from repro.core.results import (
+    InferenceResult,
+    LatencyBreakdown,
+    LatencyStats,
+    ServingResult,
+    percentile,
+)
 from repro.core.performance import PerformanceModel, BlockCost
+from repro.core.iteration import IterationCostModel
 from repro.core.system import CentSystem
 from repro.core.functional import (
     ReferenceTransformerBlock,
@@ -23,8 +30,12 @@ __all__ = [
     "CentConfig",
     "InferenceResult",
     "LatencyBreakdown",
+    "LatencyStats",
+    "ServingResult",
+    "percentile",
     "PerformanceModel",
     "BlockCost",
+    "IterationCostModel",
     "CentSystem",
     "ReferenceTransformerBlock",
     "FunctionalTransformerBlock",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.cxl.link import CxlLinkParameters, CXL_3_0_LINK
@@ -44,6 +45,9 @@ class CentConfig:
     context_samples:
         Number of context-length sample points used when integrating latency
         over a growing KV cache (the artifact's ``SEQ_GAP`` knob).
+    block_cache_entries:
+        LRU capacity of the performance model's block-cost cache; bounds the
+        memory of long serving runs that sweep many context lengths.
     """
 
     num_devices: int = 32
@@ -58,6 +62,7 @@ class CentConfig:
     device_bus_gbps: float = 64.0
     kv_occupancy: float = 1.0
     context_samples: int = 5
+    block_cache_entries: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_devices <= 0 or self.channels_per_device <= 0:
@@ -74,6 +79,8 @@ class CentConfig:
             raise ValueError("kv_occupancy must be in (0, 1]")
         if self.context_samples < 2:
             raise ValueError("at least two context samples are needed")
+        if self.block_cache_entries <= 0:
+            raise ValueError("the block-cost cache needs at least one entry")
 
     # ------------------------------------------------------------------ derived
 
@@ -115,17 +122,4 @@ class CentConfig:
 
     def scaled(self, num_devices: int) -> "CentConfig":
         """A copy of this configuration with a different device count."""
-        return CentConfig(
-            num_devices=num_devices,
-            channels_per_device=self.channels_per_device,
-            timing=self.timing,
-            geometry=self.geometry,
-            link=self.link,
-            pnm_clock_ghz=self.pnm_clock_ghz,
-            riscv_cores=self.riscv_cores,
-            pnm_units=self.pnm_units,
-            host_ns_per_token=self.host_ns_per_token,
-            device_bus_gbps=self.device_bus_gbps,
-            kv_occupancy=self.kv_occupancy,
-            context_samples=self.context_samples,
-        )
+        return dataclasses.replace(self, num_devices=num_devices)

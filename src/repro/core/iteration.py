@@ -1,0 +1,121 @@
+"""Per-iteration cost interface for continuous-batching serving.
+
+``InferenceSimulator`` prices whole inferences of identical queries; the
+serving engine instead needs the cost of *one* engine iteration over a mixed
+batch — requests at different context lengths, some prefilling, some
+decoding.  ``IterationCostModel`` extracts that interface from the
+performance model:
+
+* per-block latency comes from the same compiled-program simulation as the
+  batch path, but is evaluated on a coarse **context grid** and linearly
+  interpolated in between (per-block cost is affine in the context length,
+  see ``repro.core.inference``), so a trace touching thousands of distinct
+  contexts only triggers a handful of block simulations;
+* grid evaluations go through the shared :class:`PerformanceModel`, whose
+  LRU cache bounds memory across engine iterations and is reused by the
+  static batch path of the same :class:`~repro.core.system.CentSystem`.
+
+Timing semantics match the batch simulator: a pipeline-parallel replica
+emits one token per stage beat (``blocks_per_stage * block_latency``), so a
+full-batch decode iteration — one token for every in-flight query — takes
+one token latency (host work is overlapped across queries, as in the batch
+throughput model), and prefill streams prompt tokens through the pipeline at
+one token per stage beat per replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.performance import PerformanceModel
+from repro.mapping.parallelism import ParallelismPlan
+from repro.models.config import ModelConfig
+
+__all__ = ["IterationCostModel"]
+
+
+class IterationCostModel:
+    """Prices one continuous-batching iteration under a fixed (model, plan)."""
+
+    def __init__(
+        self,
+        performance: PerformanceModel,
+        model: ModelConfig,
+        plan: ParallelismPlan,
+        context_step: int = 256,
+    ) -> None:
+        if context_step <= 0:
+            raise ValueError("context step must be positive")
+        self.performance = performance
+        self.model = model
+        self.plan = plan
+        self.context_step = context_step
+        # Interpolation endpoints seen this run; tiny (one float per grid
+        # point) and keyed only by context because model and plan are fixed.
+        self._grid_ns: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ block level
+
+    def _grid_latency_ns(self, context: int) -> float:
+        if context not in self._grid_ns:
+            cost = self.performance.block_cost(self.model, self.plan, context)
+            self._grid_ns[context] = cost.breakdown.total_ns
+        return self._grid_ns[context]
+
+    def block_latency_ns(self, context_length: int) -> float:
+        """Per-block latency at ``context_length``, grid-interpolated.
+
+        Contexts are clamped to the model's supported range; the last grid
+        cell is shortened to end exactly at ``max_context`` so interpolation
+        never prices a context the model cannot hold.
+        """
+        context = min(max(int(context_length), 1), self.model.max_context)
+        lower = max((context // self.context_step) * self.context_step, 1)
+        if context == lower:
+            return self._grid_latency_ns(lower)
+        upper = min(lower + self.context_step, self.model.max_context)
+        low_ns = self._grid_latency_ns(lower)
+        high_ns = self._grid_latency_ns(upper)
+        fraction = (context - lower) / (upper - lower)
+        return low_ns + (high_ns - low_ns) * fraction
+
+    # ------------------------------------------------------------------ iteration level
+
+    @property
+    def effective_layers(self) -> int:
+        """Blocks a token traverses, rounded to whole pipeline stages."""
+        return self.plan.pp_stages * self.plan.blocks_per_stage(self.model)
+
+    def stage_latency_s(self, context_length: int) -> float:
+        """Duration of one pipeline-stage beat at ``context_length``."""
+        blocks = self.plan.blocks_per_stage(self.model)
+        return blocks * self.block_latency_ns(context_length) * 1e-9
+
+    def decode_iteration_s(self, context_lengths: Sequence[int]) -> float:
+        """Wall-clock time to advance every running request by one token.
+
+        The in-flight requests progress through the pipeline concurrently
+        (staggered across stages), so the iteration takes one token latency
+        at the batch's mean context, independent of how many of the
+        ``pp_stages * dp_replicas`` slots are occupied; per-token host work
+        is overlapped across queries exactly as in the batch throughput
+        model.
+        """
+        contexts = list(context_lengths)
+        if not contexts:
+            return 0.0
+        mean_block_ns = sum(self.block_latency_ns(c) for c in contexts) / len(contexts)
+        return self.effective_layers * mean_block_ns * 1e-9
+
+    def prefill_chunk_s(self, num_tokens: int, context_length: int) -> float:
+        """Wall-clock time to stream ``num_tokens`` of one request's prompt.
+
+        Prompt tokens enter the pipeline back to back (paper §5.5), one per
+        stage beat.  A single request streams through one replica's pipeline,
+        so data parallelism does not shorten its prefill (the engine
+        serialises concurrent prefill chunks, which is conservative for DP
+        plans where replicas could prefill different requests in parallel).
+        """
+        if num_tokens <= 0:
+            return 0.0
+        return num_tokens * self.stage_latency_s(context_length)

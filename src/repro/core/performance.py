@@ -11,6 +11,7 @@ parallelisation plan, and caches the result.  Inference-level aggregation
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -53,11 +54,22 @@ class BlockCost:
 
 
 class PerformanceModel:
-    """Maps (model, plan, context) to block latency, with caching."""
+    """Maps (model, plan, context) to block latency, with bounded caching.
 
-    def __init__(self, config: CentConfig) -> None:
+    Block simulations are cached in an LRU keyed by (model, context, channel
+    assignment).  The capacity comes from ``config.block_cache_entries`` (or
+    the explicit ``cache_capacity`` override) so long serving traces that
+    sweep many context lengths cannot grow memory without bound.
+    """
+
+    def __init__(self, config: CentConfig, cache_capacity: int | None = None) -> None:
         self.config = config
-        self._cache: Dict[Tuple, BlockCost] = {}
+        if cache_capacity is None:
+            cache_capacity = config.block_cache_entries
+        if cache_capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.cache_capacity = cache_capacity
+        self._cache: "OrderedDict[Tuple, BlockCost]" = OrderedDict()
         self._pnm_latency = PnmLatencyModel(
             clock_ghz=config.pnm_clock_ghz, instances=config.pnm_units
         )
@@ -77,10 +89,14 @@ class PerformanceModel:
         fc_channels = plan.fc_channels_per_block(model)
         attention_channels = plan.attention_channels_per_block(model)
         key = (model.name, context_length, fc_channels, attention_channels)
-        if key not in self._cache:
+        if key in self._cache:
+            self._cache.move_to_end(key)
+        else:
             self._cache[key] = self._simulate_block(
                 model, context_length, fc_channels, attention_channels
             )
+            while len(self._cache) > self.cache_capacity:
+                self._cache.popitem(last=False)
         base = self._cache[key]
         cxl_ns = self._cxl_latency_ns(model, plan)
         breakdown = LatencyBreakdown(

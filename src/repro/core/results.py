@@ -1,11 +1,61 @@
-"""Result containers of the CENT inference simulation."""
+"""Result containers of the CENT inference and serving simulations."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
-__all__ = ["LatencyBreakdown", "InferenceResult"]
+import numpy as np
+
+__all__ = [
+    "LatencyBreakdown",
+    "InferenceResult",
+    "LatencyStats",
+    "ServingResult",
+    "percentile",
+]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` with linear interpolation.
+
+    ``numpy.percentile``'s default (``linear``) method, plus a total
+    behaviour for the empty sample set (0.0) so result containers need no
+    special cases.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    values = list(samples)
+    if not values:
+        return 0.0
+    return float(np.percentile(values, q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample set (all values in seconds)."""
+
+    count: int = 0
+    mean_s: float = 0.0
+    p50_s: float = 0.0
+    p90_s: float = 0.0
+    p99_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        values = list(samples)
+        if not values:
+            return cls()
+        p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
+        return cls(
+            count=len(values),
+            mean_s=sum(values) / len(values),
+            p50_s=float(p50),
+            p90_s=float(p90),
+            p99_s=float(p99),
+            max_s=max(values),
+        )
 
 
 @dataclass(frozen=True)
@@ -118,3 +168,102 @@ class InferenceResult:
             raise ValueError("cost rate must be positive")
         tokens_per_hour = self.end_to_end_throughput_tokens_per_s * 3600.0
         return tokens_per_hour / dollars_per_hour
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Measured outcome of one trace-driven serving run.
+
+    Produced by :class:`repro.serving.ServingEngine`; all latency statistics
+    are measured per request over the event-driven run, not derived from
+    closed-form batch math.
+    """
+
+    model_name: str
+    plan_name: str
+    num_requests: int
+    num_completed: int
+    num_rejected: int
+    makespan_s: float
+    ttft: LatencyStats = field(default_factory=LatencyStats)
+    tbt: LatencyStats = field(default_factory=LatencyStats)
+    query_latency: LatencyStats = field(default_factory=LatencyStats)
+    #: Per-request time from first to last token (query latency minus TTFT).
+    decode_latency: LatencyStats = field(default_factory=LatencyStats)
+    total_prompt_tokens: int = 0
+    total_decode_tokens: int = 0
+    prefill_time_s: float = 0.0
+    decode_time_s: float = 0.0
+    decode_step_tokens: int = 0
+    peak_memory_bytes: int = 0
+    memory_capacity_bytes: int = 0
+    sla_latency_s: Optional[float] = None
+    completed_within_sla: int = 0
+    sla_decode_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 0 or self.num_completed < 0 or self.num_rejected < 0:
+            raise ValueError("request counts must be non-negative")
+        if self.num_completed + self.num_rejected > self.num_requests:
+            raise ValueError("completed + rejected cannot exceed the trace size")
+        if self.makespan_s < 0:
+            raise ValueError("makespan must be non-negative")
+
+    # ------------------------------------------------------------------ throughput
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Generated tokens per wall-clock second over the whole run."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_decode_tokens / self.makespan_s
+
+    @property
+    def queries_per_s(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.num_completed / self.makespan_s
+
+    @property
+    def decode_throughput_tokens_per_s(self) -> float:
+        """Tokens per second over the time the engine spent in decode steps.
+
+        For the static special case (all arrivals at t=0, identical queries,
+        full batch) this equals the closed-form decode throughput of
+        ``CentSystem.run_inference``.
+        """
+        if self.decode_time_s <= 0:
+            return 0.0
+        return self.decode_step_tokens / self.decode_time_s
+
+    # ------------------------------------------------------------------ goodput
+
+    @property
+    def goodput_queries_per_s(self) -> float:
+        """SLA-compliant completed queries per second (all, without an SLA)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        if self.sla_latency_s is None:
+            return self.queries_per_s
+        return self.completed_within_sla / self.makespan_s
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        """Generated tokens of SLA-compliant queries per second."""
+        if self.makespan_s <= 0:
+            return 0.0
+        if self.sla_latency_s is None:
+            return self.throughput_tokens_per_s
+        return self.sla_decode_tokens / self.makespan_s
+
+    @property
+    def sla_violation_fraction(self) -> float:
+        if self.sla_latency_s is None or self.num_completed == 0:
+            return 0.0
+        return 1.0 - self.completed_within_sla / self.num_completed
+
+    @property
+    def rejection_fraction(self) -> float:
+        if self.num_requests == 0:
+            return 0.0
+        return self.num_rejected / self.num_requests

@@ -84,6 +84,23 @@ class CentSystem:
         """Per-token latency breakdown (Figure 14c)."""
         return self.performance.token_breakdown(self.model, plan, context_length)
 
+    # ------------------------------------------------------------------ serving
+
+    def serve(self, trace, plan: Optional[ParallelismPlan] = None,
+              *, sla_latency_s: Optional[float] = None, **engine_kwargs):
+        """Serve a timed query trace with event-driven continuous batching.
+
+        Convenience wrapper over :class:`repro.serving.ServingEngine`; the
+        engine shares this system's performance model (and its bounded
+        block-cost cache), so repeated serving runs reuse block simulations.
+        Returns a :class:`~repro.core.results.ServingResult`.
+        """
+        # Imported here: repro.serving builds on repro.core.system.
+        from repro.serving.engine import ServingEngine
+
+        engine = ServingEngine(self, plan, **engine_kwargs)
+        return engine.run(trace, sla_latency_s=sla_latency_s)
+
     # ------------------------------------------------------------------ capacity
 
     @property

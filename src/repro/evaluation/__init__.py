@@ -30,6 +30,10 @@ from repro.evaluation.power_figures import (
 )
 from repro.evaluation.pim_baselines import figure17_cxl_pnm, figure18_gpu_pim
 from repro.evaluation.scalability import figure19_scalability
+from repro.evaluation.serving_studies import (
+    figure14b_qos_serving,
+    figure14d_query_latency_serving,
+)
 
 __all__ = [
     "format_table",
@@ -52,4 +56,6 @@ __all__ = [
     "figure17_cxl_pnm",
     "figure18_gpu_pim",
     "figure19_scalability",
+    "figure14b_qos_serving",
+    "figure14d_query_latency_serving",
 ]

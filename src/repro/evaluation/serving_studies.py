@@ -1,0 +1,134 @@
+"""Serving-mode variants of the QoS and query-latency studies.
+
+Figures 14(b) and 14(d) in the paper are built from closed-form batch math:
+every operating point is one ``run_inference`` call on a static batch of
+identical queries.  The serving-mode variants here replay **timed traces**
+through the event-driven :class:`~repro.serving.ServingEngine` instead, so
+the reported latencies include queueing, admission and continuous-batching
+effects that the closed-form path cannot express:
+
+* :func:`figure14b_qos_serving` — the TP/PP mapping sweep of Figure 14b
+  under open-loop Poisson traffic, reporting measured TTFT/TBT/query-latency
+  percentiles, throughput and SLA goodput per mapping, plus an
+  :class:`~repro.workloads.sla.SlaReport` over the measured operating
+  points;
+* :func:`figure14d_query_latency_serving` — the output-length sweep of
+  Figure 14d with measured (queueing-inclusive) prefill and decode
+  latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import CentConfig
+from repro.core.results import ServingResult
+from repro.core.system import CentSystem
+from repro.evaluation.analysis import cent_mappings_for
+from repro.models.config import LLAMA2_70B, ModelConfig
+from repro.serving.engine import ServingEngine
+from repro.workloads.queries import (
+    fixed_queries,
+    poisson_arrivals,
+    sharegpt_like_queries,
+    with_arrivals,
+)
+from repro.workloads.sla import evaluate_sla_from_serving
+
+__all__ = ["figure14b_qos_serving", "figure14d_query_latency_serving"]
+
+
+def _serve_poisson(
+    engine: ServingEngine,
+    queries,
+    utilization: float,
+    seed: int,
+    sla_latency_s: Optional[float],
+) -> ServingResult:
+    rate = utilization * engine.estimated_capacity_qps(queries)
+    trace = with_arrivals(queries, poisson_arrivals(len(queries), rate, seed=seed))
+    return engine.run(trace, sla_latency_s=sla_latency_s)
+
+
+def figure14b_qos_serving(
+    model: ModelConfig = LLAMA2_70B,
+    num_devices: int = 32,
+    num_queries: int = 200,
+    utilization: float = 0.7,
+    sla_latency_s: float = 60.0,
+    seed: int = 2025,
+    context_samples: int = 3,
+    context_step: int = 256,
+) -> Dict[str, object]:
+    """Measured QoS of the Figure 14b mapping sweep under Poisson traffic.
+
+    Every TP/PP mapping serves the same ShareGPT-like trace, with the
+    arrival rate scaled to ``utilization`` of that mapping's estimated
+    capacity (an open-loop rate one would provision for it).  Returns the
+    per-mapping rows plus the SLA classification of the measured
+    (p99 latency, throughput) operating points.
+    """
+    if not 0 < utilization:
+        raise ValueError("utilization must be positive")
+    config = CentConfig(num_devices=num_devices, context_samples=context_samples)
+    system = CentSystem(config, model)
+    queries = sharegpt_like_queries(num_queries, seed=seed)
+
+    rows: List[Dict[str, object]] = []
+    results: List[ServingResult] = []
+    for name, plan in cent_mappings_for(model, num_devices).items():
+        engine = ServingEngine(system, plan, context_step=context_step)
+        result = _serve_poisson(engine, queries, utilization, seed, sla_latency_s)
+        results.append(result)
+        rows.append({
+            "mapping": name,
+            "slots": plan.queries_in_flight,
+            "completed": result.num_completed,
+            "ttft_p50_s": result.ttft.p50_s,
+            "ttft_p99_s": result.ttft.p99_s,
+            "tbt_p50_s": result.tbt.p50_s,
+            "tbt_p99_s": result.tbt.p99_s,
+            "query_latency_p50_s": result.query_latency.p50_s,
+            "query_latency_p99_s": result.query_latency.p99_s,
+            "throughput_tokens_per_s": result.throughput_tokens_per_s,
+            "goodput_tokens_per_s": result.goodput_tokens_per_s,
+            "sla_violation_fraction": result.sla_violation_fraction,
+        })
+    report = evaluate_sla_from_serving(results, sla_latency_s, percentile="p99")
+    return {"cent": rows, "sla": report}
+
+
+def figure14d_query_latency_serving(
+    model: ModelConfig = LLAMA2_70B,
+    num_devices: int = 32,
+    prompt_tokens: int = 512,
+    output_sizes: Sequence[int] = (128, 512, 1024, 3584),
+    queries_per_point: int = 32,
+    utilization: float = 0.7,
+    seed: int = 2025,
+    context_samples: int = 3,
+    context_step: int = 256,
+) -> List[Dict[str, object]]:
+    """Measured prefill / decoding latency versus output size (Figure 14d).
+
+    Unlike the closed-form study, TTFT here includes the queueing delay of
+    the Poisson arrivals and the prefill interference of continuous
+    batching.
+    """
+    config = CentConfig(num_devices=num_devices, context_samples=context_samples)
+    system = CentSystem(config, model)
+    rows: List[Dict[str, object]] = []
+    for output in output_sizes:
+        queries = fixed_queries(queries_per_point, prompt_tokens, output)
+        plan = system.throughput_plan(context_length=prompt_tokens + output)
+        engine = ServingEngine(system, plan, context_step=context_step)
+        result = _serve_poisson(engine, queries, utilization, seed, None)
+        rows.append({
+            "output_tokens": output,
+            "ttft_p50_min": result.ttft.p50_s / 60.0,
+            "decode_p50_min": result.decode_latency.p50_s / 60.0,
+            "query_latency_p50_min": result.query_latency.p50_s / 60.0,
+            "query_latency_p99_min": result.query_latency.p99_s / 60.0,
+            "throughput_tokens_per_s": result.throughput_tokens_per_s,
+        })
+    return rows

@@ -1,0 +1,376 @@
+"""Event-driven serving engine with vLLM-style continuous batching.
+
+``ServingEngine`` replays a trace of timed :class:`~repro.workloads.queries.Query`
+requests against a :class:`~repro.core.system.CentSystem`:
+
+* requests arrive according to their ``arrival_time_s`` (an open-loop
+  arrival process, e.g. :func:`~repro.workloads.queries.poisson_arrivals`);
+* admission is **KV-capacity aware**: a request joins the running batch only
+  when its full-context KV cache fits the memory left over from the model
+  weights (via :class:`~repro.models.memory.ModelMemoryProfile`) and a batch
+  slot (a pipeline-stage position) is free, so the in-flight context never
+  exceeds the system's ``memory_capacity_bytes``;
+* batching is **continuous**: newly admitted requests prefill in bounded
+  chunks, every decode step advances all running requests at once, and
+  finished requests free their slot immediately — no waiting for the
+  slowest request of a static batch.  By default prefill has strict
+  priority over decoding (vLLM's default scheduler: decode stalls until the
+  prefill backlog drains, which the measured time-between-tokens captures);
+  with ``interleave_prefill=True`` each iteration piggybacks one prefill
+  chunk onto the decode step instead (vLLM's chunked-prefill mode), so a
+  decode stall is bounded by ``prefill_chunk_tokens`` at the price of
+  stretching every co-scheduled decode iteration;
+* iteration costs come from :class:`~repro.core.iteration.IterationCostModel`,
+  which prices a mixed-context batch step from the same compiled-program
+  block simulations as the static batch path (shared performance-model
+  cache), without re-simulating whole inferences.
+
+The paper-shaped static batch — identical queries, all arriving at ``t=0``,
+one per pipeline slot — is the degenerate case: every request prefills, then
+the batch decodes in lockstep, and the measured decode throughput matches
+``CentSystem.run_inference``.
+
+Quickstart::
+
+    from repro import CentConfig, CentSystem, LLAMA2_70B
+    from repro.serving import ServingEngine
+    from repro.workloads import poisson_arrivals, sharegpt_like_queries, with_arrivals
+
+    system = CentSystem(CentConfig(num_devices=32), LLAMA2_70B)
+    trace = with_arrivals(sharegpt_like_queries(200), poisson_arrivals(200, rate_qps=0.5))
+    result = ServingEngine(system).run(trace, sla_latency_s=120.0)
+    print(result.ttft.p99_s, result.tbt.p50_s, result.goodput_tokens_per_s)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from repro.core.iteration import IterationCostModel
+from repro.core.results import ServingResult
+from repro.core.system import CentSystem
+from repro.mapping.parallelism import ParallelismPlan
+from repro.mapping.placement import validate_capacity
+from repro.models.memory import ModelMemoryProfile
+from repro.serving.metrics import aggregate_serving_result
+from repro.serving.request import RequestState, ServingRequest
+from repro.workloads.queries import Query
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Discrete-event continuous-batching scheduler over a CENT system.
+
+    Parameters
+    ----------
+    system:
+        The deployment to serve on; its :class:`PerformanceModel` (and its
+        bounded block-cost cache) is shared with the engine.
+    plan:
+        Parallelisation plan.  Defaults to the system's throughput plan for
+        the trace's longest context, matching ``run_inference``.
+    max_batch_size:
+        Optional cap on concurrently running requests; defaults to the
+        plan's ``queries_in_flight`` (one request per pipeline slot).
+    prefill_chunk_tokens:
+        Prompt tokens processed per engine iteration across all prefilling
+        requests (FCFS within the chunk).  Under the default
+        prefill-priority scheduling it sets the granularity at which
+        concurrent prefills interleave; with ``interleave_prefill=True`` it
+        also bounds how long one iteration's prefill work can stall the
+        co-scheduled decode step.
+    interleave_prefill:
+        ``False`` (default): prefill-priority scheduling — decode waits for
+        the prefill backlog, and the static special case exactly reproduces
+        the batch path.  ``True``: chunked-prefill scheduling — each
+        iteration runs one prefill chunk *and* one decode step.
+    context_step:
+        Grid granularity (tokens) of the iteration cost model's block-cost
+        interpolation.
+    memory_capacity_bytes:
+        Override of the system's memory capacity, for what-if studies and
+        for tests that force admission pressure.
+    """
+
+    def __init__(
+        self,
+        system: CentSystem,
+        plan: Optional[ParallelismPlan] = None,
+        *,
+        max_batch_size: Optional[int] = None,
+        prefill_chunk_tokens: int = 512,
+        interleave_prefill: bool = False,
+        context_step: int = 256,
+        memory_capacity_bytes: Optional[int] = None,
+    ) -> None:
+        if max_batch_size is not None and max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if prefill_chunk_tokens <= 0:
+            raise ValueError("prefill_chunk_tokens must be positive")
+        if context_step <= 0:
+            raise ValueError("context_step must be positive")
+        self.system = system
+        self.model = system.model
+        self.plan = plan
+        self.max_batch_size = max_batch_size
+        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.interleave_prefill = interleave_prefill
+        self.context_step = context_step
+        self.memory_capacity_bytes = (
+            memory_capacity_bytes if memory_capacity_bytes is not None
+            else system.memory_capacity_bytes
+        )
+        if self.memory_capacity_bytes <= 0:
+            raise ValueError("memory capacity must be positive")
+        self._profile = ModelMemoryProfile(self.model)
+
+    # ------------------------------------------------------------------ planning
+
+    def _servable_context(self, trace: Sequence[Query], dp_replicas: int = 1) -> int:
+        """Largest context among the queries the engine could ever admit.
+
+        Requests beyond the model's context limit — or whose KV cache alone
+        exceeds the post-weight memory budget — are rejected at admission,
+        so they must not drive planning or plan validation either.
+        ``dp_replicas`` matches admission's weight accounting when the plan
+        is already known; with a yet-unknown plan the single-replica budget
+        is the upper bound of what any plan could admit.
+        """
+        kv_budget = (self.memory_capacity_bytes
+                     - self._profile.parameter_bytes * dp_replicas)
+        servable = [q.total_context for q in trace
+                    if self._is_servable(q, kv_budget)]
+        return max(servable) if servable else self.model.max_context
+
+    def _is_servable(self, query: Query, kv_budget: int) -> bool:
+        """Whether admission could ever accept ``query`` under ``kv_budget``."""
+        if query.total_context > self.model.max_context:
+            return False
+        if kv_budget <= 0:
+            # Weights alone overflow; run() raises the precise error.
+            return True
+        return self._kv_reservation_bytes(query.total_context) <= kv_budget
+
+    def _setup(self, trace: Sequence[Query]):
+        """Shared run/estimate setup: (plan, iteration cost model, slots)."""
+        if not trace:
+            raise ValueError("the trace must contain at least one query")
+        if self.plan is None:
+            context = self._servable_context(trace)
+            plan = self.system.throughput_plan(context_length=context)
+        else:
+            plan = self.plan
+            context = self._servable_context(trace, dp_replicas=plan.dp_replicas)
+        slots = plan.queries_in_flight
+        if self.max_batch_size is not None:
+            slots = min(slots, self.max_batch_size)
+        if self.plan is not None:
+            # Mirror the static path: an explicit plan must place the model
+            # (weights plus the in-flight KV caches) on the devices.  A
+            # max_batch_size below the plan's slot count proportionally
+            # shrinks the KV footprint the devices must hold.
+            occupancy = (self.system.config.kv_occupancy
+                         * slots / plan.queries_in_flight)
+            validate_capacity(self.model, plan, context,
+                              geometry=self.system.config.geometry,
+                              kv_occupancy=occupancy)
+        cost = IterationCostModel(
+            self.system.performance, self.model, plan, context_step=self.context_step
+        )
+        return plan, cost, slots
+
+    def _kv_reservation_bytes(self, context_length: int) -> int:
+        """KV bytes one admitted request reserves for its full context.
+
+        Scaled by ``kv_occupancy`` exactly like the static path's capacity
+        validation, so serving and closed-form feasibility agree on the same
+        config; planning (:meth:`_servable_context`) and admission share this
+        single definition.
+        """
+        return int(self._profile.kv_cache_bytes_per_query(context_length)
+                   * self.system.config.kv_occupancy)
+
+    def _kv_budget_bytes(self, plan: ParallelismPlan) -> int:
+        weight_bytes = self._profile.parameter_bytes * plan.dp_replicas
+        budget = self.memory_capacity_bytes - weight_bytes
+        if budget <= 0:
+            raise MemoryError(
+                f"{self.model.name} weights ({weight_bytes / 2**30:.1f} GiB x "
+                f"{plan.dp_replicas} replicas) exceed the "
+                f"{self.memory_capacity_bytes / 2**30:.1f} GiB capacity"
+            )
+        return budget
+
+    # ------------------------------------------------------------------ serving
+
+    def run(
+        self,
+        trace: Sequence[Query],
+        *,
+        sla_latency_s: Optional[float] = None,
+    ) -> ServingResult:
+        """Serve ``trace`` to completion and return measured statistics."""
+        queries = list(trace)
+        if sla_latency_s is not None and sla_latency_s <= 0:
+            raise ValueError("the SLA latency bound must be positive")
+
+        plan, cost, slots = self._setup(queries)
+        kv_budget = self._kv_budget_bytes(plan)
+        weight_bytes = self.memory_capacity_bytes - kv_budget
+
+        requests = [ServingRequest(i, q) for i, q in enumerate(queries)]
+        order = sorted(requests, key=lambda r: r.arrival_time_s)
+
+        pending: Deque[ServingRequest] = deque()
+        for request in order:
+            # A request whose KV cache alone can never fit (or whose context
+            # exceeds the model) is refused outright rather than queued.
+            if not self._is_servable(request.query, kv_budget):
+                request.state = RequestState.REJECTED
+            else:
+                request.kv_reserved_bytes = \
+                    self._kv_reservation_bytes(request.query.total_context)
+                pending.append(request)
+
+        waiting: Deque[ServingRequest] = deque()
+        running: List[ServingRequest] = []
+        clock = 0.0
+        reserved_bytes = 0
+        # Weights are resident for the whole run (feasibility checked above),
+        # even if every request ends up rejected.
+        peak_memory = weight_bytes
+        prefill_time_s = 0.0
+        decode_time_s = 0.0
+        decode_step_tokens = 0
+
+        while pending or waiting or running:
+            while pending and pending[0].arrival_time_s <= clock:
+                waiting.append(pending.popleft())
+
+            # FCFS admission while a slot and the KV budget allow.
+            while (waiting and len(running) < slots
+                   and reserved_bytes + waiting[0].kv_reserved_bytes <= kv_budget):
+                request = waiting.popleft()
+                request.state = RequestState.PREFILL
+                request.admitted_time_s = clock
+                reserved_bytes += request.kv_reserved_bytes
+                running.append(request)
+            peak_memory = max(peak_memory, weight_bytes + reserved_bytes)
+
+            if not running:
+                # Idle: jump to the next arrival.
+                clock = max(clock, pending[0].arrival_time_s)
+                continue
+
+            # ---------------------------------------------- build one iteration
+            # Default (prefill-priority, vLLM's stock scheduler): an
+            # iteration runs either a bounded chunk of prefill work or one
+            # decode step for the whole running batch; decode stalls until
+            # the prefill backlog drains, and the stall surfaces in the
+            # measured time-between-tokens.  The static special case
+            # (everything prefilled, then lockstep decoding) thereby
+            # reproduces the closed-form batch decode throughput.  With
+            # ``interleave_prefill`` (chunked-prefill mode) the iteration
+            # runs the prefill chunk *and* the decode step together, so the
+            # stall is bounded by the chunk at the price of stretching the
+            # co-scheduled decode iteration.
+            chunk_budget = self.prefill_chunk_tokens
+            prefill_work: List[tuple] = []
+            for request in running:
+                if chunk_budget <= 0:
+                    break
+                if request.prefill_remaining <= 0:
+                    continue
+                tokens = min(request.prefill_remaining, chunk_budget)
+                prefill_work.append((request, tokens))
+                chunk_budget -= tokens
+            if prefill_work and not self.interleave_prefill:
+                decode_batch: List[ServingRequest] = []
+            else:
+                decode_batch = [r for r in running if r.prefill_remaining == 0]
+
+            prefill_s = 0.0
+            for request, tokens in prefill_work:
+                start = request.query.prompt_tokens - request.prefill_remaining
+                midpoint = max(start + tokens // 2, 1)
+                prefill_s += cost.prefill_chunk_s(tokens, midpoint)
+            decode_s = cost.decode_iteration_s(
+                [r.context_length for r in decode_batch]
+            )
+            clock += prefill_s + decode_s
+            prefill_time_s += prefill_s
+            if decode_batch:
+                decode_time_s += decode_s
+                decode_step_tokens += len(decode_batch)
+
+            # ---------------------------------------------- apply the iteration
+            for request, tokens in prefill_work:
+                request.prefill_remaining -= tokens
+                if request.prefill_remaining == 0:
+                    # The chunk completing the prefill emits the first token.
+                    request.state = RequestState.DECODE
+                    request.first_token_time_s = clock
+                    request.last_token_time_s = clock
+                    request.tokens_generated = 1
+            for request in decode_batch:
+                request.tokens_generated += 1
+                # Time between tokens, including any prefill stalls since
+                # this request's previous token.
+                request.tbt_samples_s.append(clock - request.last_token_time_s)
+                request.last_token_time_s = clock
+
+            finished = [r for r in running
+                        if r.tokens_generated >= r.query.decode_tokens]
+            for request in finished:
+                request.state = RequestState.FINISHED
+                request.finish_time_s = clock
+                reserved_bytes -= request.kv_reserved_bytes
+            if finished:
+                running = [r for r in running if r.state is not RequestState.FINISHED]
+
+        return aggregate_serving_result(
+            requests,
+            model_name=self.model.name,
+            plan_name=plan.name,
+            makespan_s=clock,
+            prefill_time_s=prefill_time_s,
+            decode_time_s=decode_time_s,
+            decode_step_tokens=decode_step_tokens,
+            peak_memory_bytes=peak_memory,
+            memory_capacity_bytes=self.memory_capacity_bytes,
+            sla_latency_s=sla_latency_s,
+        )
+
+    # ------------------------------------------------------------------ sizing
+
+    def estimated_capacity_qps(self, trace: Sequence[Query]) -> float:
+        """Rough sustainable arrival rate (queries/s) for ``trace``'s shape.
+
+        Models the engine's actual steady state: prefills serialise (one
+        request's prompt streams exclusively, and by default decoding stalls
+        while it does), whereas decode iterations advance the whole batch at
+        once, so a query's decode share is ``decode_tokens`` iterations
+        divided across the occupied slots.  Useful for choosing an arrival
+        rate that loads, but does not drown, the system.
+        """
+        queries = list(trace)
+        plan, cost, slots = self._setup(queries)
+        # Estimate from the queries admission could actually accept, with the
+        # same predicate (and weight-feasibility error) run() applies.
+        kv_budget = self._kv_budget_bytes(plan)
+        servable = [q for q in queries if self._is_servable(q, kv_budget)]
+        if servable:
+            queries = servable
+        mean_prompt = sum(q.prompt_tokens for q in queries) / len(queries)
+        mean_decode = sum(q.decode_tokens for q in queries) / len(queries)
+        mid_context = int(mean_prompt + mean_decode / 2)
+        # On memory-bound configs the KV budget, not the plan, caps how many
+        # requests decode concurrently.
+        reservation = self._kv_reservation_bytes(int(mean_prompt + mean_decode))
+        if reservation > 0:
+            slots = max(1, min(slots, kv_budget // reservation))
+        prefill_s = cost.prefill_chunk_s(int(mean_prompt), max(int(mean_prompt) // 2, 1))
+        decode_share_s = mean_decode * cost.decode_iteration_s([mid_context]) / slots
+        return 1.0 / (prefill_s + decode_share_s)

@@ -1,0 +1,68 @@
+"""Aggregation of per-request measurements into a :class:`ServingResult`.
+
+The percentile machinery (``percentile``, :class:`LatencyStats`) lives in
+``repro.core.results`` next to the result containers; this module re-exports
+it and adds the trace-level aggregation the engine runs after the event loop
+drains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.results import LatencyStats, ServingResult, percentile
+from repro.serving.request import RequestState, ServingRequest
+
+__all__ = ["LatencyStats", "percentile", "aggregate_serving_result"]
+
+
+def aggregate_serving_result(
+    requests: Sequence[ServingRequest],
+    *,
+    model_name: str,
+    plan_name: str,
+    makespan_s: float,
+    prefill_time_s: float,
+    decode_time_s: float,
+    decode_step_tokens: int,
+    peak_memory_bytes: int,
+    memory_capacity_bytes: int,
+    sla_latency_s: Optional[float] = None,
+) -> ServingResult:
+    """Fold the finished request set into a :class:`ServingResult`."""
+    completed = [r for r in requests if r.state is RequestState.FINISHED]
+    rejected = [r for r in requests if r.state is RequestState.REJECTED]
+
+    ttfts = [r.ttft_s for r in completed if r.ttft_s is not None]
+    latencies = [r.latency_s for r in completed if r.latency_s is not None]
+    decodes = [r.latency_s - r.ttft_s for r in completed
+               if r.latency_s is not None and r.ttft_s is not None]
+    tbts = [sample for r in completed for sample in r.tbt_samples_s]
+
+    within_sla = completed
+    if sla_latency_s is not None:
+        within_sla = [r for r in completed
+                      if r.latency_s is not None and r.latency_s <= sla_latency_s]
+
+    return ServingResult(
+        model_name=model_name,
+        plan_name=plan_name,
+        num_requests=len(requests),
+        num_completed=len(completed),
+        num_rejected=len(rejected),
+        makespan_s=makespan_s,
+        ttft=LatencyStats.from_samples(ttfts),
+        tbt=LatencyStats.from_samples(tbts),
+        query_latency=LatencyStats.from_samples(latencies),
+        decode_latency=LatencyStats.from_samples(decodes),
+        total_prompt_tokens=sum(r.query.prompt_tokens for r in completed),
+        total_decode_tokens=sum(r.query.decode_tokens for r in completed),
+        prefill_time_s=prefill_time_s,
+        decode_time_s=decode_time_s,
+        decode_step_tokens=decode_step_tokens,
+        peak_memory_bytes=peak_memory_bytes,
+        memory_capacity_bytes=memory_capacity_bytes,
+        sla_latency_s=sla_latency_s,
+        completed_within_sla=len(within_sla),
+        sla_decode_tokens=sum(r.query.decode_tokens for r in within_sla),
+    )

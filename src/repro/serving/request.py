@@ -1,0 +1,79 @@
+"""Per-request state tracked by the serving engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.queries import Query
+
+__all__ = ["RequestState", "ServingRequest"]
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of one request inside the serving engine."""
+
+    QUEUED = "queued"        # arrived, waiting for admission
+    PREFILL = "prefill"      # admitted, prompt tokens streaming in
+    DECODE = "decode"        # generating output tokens
+    FINISHED = "finished"    # all output tokens generated
+    REJECTED = "rejected"    # can never fit the system; refused on arrival
+
+
+@dataclass
+class ServingRequest:
+    """One query's measured journey through the engine."""
+
+    request_id: int
+    query: Query
+    state: RequestState = RequestState.QUEUED
+    admitted_time_s: Optional[float] = None
+    first_token_time_s: Optional[float] = None
+    last_token_time_s: Optional[float] = None
+    finish_time_s: Optional[float] = None
+    prefill_remaining: int = field(init=False)
+    tokens_generated: int = 0
+    kv_reserved_bytes: int = 0
+    tbt_samples_s: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.prefill_remaining = self.query.prompt_tokens
+
+    # ------------------------------------------------------------------ progress
+
+    @property
+    def arrival_time_s(self) -> float:
+        return self.query.arrival_time_s
+
+    @property
+    def context_length(self) -> int:
+        """Tokens currently held in the request's KV cache."""
+        prefilled = self.query.prompt_tokens - self.prefill_remaining
+        return prefilled + self.tokens_generated
+
+    @property
+    def is_running(self) -> bool:
+        return self.state in (RequestState.PREFILL, RequestState.DECODE)
+
+    # ------------------------------------------------------------------ metrics
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Time from arrival to the first generated token."""
+        if self.first_token_time_s is None:
+            return None
+        return self.first_token_time_s - self.arrival_time_s
+
+    @property
+    def queueing_delay_s(self) -> Optional[float]:
+        if self.admitted_time_s is None:
+            return None
+        return self.admitted_time_s - self.arrival_time_s
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end query latency (arrival to last token)."""
+        if self.finish_time_s is None:
+            return None
+        return self.finish_time_s - self.arrival_time_s

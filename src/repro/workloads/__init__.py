@@ -1,4 +1,4 @@
-"""Workload generation and service-level evaluation.
+"""Workload generation, arrival processes and service-level evaluation.
 
 The evaluation uses fixed-shape queries (512 prompt / 3584 decode tokens for
 the main results) and a ShareGPT-like length distribution for the NeuPIM
@@ -6,18 +6,37 @@ comparison.  The real ShareGPT dataset is not redistributable, so
 ``sharegpt_like_queries`` generates a deterministic synthetic trace with the
 same summary statistics (log-normal prompt and output lengths with the means
 reported for the dataset).
+
+For trace-driven serving, :func:`poisson_arrivals` and
+:func:`bursty_arrivals` generate deterministic open-loop arrival processes,
+:func:`with_arrivals` attaches them to a trace, and
+:func:`evaluate_sla_from_serving` checks measured serving runs against a
+query-latency SLA.
 """
 
-from repro.workloads.queries import Query, fixed_queries, sharegpt_like_queries
+from repro.workloads.queries import (
+    Query,
+    bursty_arrivals,
+    fixed_queries,
+    poisson_arrivals,
+    sharegpt_like_queries,
+    validate_arrivals,
+    with_arrivals,
+)
 from repro.workloads.batching import max_feasible_batch, split_into_batches
-from repro.workloads.sla import SlaReport, evaluate_sla
+from repro.workloads.sla import SlaReport, evaluate_sla, evaluate_sla_from_serving
 
 __all__ = [
     "Query",
     "fixed_queries",
     "sharegpt_like_queries",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "validate_arrivals",
+    "with_arrivals",
     "max_feasible_batch",
     "split_into_batches",
     "SlaReport",
     "evaluate_sla",
+    "evaluate_sla_from_serving",
 ]

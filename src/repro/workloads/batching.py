@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import numbers
+from typing import Iterable, List, Sequence
 
 from repro.models.config import ModelConfig
 from repro.models.memory import ModelMemoryProfile
@@ -37,10 +38,22 @@ def max_feasible_batch(
     return feasible
 
 
-def split_into_batches(queries: Sequence[Query], batch_size: int) -> List[List[Query]]:
-    """Partition a query trace into consecutive batches."""
-    if batch_size <= 0:
-        raise ValueError("batch size must be positive")
-    if not queries:
+def split_into_batches(queries: Iterable[Query], batch_size: int) -> List[List[Query]]:
+    """Partition a query trace into consecutive batches.
+
+    Accepts any sequence or iterable of queries (lists, tuples, materialised
+    generators); the input is materialised once and the original query order
+    is preserved within and across batches.  Every batch is full except
+    possibly the last.
+    """
+    if (isinstance(batch_size, bool)
+            or not isinstance(batch_size, numbers.Integral)
+            or batch_size <= 0):
+        raise ValueError(
+            f"batch size must be a positive integer, got {batch_size!r}"
+        )
+    batch_size = int(batch_size)
+    items = list(queries)
+    if not items:
         return []
-    return [list(queries[i:i + batch_size]) for i in range(0, len(queries), batch_size)]
+    return [items[i:i + batch_size] for i in range(0, len(items), batch_size)]

@@ -1,25 +1,42 @@
-"""Query definitions and synthetic trace generators."""
+"""Query definitions, synthetic trace generators and arrival processes."""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["Query", "fixed_queries", "sharegpt_like_queries"]
+__all__ = [
+    "Query",
+    "fixed_queries",
+    "sharegpt_like_queries",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "validate_arrivals",
+    "with_arrivals",
+]
 
 
 @dataclass(frozen=True)
 class Query:
-    """One inference request: a prompt and a number of tokens to generate."""
+    """One inference request: a prompt, tokens to generate, and when it arrives.
+
+    ``arrival_time_s`` defaults to zero, which reproduces the paper's static
+    evaluation shape (every query present at the start of the run); the
+    serving engine uses it to replay trace-driven open-loop traffic.
+    """
 
     prompt_tokens: int
     decode_tokens: int
+    arrival_time_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.decode_tokens <= 0:
             raise ValueError("prompt and decode token counts must be positive")
+        if not np.isfinite(self.arrival_time_s) or self.arrival_time_s < 0:
+            raise ValueError("arrival time must be finite and non-negative")
 
     @property
     def total_context(self) -> int:
@@ -67,3 +84,93 @@ def sharegpt_like_queries(
         output = int(min(output, max_context - prompt))
         queries.append(Query(max(prompt, 1), max(output, 1)))
     return queries
+
+
+# --------------------------------------------------------------------- arrivals
+
+def validate_arrivals(arrival_times_s: Sequence[float]) -> None:
+    """Raise ``ValueError`` unless arrivals are finite, non-negative, sorted."""
+    previous = 0.0
+    for index, value in enumerate(arrival_times_s):
+        if not np.isfinite(value) or value < 0:
+            raise ValueError(
+                f"arrival {index} is {value!r}; arrivals must be finite and "
+                "non-negative"
+            )
+        if value < previous:
+            raise ValueError(
+                f"arrival {index} ({value}) precedes arrival {index - 1} "
+                f"({previous}); arrivals must be sorted ascending"
+            )
+        previous = value
+
+
+def poisson_arrivals(
+    count: int,
+    rate_qps: float,
+    seed: int = 2025,
+    start_s: float = 0.0,
+) -> List[float]:
+    """Arrival times of a Poisson process with ``rate_qps`` queries/second.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_qps``; the result
+    is deterministic under ``seed``, non-negative and sorted ascending.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if rate_qps <= 0:
+        raise ValueError("arrival rate must be positive")
+    if start_s < 0:
+        raise ValueError("start time must be non-negative")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_qps, size=count)
+    times = [float(t) for t in start_s + np.cumsum(gaps)]
+    validate_arrivals(times)
+    return times
+
+
+def bursty_arrivals(
+    count: int,
+    rate_qps: float,
+    burstiness: float = 4.0,
+    seed: int = 2025,
+    start_s: float = 0.0,
+) -> List[float]:
+    """Arrival times of a bursty (Gamma-renewal) process.
+
+    Inter-arrival gaps follow a Gamma distribution with mean ``1 / rate_qps``
+    and squared coefficient of variation ``burstiness``; ``burstiness=1``
+    degenerates to the Poisson process, larger values cluster arrivals into
+    bursts separated by long gaps.  Deterministic under ``seed``.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if rate_qps <= 0:
+        raise ValueError("arrival rate must be positive")
+    if burstiness <= 0:
+        raise ValueError("burstiness must be positive")
+    if start_s < 0:
+        raise ValueError("start time must be non-negative")
+    rng = np.random.default_rng(seed)
+    shape = 1.0 / burstiness
+    scale = burstiness / rate_qps
+    gaps = rng.gamma(shape=shape, scale=scale, size=count)
+    times = [float(t) for t in start_s + np.cumsum(gaps)]
+    validate_arrivals(times)
+    return times
+
+
+def with_arrivals(queries: Sequence[Query], arrival_times_s: Sequence[float]) -> List[Query]:
+    """Attach arrival times to a trace, validating the arrival process.
+
+    The i-th query receives the i-th arrival time; order is preserved.
+    """
+    queries = list(queries)
+    arrival_times_s = list(arrival_times_s)
+    if len(queries) != len(arrival_times_s):
+        raise ValueError(
+            f"{len(queries)} queries but {len(arrival_times_s)} arrival times"
+        )
+    validate_arrivals(arrival_times_s)
+    return [dataclasses.replace(query, arrival_time_s=float(time))
+            for query, time in zip(queries, arrival_times_s)]

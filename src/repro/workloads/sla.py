@@ -4,6 +4,11 @@ The paper's QoS study (Figure 14b) serves Llama2-70B under different batch
 sizes (GPU) and TP/PP mappings (CENT) and reports query latency against
 throughput; a realistic SLA bounds the acceptable query latency (the MLPerf
 Llama2-70B server scenario is the reference the paper cites).
+
+``evaluate_sla`` classifies generic (latency, throughput) operating points;
+``evaluate_sla_from_serving`` derives those points from **measured**
+serving runs (:class:`~repro.core.results.ServingResult`) instead of
+hand-fed closed-form numbers.
 """
 
 from __future__ import annotations
@@ -11,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-__all__ = ["SlaReport", "evaluate_sla"]
+from repro.core.results import ServingResult
+
+__all__ = ["SlaReport", "evaluate_sla", "evaluate_sla_from_serving"]
 
 
 @dataclass(frozen=True)
@@ -51,3 +58,25 @@ def evaluate_sla(
         compliant_points=compliant,
         violating_points=violating,
     )
+
+
+def evaluate_sla_from_serving(
+    results: Sequence[ServingResult],
+    sla_latency_s: float,
+    percentile: str = "p99",
+) -> SlaReport:
+    """Classify measured serving runs by a query-latency SLA.
+
+    Each run contributes one operating point: its measured query-latency
+    percentile (``"p50"``, ``"p90"``, ``"p99"``, ``"mean"`` or ``"max"``)
+    against its measured throughput in generated tokens per second.
+    """
+    valid = ("p50", "p90", "p99", "mean", "max")
+    if percentile not in valid:
+        raise ValueError(f"percentile must be one of {valid}, got {percentile!r}")
+    points = [
+        (getattr(result.query_latency, f"{percentile}_s"),
+         result.throughput_tokens_per_s)
+        for result in results
+    ]
+    return evaluate_sla(points, sla_latency_s)

@@ -1,10 +1,18 @@
-"""Unit tests for query generation, batching and SLA evaluation."""
+"""Unit tests for query generation, arrivals, batching and SLA evaluation."""
 
 import pytest
 
 from repro.models.config import LLAMA2_7B, LLAMA2_70B
 from repro.workloads.batching import max_feasible_batch, split_into_batches
-from repro.workloads.queries import Query, fixed_queries, sharegpt_like_queries
+from repro.workloads.queries import (
+    Query,
+    bursty_arrivals,
+    fixed_queries,
+    poisson_arrivals,
+    sharegpt_like_queries,
+    validate_arrivals,
+    with_arrivals,
+)
 from repro.workloads.sla import evaluate_sla
 
 
@@ -43,6 +51,74 @@ class TestQueries:
         with pytest.raises(ValueError):
             sharegpt_like_queries(0)
 
+    def test_arrival_time_defaults_to_zero(self):
+        query = Query(512, 3584)
+        assert query.arrival_time_s == 0.0
+        with pytest.raises(ValueError):
+            Query(512, 3584, arrival_time_s=-1.0)
+
+
+class TestArrivals:
+    def test_poisson_sorted_non_negative_deterministic(self):
+        a = poisson_arrivals(500, rate_qps=2.0, seed=1)
+        b = poisson_arrivals(500, rate_qps=2.0, seed=1)
+        assert a == b
+        assert a != poisson_arrivals(500, rate_qps=2.0, seed=2)
+        assert all(t >= 0 for t in a)
+        assert a == sorted(a)
+
+    def test_poisson_mean_rate(self):
+        times = poisson_arrivals(4000, rate_qps=5.0, seed=0)
+        measured = len(times) / times[-1]
+        assert measured == pytest.approx(5.0, rel=0.1)
+
+    def test_bursty_sorted_deterministic_and_burstier(self):
+        times = bursty_arrivals(4000, rate_qps=5.0, burstiness=8.0, seed=0)
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+        assert times == bursty_arrivals(4000, rate_qps=5.0, burstiness=8.0, seed=0)
+        # Same average rate as the Poisson process...
+        assert len(times) / times[-1] == pytest.approx(5.0, rel=0.15)
+
+        def cv2(ts):
+            gaps = [b - a for a, b in zip(ts, ts[1:])]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var / mean**2
+
+        poisson = poisson_arrivals(4000, rate_qps=5.0, seed=0)
+        # ...but far larger inter-arrival variability.
+        assert cv2(times) > 2.0 * cv2(poisson)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(10, 1.0, burstiness=0.0)
+
+    def test_validate_arrivals(self):
+        validate_arrivals([0.0, 1.0, 1.0, 2.5])
+        with pytest.raises(ValueError):
+            validate_arrivals([0.0, -1.0])
+        with pytest.raises(ValueError):
+            validate_arrivals([2.0, 1.0])
+        with pytest.raises(ValueError):
+            validate_arrivals([0.0, float("nan")])
+
+    def test_with_arrivals(self):
+        queries = fixed_queries(3)
+        timed = with_arrivals(queries, [0.5, 1.5, 2.5])
+        assert [q.arrival_time_s for q in timed] == [0.5, 1.5, 2.5]
+        # Lengths are preserved, order is preserved.
+        assert [(q.prompt_tokens, q.decode_tokens) for q in timed] == \
+               [(q.prompt_tokens, q.decode_tokens) for q in queries]
+        with pytest.raises(ValueError):
+            with_arrivals(queries, [0.0, 1.0])
+        with pytest.raises(ValueError):
+            with_arrivals(queries, [2.0, 1.0, 3.0])
+
 
 class TestBatching:
     def test_max_feasible_batch_caps_at_request(self):
@@ -66,6 +142,18 @@ class TestBatching:
         assert split_into_batches([], 4) == []
         with pytest.raises(ValueError):
             split_into_batches(queries, 0)
+
+    def test_split_accepts_any_sequence_and_preserves_order(self):
+        queries = sharegpt_like_queries(7, seed=3)
+        as_tuple = split_into_batches(tuple(queries), 3)
+        as_generator = split_into_batches((q for q in queries), 3)
+        assert as_tuple == as_generator == split_into_batches(queries, 3)
+        flattened = [q for batch in as_tuple for q in batch]
+        assert flattened == queries
+
+    def test_split_error_names_the_batch_size(self):
+        with pytest.raises(ValueError, match="-3"):
+            split_into_batches(fixed_queries(2), -3)
 
 
 class TestSla:
