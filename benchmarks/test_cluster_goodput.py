@@ -1,0 +1,39 @@
+"""Multi-tenant cluster study: placement policy vs aggregate SLA goodput.
+
+Runs the asymmetric chat + batch tenant mix of
+:func:`repro.evaluation.multi_tenant_policy_study` on the Llama2-7B
+deployment (8 devices) and prints the per-policy goodput / fairness /
+utilisation table.  The per-policy goodput numbers are attached as
+``extra_info`` so the CI benchmark artifact (``BENCH_*.json``) tracks the
+cluster perf trajectory per PR.
+"""
+
+from repro.evaluation import format_table, multi_tenant_policy_study
+from repro.models.config import LLAMA2_7B
+
+
+def test_multi_tenant_policy_goodput(benchmark, once, capsys):
+    study = once(benchmark, multi_tenant_policy_study,
+                 model=LLAMA2_7B, num_devices=8,
+                 chat_queries=80, batch_queries=10, context_step=512)
+    rows = study["rows"]
+    for row in rows:
+        benchmark.extra_info[f"aggregate_goodput_tokens_per_s[{row['policy']}]"] = \
+            row["aggregate_goodput_tokens_per_s"]
+    benchmark.extra_info["best_policy"] = study["best_policy"]
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Multi-tenant cluster: placement policies"))
+
+    by_policy = {row["policy"]: row for row in rows}
+    assert set(by_policy) == {"static", "proportional", "sla_aware"}
+    # A demand-aware policy must at least match the naive static partition
+    # on aggregate SLA goodput (the calibrated small-model study in
+    # tests/test_cluster.py asserts a strict win).
+    adaptive = max(by_policy["proportional"]["aggregate_goodput_tokens_per_s"],
+                   by_policy["sla_aware"]["aggregate_goodput_tokens_per_s"])
+    assert adaptive >= by_policy["static"]["aggregate_goodput_tokens_per_s"]
+    for row in rows:
+        assert 0 <= row["max_min_goodput_ratio"] <= 1
+        assert 0 <= row["jain_fairness_index"] <= 1
+        assert 0 < row["pool_utilization"] <= 1

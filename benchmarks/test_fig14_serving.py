@@ -19,6 +19,12 @@ def test_fig14b_qos_serving(benchmark, once, capsys):
                   model=LLAMA2_7B, num_devices=8, num_queries=60,
                   sla_latency_s=30.0, context_step=512)
     rows = result["cent"]
+    # Tracked in the CI BENCH_*.json artifact alongside the timings.
+    for row in rows:
+        benchmark.extra_info[f"goodput_tokens_per_s[{row['mapping']}]"] = \
+            row["goodput_tokens_per_s"]
+        benchmark.extra_info[f"throughput_tokens_per_s[{row['mapping']}]"] = \
+            row["throughput_tokens_per_s"]
     with capsys.disabled():
         print()
         print(format_table(rows, "Figure 14b (serving): CENT mappings"))

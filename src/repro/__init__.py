@@ -17,9 +17,13 @@ Inference".  It provides:
 * GPU and PIM/PNM baselines (``repro.baselines``),
 * an event-driven serving engine with request arrival processes,
   KV-capacity-aware admission and vLLM-style continuous batching
-  (``repro.serving``, ``repro.workloads``), and
+  (``repro.serving``, ``repro.workloads``),
+* multi-tenant cluster serving that shards one device pool across models
+  and traffic classes with placement, routing and admission policies
+  (``repro.cluster``), and
 * the evaluation harness regenerating the paper's tables and figures
-  (``repro.evaluation``), including serving-mode QoS studies.
+  (``repro.evaluation``), including serving-mode QoS and multi-tenant
+  studies.
 
 Quickstart (static batch, the paper's evaluation shape)::
 
@@ -38,6 +42,15 @@ Quickstart (trace-driven serving; see ``examples/online_serving.py``)::
                           poisson_arrivals(200, rate_qps=0.5))
     result = ServingEngine(system).run(trace, sla_latency_s=60.0)
     print(result.ttft.p99_s, result.tbt.p50_s, result.goodput_tokens_per_s)
+
+Quickstart (multi-tenant cluster; see ``examples/multi_tenant_serving.py``)::
+
+    from repro import SlaClass, TenantSpec
+
+    chat = TenantSpec("chat", sla_class=SlaClass.INTERACTIVE, trace=trace)
+    batch = TenantSpec("batch", sla_class=SlaClass.BATCH, trace=trace)
+    cluster = system.serve_cluster([chat, batch], placement_policy="sla_aware")
+    print(cluster.aggregate_goodput_tokens_per_s, cluster.max_min_goodput_ratio)
 """
 
 from repro.models.config import (
@@ -51,12 +64,15 @@ from repro.models.config import (
 from repro.core.config import CentConfig
 from repro.core.system import CentSystem
 from repro.core.results import (
+    ClusterResult,
     InferenceResult,
     LatencyBreakdown,
     LatencyStats,
     ServingResult,
 )
 from repro.serving.engine import ServingEngine
+from repro.cluster.tenant import SlaClass, TenantSpec
+from repro.cluster.engine import ClusterEngine
 from repro.mapping.parallelism import (
     DataParallel,
     HybridParallel,
@@ -80,6 +96,10 @@ __all__ = [
     "LatencyStats",
     "ServingResult",
     "ServingEngine",
+    "ClusterResult",
+    "ClusterEngine",
+    "TenantSpec",
+    "SlaClass",
     "ParallelismPlan",
     "PipelineParallel",
     "TensorParallel",

@@ -1,0 +1,280 @@
+"""Multi-tenant cluster serving on one shared CXL-PIM device pool.
+
+``ClusterEngine`` composes the three cluster pieces — placement, routing,
+and the existing per-replica :class:`~repro.serving.ServingEngine` — into
+one run:
+
+1. a :class:`~repro.cluster.placement.ClusterPlacer` partitions (or
+   time-shares) the pool's devices into replicas;
+2. every replica becomes an independent :class:`~repro.core.system.CentSystem`
+   deployment of its device slice, served by an unmodified ``ServingEngine``
+   (the cluster layer never forks the iteration loop);
+3. a :class:`~repro.cluster.scheduler.ClusterScheduler` routes each arriving
+   request to one of its tenant's replicas, applying per-tenant admission;
+4. each replica replays its routed trace, and the per-request outcomes are
+   re-attributed to tenants and folded into one
+   :class:`~repro.core.results.ClusterResult` (one
+   :class:`~repro.core.results.ServingResult` per tenant, each judged
+   against that tenant's own SLA, plus pool-level goodput, fairness and
+   utilisation).
+
+A single-tenant cluster degenerates to exactly one replica spanning the
+whole pool, so its per-tenant result reproduces ``ServingEngine.run`` on
+the same deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.placement import ClusterPlacement, ClusterPlacer, ReplicaSpec
+from repro.cluster.scheduler import ClusterScheduler, RoutingPlan
+from repro.cluster.tenant import TenantSpec, resolve_models
+from repro.core.config import CentConfig
+from repro.core.results import ClusterResult, ServingResult
+from repro.core.system import CentSystem
+from repro.models.config import ModelConfig
+from repro.serving.engine import EngineRun, ServingEngine, evict_to_bound
+from repro.serving.metrics import aggregate_serving_result
+from repro.serving.request import RequestState, ServingRequest
+from repro.workloads.queries import Query
+
+__all__ = ["ClusterEngine"]
+
+
+@dataclass
+class _Replica:
+    """A placed replica bound to its serving engine (and its system)."""
+
+    spec: ReplicaSpec
+    engine: ServingEngine
+    #: Estimated sustained token rate, for the router's backlog model.
+    tokens_per_s: float = 0.0
+
+
+class ClusterEngine:
+    """Serves several tenants' traces on one shared device pool.
+
+    Parameters
+    ----------
+    config:
+        Pool-level configuration; ``config.num_devices`` is the pool size,
+        every other field is inherited by each replica's slice.
+    tenants:
+        The tenant specs to serve.  Tenants without a model use
+        ``default_model``.
+    placement_policy / routing_policy:
+        See :data:`~repro.cluster.placement.PLACEMENT_POLICIES` and
+        :data:`~repro.cluster.scheduler.ROUTING_POLICIES`.
+    max_replica_devices / share_replicas:
+        Forwarded to :class:`~repro.cluster.placement.ClusterPlacer`.
+    engine_kwargs:
+        Extra keyword arguments for every per-replica ``ServingEngine``
+        (e.g. ``prefill_chunk_tokens``, ``context_step``).
+    """
+
+    def __init__(
+        self,
+        config: CentConfig,
+        tenants: Sequence[TenantSpec],
+        *,
+        default_model: Optional[ModelConfig] = None,
+        placement_policy: str = "proportional",
+        routing_policy: str = "least_outstanding",
+        max_replica_devices: Optional[int] = None,
+        share_replicas: bool = False,
+        **engine_kwargs,
+    ) -> None:
+        self.config = config
+        self.tenants = resolve_models(tenants, default_model)
+        self.engine_kwargs = engine_kwargs
+        # FIFO-bounded like ServingEngine._setup_cache: the capability trim
+        # probes one candidate count per device, and an unbounded engine
+        # cache would retain a warmed CentSystem per probe for the engine's
+        # lifetime.  Estimates are cheap floats and get a wider bound.
+        self._capability_cache: Dict[Tuple[Tuple[str, ...], int], float] = {}
+        self._capability_cache_entries = 256
+        self._engine_cache: Dict[Tuple[Tuple[str, ...], int], ServingEngine] = {}
+        # The capability trim probes up to one engine per candidate device
+        # count per tenant group, so the bound scales with the pool: a
+        # fixed small bound would evict the winning probe's engine before
+        # the replicas fetch it, redoing the warm-up the cache exists for.
+        self._engine_cache_entries = max(32, 2 * config.num_devices)
+        self._max_replica_devices = max_replica_devices
+        self._share_replicas = share_replicas
+        self.placer = self._make_placer(placement_policy)
+        self.scheduler = ClusterScheduler(routing_policy)
+
+    def _make_placer(self, placement_policy: str) -> ClusterPlacer:
+        return ClusterPlacer(
+            placement_policy,
+            channels_per_device=self.config.channels_per_device,
+            max_replica_devices=self._max_replica_devices,
+            share_replicas=self._share_replicas,
+            capability=self._capability,
+        )
+
+    def _engine_for(
+        self, names: Tuple[str, ...], devices: int, model: ModelConfig
+    ) -> ServingEngine:
+        """One serving engine per (tenant group, device count), memoised.
+
+        The capability probe for the winning count and the replica that
+        ultimately serves it share this engine, so the probe's ``_setup``
+        work (plan search, validation, cost-model warm-up) is done once;
+        replicas of identical shape share it too (the engine keeps no
+        per-run state beyond its caches).
+        """
+        key = (names, devices)
+        if key not in self._engine_cache:
+            evict_to_bound(self._engine_cache, self._engine_cache_entries)
+            system = CentSystem(self.config.scaled(devices), model)
+            self._engine_cache[key] = ServingEngine(system, **self.engine_kwargs)
+        return self._engine_cache[key]
+
+    def _capability(self, members: Tuple[TenantSpec, ...], devices: int) -> float:
+        """Estimated sustainable rate (queries/s) of ``members`` on ``devices``.
+
+        The placer's trim step probes several candidate counts, so results
+        are memoised; infeasible counts score zero.
+        """
+        key = (tuple(t.name for t in members), devices)
+        if key not in self._capability_cache:
+            evict_to_bound(self._capability_cache, self._capability_cache_entries)
+            engine = self._engine_for(key[0], devices, members[0].model)
+            trace = [q for tenant in members for q in tenant.trace]
+            try:
+                self._capability_cache[key] = engine.estimated_capacity_qps(trace)
+            except MemoryError:
+                self._capability_cache[key] = 0.0
+        return self._capability_cache[key]
+
+    # ------------------------------------------------------------------ build
+
+    def _build_replicas(self, placement: ClusterPlacement) -> List[_Replica]:
+        replicas = []
+        for spec in placement.replicas:
+            engine = self._engine_for(spec.tenant_names, spec.num_devices, spec.model)
+            replicas.append(_Replica(spec=spec, engine=engine))
+        return replicas
+
+    def _estimate_rates(self, replicas: List[_Replica]) -> None:
+        """Estimate each replica's sustained token rate for the router.
+
+        Converts the memoised :meth:`_capability` estimate (queries/s on
+        the replica's candidate trace — all queries of the tenants it
+        serves) into a token rate; the placer's trim probe for the same
+        (tenants, devices) key already paid for it.
+        """
+        by_name = {t.name: t for t in self.tenants}
+        for replica in replicas:
+            members = tuple(by_name[name] for name in replica.spec.tenant_names)
+            qps = self._capability(members, replica.spec.num_devices)
+            tokens = sum(t.offered_tokens for t in members)
+            queries = sum(len(t.trace) for t in members)
+            replica.tokens_per_s = max(qps * tokens / queries, 1e-9)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, placement_policy: Optional[str] = None) -> ClusterResult:
+        """Place, route and serve every tenant; return the cluster outcome.
+
+        ``placement_policy`` overrides the constructor's policy for this
+        run only.  Policy sweeps should reuse one engine this way: the
+        capability probes (the expensive part of placement, cost-model
+        warm-up included) are policy-independent and stay cached across
+        runs.
+        """
+        placer = (self.placer if placement_policy is None
+                  else self._make_placer(placement_policy))
+        placement = placer.place(self.tenants, self.config.num_devices)
+        replicas = self._build_replicas(placement)
+        self._estimate_rates(replicas)
+
+        by_id = {r.spec.replica_id: r for r in replicas}
+
+        def service_estimator(spec: ReplicaSpec, query: Query) -> float:
+            return query.total_context / by_id[spec.replica_id].tokens_per_s
+
+        routing = self.scheduler.route(self.tenants, placement, service_estimator)
+
+        runs: Dict[int, EngineRun] = {}
+        for replica in replicas:
+            trace = routing.trace_for(replica.spec.replica_id)
+            if trace:
+                runs[replica.spec.replica_id] = replica.engine.simulate(trace)
+
+        return self._aggregate(placement, routing, runs, by_id)
+
+    # ------------------------------------------------------------------ results
+
+    def _aggregate(
+        self,
+        placement: ClusterPlacement,
+        routing: RoutingPlan,
+        runs: Dict[int, EngineRun],
+        by_id: Dict[int, _Replica],
+    ) -> ClusterResult:
+        # Re-attribute each replica's per-request outcomes to tenants.
+        tenant_requests: Dict[str, List[ServingRequest]] = {t.name: [] for t in self.tenants}
+        tenant_replicas: Dict[str, List[int]] = {t.name: [] for t in self.tenants}
+        for replica_id, run in runs.items():
+            owners = [name for name, _ in routing.assignments[replica_id]]
+            for owner, request in zip(owners, run.requests):
+                tenant_requests[owner].append(request)
+            for owner in set(owners):
+                tenant_replicas[owner].append(replica_id)
+
+        # Requests refused at the cluster's admission cap never reached an
+        # engine; they join the tenant's result as rejected.
+        for tenant in self.tenants:
+            for query in routing.rejected[tenant.name]:
+                refused = ServingRequest(len(tenant_requests[tenant.name]), query)
+                refused.state = RequestState.REJECTED
+                tenant_requests[tenant.name].append(refused)
+
+        makespan = max((run.makespan_s for run in runs.values()), default=0.0)
+        busy_device_seconds = sum(
+            (run.prefill_time_s + run.decode_time_s) * by_id[rid].spec.num_devices
+            for rid, run in runs.items()
+        )
+
+        tenant_results: Dict[str, ServingResult] = {}
+        for tenant in self.tenants:
+            used = [runs[rid] for rid in tenant_replicas[tenant.name]]
+            plan_names = sorted({run.plan.name for run in used})
+            tenant_results[tenant.name] = aggregate_serving_result(
+                tenant_requests[tenant.name],
+                model_name=tenant.model.name,
+                plan_name=" + ".join(plan_names) if plan_names else "unplaced",
+                # The tenant's own completion horizon: the engine clock only
+                # advances while requests run, so for a single tenant this
+                # equals the standalone engine's makespan exactly.
+                makespan_s=max((r.finish_time_s for r in tenant_requests[tenant.name]
+                                if r.finish_time_s is not None), default=0.0),
+                # Replica telemetry, summed over the replicas the tenant
+                # used (peaks included, so peak and capacity stay a
+                # coherent pair); replicas time-shared with other tenants
+                # count fully.
+                prefill_time_s=sum(run.prefill_time_s for run in used),
+                decode_time_s=sum(run.decode_time_s for run in used),
+                decode_step_tokens=sum(run.decode_step_tokens for run in used),
+                peak_memory_bytes=sum(run.peak_memory_bytes for run in used),
+                memory_capacity_bytes=sum(run.memory_capacity_bytes for run in used),
+                sla_latency_s=tenant.latency_slo_s,
+            )
+
+        return ClusterResult(
+            placement_policy=placement.policy,
+            routing_policy=routing.policy,
+            pool_devices=placement.pool_devices,
+            devices_used=placement.devices_used,
+            makespan_s=makespan,
+            tenant_results=tenant_results,
+            tenant_devices=dict(placement.tenant_devices),
+            tenant_offered_decode_tokens={
+                t.name: t.offered_decode_tokens for t in self.tenants
+            },
+            busy_device_seconds=busy_device_seconds,
+        )

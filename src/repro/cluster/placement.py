@@ -1,0 +1,322 @@
+"""Partitioning one CXL-PIM device pool into per-tenant serving replicas.
+
+``ClusterPlacer`` carves the pool's devices into replicas, one serving
+engine each, reusing the existing mapping layer: every replica gets a
+contiguous device range, and the plan each replica runs is the same
+throughput plan (with its per-block device map and capacity validation from
+``repro.mapping``) a standalone deployment of that size would choose.
+
+Three policies cover the interesting regimes of asymmetric sharing:
+
+* ``static`` — demand-blind equal split: every tenant gets its model's
+  feasibility floor plus an equal share of the spare devices (for
+  same-model tenants this is an even split; heterogeneous models skew it
+  by their floors), the baseline a naive operator would configure;
+* ``proportional`` — devices proportional to each tenant's offered token
+  demand, the classic work-conserving heuristic;
+* ``sla_aware`` — proportional demand additionally weighted by priority and
+  SLO tightness, so interactive tenants get headroom ahead of batch ones.
+
+Every policy first reserves each tenant's *feasibility floor* (the smallest
+device count on which its model places at all) and then apportions the
+remaining devices by policy weight with largest-remainder rounding, so no
+device of the pool is wasted and no tenant is starved below feasibility.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.tenant import TenantSpec
+from repro.mapping.planner import plan_for_throughput
+from repro.models.config import ModelConfig
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "ReplicaSpec",
+    "ClusterPlacement",
+    "ClusterPlacer",
+    "min_feasible_devices",
+]
+
+PLACEMENT_POLICIES = ("static", "proportional", "sla_aware")
+
+
+#: Upper bound of the feasibility-floor search; models needing more devices
+#: than this are treated as unplaceable regardless of the pool size.
+_FLOOR_SEARCH_LIMIT = 1024
+
+
+@functools.lru_cache(maxsize=256)
+def _feasibility_floor(
+    model: ModelConfig,
+    channels_per_device: int,
+    context_length: Optional[int],
+) -> Optional[int]:
+    for devices in range(1, _FLOOR_SEARCH_LIMIT + 1):
+        try:
+            plan_for_throughput(model, devices,
+                                channels_per_device=channels_per_device,
+                                context_length=context_length)
+            return devices
+        except MemoryError:
+            continue
+    return None
+
+
+def min_feasible_devices(
+    model: ModelConfig,
+    pool_devices: int,
+    channels_per_device: int = 32,
+    context_length: Optional[int] = None,
+) -> int:
+    """Smallest device count on which ``model`` places (throughput plan).
+
+    Feasibility is monotone in the device count (more devices means fewer
+    blocks, hence more channels and capacity, per device), so the first
+    count that validates is the floor.  The search is memoised on the
+    pool-independent inputs (all frozen dataclasses), so sweeps over
+    policies or pool sizes pay the plan search once per tenant model.
+    """
+    floor = _feasibility_floor(model, channels_per_device, context_length)
+    if floor is None or floor > pool_devices:
+        raise MemoryError(
+            f"{model.name} does not fit even on all {pool_devices} devices of the pool"
+        )
+    return floor
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One serving replica: a device range and the tenants it serves."""
+
+    replica_id: int
+    tenant_names: Tuple[str, ...]
+    model: ModelConfig
+    num_devices: int
+    first_device: int
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0:
+            raise ValueError("a replica needs at least one device")
+        if not self.tenant_names:
+            raise ValueError("a replica must serve at least one tenant")
+
+    @property
+    def device_range(self) -> Tuple[int, int]:
+        """Half-open ``[first, last)`` device interval of this replica."""
+        return (self.first_device, self.first_device + self.num_devices)
+
+
+@dataclass(frozen=True)
+class ClusterPlacement:
+    """The pool partition a :class:`ClusterPlacer` produced."""
+
+    policy: str
+    pool_devices: int
+    replicas: Tuple[ReplicaSpec, ...]
+    tenant_devices: Dict[str, int]
+
+    @property
+    def devices_used(self) -> int:
+        return sum(r.num_devices for r in self.replicas)
+
+    def replicas_for(self, tenant_name: str) -> List[ReplicaSpec]:
+        chosen = [r for r in self.replicas if tenant_name in r.tenant_names]
+        if not chosen:
+            raise KeyError(f"no replica serves tenant {tenant_name!r}")
+        return chosen
+
+
+class ClusterPlacer:
+    """Partitions (or time-shares) the pool's devices across tenants.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`PLACEMENT_POLICIES`.
+    channels_per_device:
+        PIM channels per device, forwarded to the planner.
+    max_replica_devices:
+        When set, a tenant's allotment is split into several replicas of at
+        most this many devices (each still at or above the model's
+        feasibility floor; allotment devices that fit neither bound stay
+        idle), giving the scheduler real routing choices.  ``None``
+        (default) builds one replica per allotment, leaving intra-replica
+        parallelism to the plan's own data-parallel replicas.
+    share_replicas:
+        When true, tenants serving the *same model* are co-located onto one
+        merged allotment and time-share its replicas through continuous
+        batching, instead of hard-partitioning devices between them.
+    capability:
+        Optional estimator ``capability(tenants, devices) -> rate`` of how
+        much traffic the tenant group could sustain on ``devices`` devices.
+        Serving capability is **not monotone** in the device count (the
+        throughput planner may pick a slower many-replica plan on awkward
+        counts), so when an estimator is given each allotment is trimmed to
+        its best-performing feasible count and the rest of the grant stays
+        idle — the same "idle devices beat a bad mapping" choice the
+        paper's planner makes within a plan.  ``None`` uses every granted
+        device.
+    """
+
+    def __init__(
+        self,
+        policy: str = "proportional",
+        *,
+        channels_per_device: int = 32,
+        max_replica_devices: Optional[int] = None,
+        share_replicas: bool = False,
+        capability: Optional[Callable[[Tuple[TenantSpec, ...], int], float]] = None,
+    ) -> None:
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {policy!r}; expected one of "
+                f"{PLACEMENT_POLICIES}"
+            )
+        if max_replica_devices is not None and max_replica_devices <= 0:
+            raise ValueError("max_replica_devices must be positive")
+        self.policy = policy
+        self.channels_per_device = channels_per_device
+        self.max_replica_devices = max_replica_devices
+        self.share_replicas = share_replicas
+        self.capability = capability
+
+    # ------------------------------------------------------------------ weights
+
+    def _weight(self, tenant: TenantSpec, tightest_slo_s: float) -> float:
+        if self.policy == "static":
+            return 1.0
+        demand = float(tenant.offered_tokens)
+        if self.policy == "proportional":
+            return demand
+        # sla_aware: demand scaled by priority, discounted by how much
+        # looser the tenant's SLO is than the mix's tightest one (the
+        # tightest tenant keeps its full demand weight); the square root
+        # keeps the skew from starving batch tenants outright.
+        urgency = math.sqrt(tightest_slo_s / tenant.latency_slo_s)
+        return demand * tenant.priority * urgency
+
+    # ------------------------------------------------------------------ placing
+
+    def place(self, tenants: Sequence[TenantSpec], pool_devices: int) -> ClusterPlacement:
+        """Partition ``pool_devices`` across ``tenants``."""
+        tenants = list(tenants)
+        if not tenants:
+            raise ValueError("at least one tenant is required")
+        if pool_devices <= 0:
+            raise ValueError("the pool needs at least one device")
+        for tenant in tenants:
+            if tenant.model is None:
+                raise ValueError(f"tenant {tenant.name!r} has no model resolved")
+
+        floors = {
+            t.name: min_feasible_devices(t.model, pool_devices,
+                                         channels_per_device=self.channels_per_device,
+                                         context_length=t.max_context)
+            for t in tenants
+        }
+        reserved = sum(floors.values())
+        if reserved > pool_devices:
+            raise MemoryError(
+                f"the tenant models need at least {reserved} devices combined "
+                f"but the pool has {pool_devices}"
+            )
+
+        tightest = min(t.latency_slo_s for t in tenants)
+        weights = {t.name: self._weight(t, tightest) for t in tenants}
+        total_weight = sum(weights.values())
+        spare = pool_devices - reserved
+
+        # Largest-remainder apportionment of the spare devices.
+        shares = {name: spare * w / total_weight for name, w in weights.items()}
+        alloc = {name: floors[name] + int(shares[name]) for name in shares}
+        leftover = pool_devices - sum(alloc.values())
+        by_remainder = sorted(shares, key=lambda n: (shares[n] - int(shares[n]), n),
+                              reverse=True)
+        for name in by_remainder[:leftover]:
+            alloc[name] += 1
+
+        # Group tenants that time-share replicas (same model, if enabled).
+        groups: List[Tuple[Tuple[TenantSpec, ...], int]] = []
+        if self.share_replicas:
+            # Keyed by the (frozen) ModelConfig itself, not its name: two
+            # what-if variants sharing a name must not be merged onto one
+            # replica serving the wrong weights.
+            by_model: Dict[ModelConfig, List[TenantSpec]] = {}
+            for tenant in tenants:
+                by_model.setdefault(tenant.model, []).append(tenant)
+            for members in by_model.values():
+                groups.append((tuple(members), sum(alloc[t.name] for t in members)))
+        else:
+            groups = [((tenant,), alloc[tenant.name]) for tenant in tenants]
+
+        replicas: List[ReplicaSpec] = []
+        next_device = 0
+        for members, devices in groups:
+            model = members[0].model
+            floor = max(floors[t.name] for t in members)
+            names = tuple(t.name for t in members)
+            devices = self._effective_devices(members, devices, floor)
+            sizes = self._replica_sizes(devices, floor)
+            deployed = sum(sizes)
+            for t in members:
+                alloc[t.name] = (deployed if self.share_replicas
+                                 else min(alloc[t.name], deployed))
+            for size in sizes:
+                replicas.append(ReplicaSpec(
+                    replica_id=len(replicas),
+                    tenant_names=names,
+                    model=model,
+                    num_devices=size,
+                    first_device=next_device,
+                ))
+                next_device += size
+
+        return ClusterPlacement(
+            policy=self.policy,
+            pool_devices=pool_devices,
+            replicas=tuple(replicas),
+            tenant_devices=dict(alloc),
+        )
+
+    def _effective_devices(
+        self, members: Tuple[TenantSpec, ...], devices: int, floor: int
+    ) -> int:
+        """Trim one allotment to its best-performing feasible device count.
+
+        Without a capability estimator the full grant is used; with one,
+        the count maximising estimated sustainable rate wins (ties go to
+        the larger count, which buys KV headroom for free).  The score of a
+        count is evaluated on the replicas it would actually deploy as
+        (one per ``_replica_sizes`` entry), not on a hypothetical single
+        engine of that size.
+        """
+        if self.capability is None or devices <= floor:
+            return devices
+
+        def rate(candidate: int) -> float:
+            return sum(self.capability(members, size)
+                       for size in self._replica_sizes(candidate, floor))
+
+        return max(range(floor, devices + 1), key=lambda d: (rate(d), d))
+
+    def _replica_sizes(self, devices: int, floor: int) -> List[int]:
+        """Split one allotment into replica device counts.
+
+        Every size honours both bounds — at least the feasibility ``floor``
+        and at most ``max_replica_devices`` — by leaving devices idle when
+        they conflict (a cap below the floor is raised to the floor:
+        feasibility always wins).  The sizes may therefore sum to less than
+        the allotment.
+        """
+        if self.max_replica_devices is None:
+            return [devices]
+        cap = max(self.max_replica_devices, floor)
+        count = max(1, min(math.ceil(devices / cap), devices // floor))
+        used = min(devices, count * cap)
+        base, extra = divmod(used, count)
+        return [base + (1 if i < extra else 0) for i in range(count)]

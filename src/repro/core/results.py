@@ -12,6 +12,7 @@ __all__ = [
     "InferenceResult",
     "LatencyStats",
     "ServingResult",
+    "ClusterResult",
     "percentile",
 ]
 
@@ -267,3 +268,132 @@ class ServingResult:
         if self.num_requests == 0:
             return 0.0
         return self.num_rejected / self.num_requests
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Measured outcome of one multi-tenant run on a shared device pool.
+
+    Produced by ``repro.cluster``: one :class:`ServingResult` per tenant
+    (each against that tenant's own SLA), plus the pool-level aggregates a
+    capacity planner compares placement and routing policies by — aggregate
+    SLA goodput, fairness across tenants, and device-pool utilisation.
+
+    Horizon semantics: each tenant's :class:`ServingResult` rates are
+    measured over *that tenant's own completion horizon* (so a
+    single-tenant cluster reproduces ``ServingEngine.run`` exactly, and a
+    short-lived tenant's rate reflects the service it saw), while the
+    ``aggregate_*`` properties divide by the *cluster makespan*.  Summing
+    per-tenant rates therefore over-counts relative to the aggregates;
+    compare tenants through :attr:`tenant_goodput_fractions`, which is
+    horizon-free.
+    """
+
+    placement_policy: str
+    routing_policy: str
+    pool_devices: int
+    devices_used: int
+    makespan_s: float
+    #: Per-tenant measured serving statistics, keyed by tenant name.
+    tenant_results: Dict[str, ServingResult] = field(default_factory=dict)
+    #: Devices the placement granted each tenant (shared replicas count fully
+    #: for every tenant sharing them).
+    tenant_devices: Dict[str, int] = field(default_factory=dict)
+    #: Decode-token demand of each tenant's full trace (including requests
+    #: later rejected), the denominator of the fairness normalisation.
+    tenant_offered_decode_tokens: Dict[str, int] = field(default_factory=dict)
+    #: Sum over replicas of (busy seconds x devices); busy = prefill + decode.
+    busy_device_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pool_devices <= 0:
+            raise ValueError("the pool needs at least one device")
+        if self.devices_used > self.pool_devices:
+            raise ValueError("cannot use more devices than the pool holds")
+        if self.makespan_s < 0 or self.busy_device_seconds < 0:
+            raise ValueError("times must be non-negative")
+        missing = set(self.tenant_results) - set(self.tenant_offered_decode_tokens)
+        if missing:
+            raise ValueError(
+                f"tenants {sorted(missing)} have results but no offered-token "
+                "demand; the fairness normalisation needs both"
+            )
+
+    # ------------------------------------------------------------------ aggregates
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.tenant_results)
+
+    @property
+    def aggregate_throughput_tokens_per_s(self) -> float:
+        """Generated tokens of all tenants per wall-clock second of the run."""
+        if self.makespan_s <= 0:
+            return 0.0
+        total = sum(r.total_decode_tokens for r in self.tenant_results.values())
+        return total / self.makespan_s
+
+    @property
+    def aggregate_goodput_tokens_per_s(self) -> float:
+        """SLA-compliant generated tokens (per tenant SLA) per second."""
+        if self.makespan_s <= 0:
+            return 0.0
+        total = sum(r.sla_decode_tokens for r in self.tenant_results.values())
+        return total / self.makespan_s
+
+    # ------------------------------------------------------------------ fairness
+
+    @property
+    def tenant_goodput_fractions(self) -> Dict[str, float]:
+        """Per tenant: SLA-compliant decode tokens over offered decode tokens.
+
+        The natural normalised-service metric for asymmetric demand: a value
+        of 1.0 means every offered token was delivered within the tenant's
+        SLA, regardless of how large the tenant's traffic is.
+        """
+        fractions = {}
+        for name, result in self.tenant_results.items():
+            offered = self.tenant_offered_decode_tokens[name]
+            fractions[name] = result.sla_decode_tokens / offered if offered else 0.0
+        return fractions
+
+    @property
+    def max_min_goodput_ratio(self) -> float:
+        """Min over max of the tenants' normalised goodput (1.0 = perfectly fair).
+
+        A run where *no* tenant got any goodput is total collapse, not
+        fairness, and scores 0.0 so it cannot tie with a genuinely fair
+        policy when ranking.
+        """
+        fractions = list(self.tenant_goodput_fractions.values())
+        if not fractions:
+            return 1.0
+        worst, best = min(fractions), max(fractions)
+        if best <= 0:
+            return 0.0
+        return worst / best
+
+    @property
+    def jain_fairness_index(self) -> float:
+        """Jain's index over the tenants' normalised goodput, in [0, 1].
+
+        0.0 when every tenant's goodput is zero (total collapse), like
+        :attr:`max_min_goodput_ratio`.
+        """
+        fractions = list(self.tenant_goodput_fractions.values())
+        if not fractions:
+            return 1.0
+        total = sum(fractions)
+        squares = sum(f * f for f in fractions)
+        if squares <= 0:
+            return 0.0
+        return total * total / (len(fractions) * squares)
+
+    # ------------------------------------------------------------------ utilisation
+
+    @property
+    def pool_utilization(self) -> float:
+        """Busy device-seconds over available device-seconds of the run."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.busy_device_seconds / (self.makespan_s * self.pool_devices)

@@ -101,6 +101,36 @@ class CentSystem:
         engine = ServingEngine(self, plan, **engine_kwargs)
         return engine.run(trace, sla_latency_s=sla_latency_s)
 
+    def serve_cluster(
+        self,
+        tenants,
+        *,
+        placement_policy: str = "proportional",
+        routing_policy: str = "least_outstanding",
+        **cluster_kwargs,
+    ):
+        """Serve several tenants' traces on this system's device pool.
+
+        Partitions (or time-shares) ``config.num_devices`` across the
+        tenant specs with :class:`repro.cluster.ClusterEngine`; tenants
+        whose spec carries no model serve this system's model.  Returns a
+        :class:`~repro.core.results.ClusterResult` with one
+        :class:`~repro.core.results.ServingResult` per tenant plus
+        pool-level goodput, fairness and utilisation.
+        """
+        # Imported here: repro.cluster builds on repro.core.system.
+        from repro.cluster.engine import ClusterEngine
+
+        engine = ClusterEngine(
+            self.config,
+            tenants,
+            default_model=self.model,
+            placement_policy=placement_policy,
+            routing_policy=routing_policy,
+            **cluster_kwargs,
+        )
+        return engine.run()
+
     # ------------------------------------------------------------------ capacity
 
     @property

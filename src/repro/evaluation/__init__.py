@@ -34,6 +34,7 @@ from repro.evaluation.serving_studies import (
     figure14b_qos_serving,
     figure14d_query_latency_serving,
 )
+from repro.evaluation.cluster_studies import multi_tenant_policy_study
 
 __all__ = [
     "format_table",
@@ -58,4 +59,5 @@ __all__ = [
     "figure19_scalability",
     "figure14b_qos_serving",
     "figure14d_query_latency_serving",
+    "multi_tenant_policy_study",
 ]

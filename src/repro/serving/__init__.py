@@ -5,7 +5,9 @@ serving system:
 
 * :class:`ServingEngine` — discrete-event loop with request arrivals,
   KV-capacity-aware admission and vLLM-style continuous batching
-  (prefill/decode interleaving);
+  (prefill/decode interleaving); :meth:`ServingEngine.simulate` exposes the
+  raw per-request outcome (:class:`EngineRun`) that ``repro.cluster``
+  re-aggregates per tenant;
 * :class:`ServingRequest` / :class:`RequestState` — per-request lifecycle
   and measured timestamps (TTFT, TBT samples, query latency);
 * :func:`aggregate_serving_result` — folds a finished run into the
@@ -16,11 +18,12 @@ iteration pricing in ``repro.core.iteration``.
 """
 
 from repro.core.results import LatencyStats, ServingResult, percentile
-from repro.serving.engine import ServingEngine
+from repro.serving.engine import EngineRun, ServingEngine
 from repro.serving.metrics import aggregate_serving_result
 from repro.serving.request import RequestState, ServingRequest
 
 __all__ = [
+    "EngineRun",
     "ServingEngine",
     "ServingRequest",
     "RequestState",

@@ -45,7 +45,8 @@ Quickstart::
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.iteration import IterationCostModel
 from repro.core.results import ServingResult
@@ -57,7 +58,40 @@ from repro.serving.metrics import aggregate_serving_result
 from repro.serving.request import RequestState, ServingRequest
 from repro.workloads.queries import Query
 
-__all__ = ["ServingEngine"]
+__all__ = ["EngineRun", "ServingEngine", "evict_to_bound"]
+
+
+def evict_to_bound(cache: Dict, bound: int) -> None:
+    """Drop oldest-inserted entries until ``cache`` has room under ``bound``.
+
+    The FIFO counterpart of the performance model's LRU: setup-style caches
+    (here and in ``repro.cluster``) are built once per configuration and
+    re-hit with the same key, so insertion order is recency enough.
+    """
+    while len(cache) >= bound:
+        cache.pop(next(iter(cache)))
+
+
+@dataclass
+class EngineRun:
+    """Raw outcome of one event-driven run, before aggregation.
+
+    :meth:`ServingEngine.simulate` returns this instead of a folded
+    :class:`~repro.core.results.ServingResult` so callers that need
+    per-request outcomes — the multi-tenant cluster layer attributes each
+    request back to its tenant — can aggregate subsets themselves with
+    :func:`~repro.serving.metrics.aggregate_serving_result`.  ``requests``
+    preserves trace order (``requests[i]`` is the i-th query of the trace).
+    """
+
+    plan: ParallelismPlan
+    requests: List[ServingRequest]
+    makespan_s: float
+    prefill_time_s: float
+    decode_time_s: float
+    decode_step_tokens: int
+    peak_memory_bytes: int
+    memory_capacity_bytes: int
 
 
 class ServingEngine:
@@ -125,6 +159,15 @@ class ServingEngine:
         if self.memory_capacity_bytes <= 0:
             raise ValueError("memory capacity must be positive")
         self._profile = ModelMemoryProfile(self.model)
+        # _setup results keyed by the servable context length (the only
+        # trace-dependent input) plus the engine knobs that feed _setup:
+        # repeated runs and capacity estimates over same-shaped traces reuse
+        # plan validation and the warmed-up iteration cost model instead of
+        # redoing both, while mutating e.g. ``max_batch_size`` between runs
+        # still takes effect.  FIFO-bounded like the block-cost cache below
+        # it, so sweeps over many trace shapes cannot grow it forever.
+        self._setup_cache: Dict[tuple, Tuple[ParallelismPlan, IterationCostModel, int]] = {}
+        self._setup_cache_entries = 8
 
     # ------------------------------------------------------------------ planning
 
@@ -154,15 +197,27 @@ class ServingEngine:
         return self._kv_reservation_bytes(query.total_context) <= kv_budget
 
     def _setup(self, trace: Sequence[Query]):
-        """Shared run/estimate setup: (plan, iteration cost model, slots)."""
+        """Shared run/estimate setup: (plan, iteration cost model, slots).
+
+        Cached per (servable context length, engine knobs), so ``run``
+        after ``estimated_capacity_qps`` (or repeated runs in a sweep)
+        skips the plan search, capacity validation and cost-model warm-up,
+        while reconfiguring the engine between runs still takes effect.
+        """
         if not trace:
             raise ValueError("the trace must contain at least one query")
         if self.plan is None:
             context = self._servable_context(trace)
+        else:
+            context = self._servable_context(trace, dp_replicas=self.plan.dp_replicas)
+        key = (context, self.plan, self.max_batch_size, self.context_step,
+               self.memory_capacity_bytes)
+        if key in self._setup_cache:
+            return self._setup_cache[key]
+        if self.plan is None:
             plan = self.system.throughput_plan(context_length=context)
         else:
             plan = self.plan
-            context = self._servable_context(trace, dp_replicas=plan.dp_replicas)
         slots = plan.queries_in_flight
         if self.max_batch_size is not None:
             slots = min(slots, self.max_batch_size)
@@ -179,7 +234,10 @@ class ServingEngine:
         cost = IterationCostModel(
             self.system.performance, self.model, plan, context_step=self.context_step
         )
-        return plan, cost, slots
+        entry = (plan, cost, slots)
+        evict_to_bound(self._setup_cache, self._setup_cache_entries)
+        self._setup_cache[key] = entry
+        return entry
 
     def _kv_reservation_bytes(self, context_length: int) -> int:
         """KV bytes one admitted request reserves for its full context.
@@ -212,10 +270,30 @@ class ServingEngine:
         sla_latency_s: Optional[float] = None,
     ) -> ServingResult:
         """Serve ``trace`` to completion and return measured statistics."""
-        queries = list(trace)
         if sla_latency_s is not None and sla_latency_s <= 0:
             raise ValueError("the SLA latency bound must be positive")
+        run = self.simulate(trace)
+        return aggregate_serving_result(
+            run.requests,
+            model_name=self.model.name,
+            plan_name=run.plan.name,
+            makespan_s=run.makespan_s,
+            prefill_time_s=run.prefill_time_s,
+            decode_time_s=run.decode_time_s,
+            decode_step_tokens=run.decode_step_tokens,
+            peak_memory_bytes=run.peak_memory_bytes,
+            memory_capacity_bytes=run.memory_capacity_bytes,
+            sla_latency_s=sla_latency_s,
+        )
 
+    def simulate(self, trace: Sequence[Query]) -> EngineRun:
+        """Run the event loop over ``trace`` and return per-request outcomes.
+
+        The building block of :meth:`run` (which folds the outcome into a
+        :class:`ServingResult`) and of ``repro.cluster`` (which serves one
+        trace per replica and re-attributes requests to tenants).
+        """
+        queries = list(trace)
         plan, cost, slots = self._setup(queries)
         kv_budget = self._kv_budget_bytes(plan)
         weight_bytes = self.memory_capacity_bytes - kv_budget
@@ -330,17 +408,15 @@ class ServingEngine:
             if finished:
                 running = [r for r in running if r.state is not RequestState.FINISHED]
 
-        return aggregate_serving_result(
-            requests,
-            model_name=self.model.name,
-            plan_name=plan.name,
+        return EngineRun(
+            plan=plan,
+            requests=requests,
             makespan_s=clock,
             prefill_time_s=prefill_time_s,
             decode_time_s=decode_time_s,
             decode_step_tokens=decode_step_tokens,
             peak_memory_bytes=peak_memory,
             memory_capacity_bytes=self.memory_capacity_bytes,
-            sla_latency_s=sla_latency_s,
         )
 
     # ------------------------------------------------------------------ sizing

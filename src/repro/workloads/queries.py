@@ -88,6 +88,27 @@ def sharegpt_like_queries(
 
 # --------------------------------------------------------------------- arrivals
 
+def _validate_arrival_args(count: int, rate_qps: float, start_s: float) -> None:
+    """Shared argument validation of the arrival-process generators.
+
+    NaN/infinite rates and fractional or negative counts would otherwise
+    flow silently into ``numpy`` and come back as nonsense traces (NaN
+    times, empty processes); reject them with explicit errors instead.
+    """
+    if isinstance(count, bool) or not isinstance(count, (int, np.integer)):
+        raise ValueError(f"count must be an integer, got {count!r}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if not np.isfinite(rate_qps) or rate_qps <= 0:
+        raise ValueError(
+            f"arrival rate must be a positive finite number, got {rate_qps!r}"
+        )
+    if not np.isfinite(start_s) or start_s < 0:
+        raise ValueError(
+            f"start time must be finite and non-negative, got {start_s!r}"
+        )
+
+
 def validate_arrivals(arrival_times_s: Sequence[float]) -> None:
     """Raise ``ValueError`` unless arrivals are finite, non-negative, sorted."""
     previous = 0.0
@@ -116,12 +137,7 @@ def poisson_arrivals(
     Inter-arrival gaps are exponential with mean ``1 / rate_qps``; the result
     is deterministic under ``seed``, non-negative and sorted ascending.
     """
-    if count <= 0:
-        raise ValueError("count must be positive")
-    if rate_qps <= 0:
-        raise ValueError("arrival rate must be positive")
-    if start_s < 0:
-        raise ValueError("start time must be non-negative")
+    _validate_arrival_args(count, rate_qps, start_s)
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(scale=1.0 / rate_qps, size=count)
     times = [float(t) for t in start_s + np.cumsum(gaps)]
@@ -143,14 +159,11 @@ def bursty_arrivals(
     degenerates to the Poisson process, larger values cluster arrivals into
     bursts separated by long gaps.  Deterministic under ``seed``.
     """
-    if count <= 0:
-        raise ValueError("count must be positive")
-    if rate_qps <= 0:
-        raise ValueError("arrival rate must be positive")
-    if burstiness <= 0:
-        raise ValueError("burstiness must be positive")
-    if start_s < 0:
-        raise ValueError("start time must be non-negative")
+    _validate_arrival_args(count, rate_qps, start_s)
+    if not np.isfinite(burstiness) or burstiness <= 0:
+        raise ValueError(
+            f"burstiness must be a positive finite number, got {burstiness!r}"
+        )
     rng = np.random.default_rng(seed)
     shape = 1.0 / burstiness
     scale = burstiness / rate_qps

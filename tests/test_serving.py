@@ -87,6 +87,113 @@ class TestIterationCostModel:
         cost = IterationCostModel(system.performance, small_model_module, pp_plan)
         assert cost.effective_layers >= small_model_module.num_layers
 
+    def test_context_below_grid_clamps_to_one(self, system, small_model_module, pp_plan):
+        cost = IterationCostModel(system.performance, small_model_module, pp_plan,
+                                  context_step=256)
+        floor = cost.block_latency_ns(1)
+        assert cost.block_latency_ns(0) == floor
+        assert cost.block_latency_ns(-100) == floor
+        assert floor > 0
+
+    def test_context_above_grid_clamps_to_max(self, system, small_model_module, pp_plan):
+        cost = IterationCostModel(system.performance, small_model_module, pp_plan,
+                                  context_step=256)
+        ceiling = cost.block_latency_ns(small_model_module.max_context)
+        assert cost.block_latency_ns(10 * small_model_module.max_context) == ceiling
+        # Interpolation never prices beyond the clamp.
+        assert cost.block_latency_ns(small_model_module.max_context - 1) <= ceiling
+
+    def test_single_point_grid(self, system, small_model_module, pp_plan):
+        # A step wider than the model's context: the grid degenerates to the
+        # two clamp endpoints (1 and max_context) and interpolation stays
+        # monotone between them.
+        cost = IterationCostModel(system.performance, small_model_module, pp_plan,
+                                  context_step=4 * small_model_module.max_context)
+        low = cost.block_latency_ns(1)
+        mid = cost.block_latency_ns(small_model_module.max_context // 2)
+        high = cost.block_latency_ns(small_model_module.max_context)
+        assert low <= mid <= high
+        # Exactly two grid evaluations back the whole range.
+        assert len(cost._grid_ns) == 2
+
+    def test_grid_point_is_exact(self, system, small_model_module, pp_plan):
+        cost = IterationCostModel(system.performance, small_model_module, pp_plan,
+                                  context_step=256)
+        direct = system.performance.block_cost(
+            small_model_module, pp_plan, 512).breakdown.total_ns
+        assert cost.block_latency_ns(512) == pytest.approx(direct)
+
+    def test_mixed_batch_prices_at_mean_context(self, system, small_model_module,
+                                                pp_plan):
+        cost = IterationCostModel(system.performance, small_model_module, pp_plan,
+                                  context_step=256)
+        short, long = 256, 1024
+        mixed = cost.decode_iteration_s([short, long])
+        expected = (cost.effective_layers
+                    * (cost.block_latency_ns(short) + cost.block_latency_ns(long))
+                    / 2.0 * 1e-9)
+        assert mixed == pytest.approx(expected)
+        # A mixed prefill + decode iteration (chunked-prefill mode) adds the
+        # serialised chunk cost on top of the decode step.
+        chunk = cost.prefill_chunk_s(128, 64)
+        assert chunk > 0
+        assert cost.prefill_chunk_s(0, 64) == 0.0
+        assert cost.prefill_chunk_s(-5, 64) == 0.0
+
+
+class TestSetupCache:
+    def test_second_setup_is_a_cache_hit(self, system, pp_plan):
+        engine = ServingEngine(system, pp_plan)
+        trace = fixed_queries(4, prompt_tokens=128, decode_tokens=64)
+        first = engine._setup(trace)
+        second = engine._setup(trace)
+        assert second is first
+        # Same servable context through a different trace object hits too.
+        assert engine._setup(list(trace)) is first
+
+    def test_capacity_estimate_warms_run(self, system, pp_plan):
+        engine = ServingEngine(system, pp_plan)
+        trace = fixed_queries(4, prompt_tokens=128, decode_tokens=64)
+        engine.estimated_capacity_qps(trace)
+        assert len(engine._setup_cache) == 1
+        (plan, cost, slots), = engine._setup_cache.values()
+        warmed_grid = dict(cost._grid_ns)
+        assert warmed_grid  # the estimate priced at least one grid point
+        result = engine.run(trace)
+        # run() reused the same cost model (and its warmed grid) verbatim.
+        assert engine._setup(trace)[1] is cost
+        assert warmed_grid.items() <= cost._grid_ns.items()
+        assert result.num_completed == 4
+
+    def test_distinct_context_shapes_get_distinct_entries(self, system, pp_plan):
+        engine = ServingEngine(system, pp_plan)
+        engine._setup(fixed_queries(2, prompt_tokens=128, decode_tokens=64))
+        engine._setup(fixed_queries(2, prompt_tokens=512, decode_tokens=512))
+        assert len(engine._setup_cache) == 2
+
+    def test_cache_is_bounded(self, system, pp_plan):
+        engine = ServingEngine(system, pp_plan)
+        for prompt in range(8, 8 + 4 * (engine._setup_cache_entries + 3), 4):
+            engine._setup(fixed_queries(1, prompt_tokens=prompt, decode_tokens=8))
+        assert len(engine._setup_cache) <= engine._setup_cache_entries
+
+    def test_default_plan_cached_too(self, system):
+        engine = ServingEngine(system)
+        trace = fixed_queries(2, prompt_tokens=128, decode_tokens=64)
+        assert engine._setup(trace) is engine._setup(trace)
+
+    def test_reconfiguring_engine_bypasses_stale_entries(self, system, pp_plan):
+        # Mutating an engine knob between runs must not serve the previous
+        # configuration's cached setup.
+        engine = ServingEngine(system, pp_plan)
+        trace = fixed_queries(4, prompt_tokens=128, decode_tokens=64)
+        wide = engine.run(trace)
+        engine.max_batch_size = 1
+        narrow = engine.run(trace)
+        fresh = ServingEngine(system, pp_plan, max_batch_size=1).run(trace)
+        assert narrow.makespan_s == pytest.approx(fresh.makespan_s)
+        assert narrow.makespan_s > wide.makespan_s
+
 
 class TestStaticBatchRegression:
     def test_matches_run_inference_decode_throughput(self, system, pp_plan):

@@ -98,6 +98,30 @@ class TestArrivals:
         with pytest.raises(ValueError):
             bursty_arrivals(10, 1.0, burstiness=0.0)
 
+    def test_negative_and_fractional_counts_rejected(self):
+        for generator in (poisson_arrivals, bursty_arrivals):
+            with pytest.raises(ValueError, match="count"):
+                generator(-5, 1.0)
+            with pytest.raises(ValueError, match="count"):
+                generator(2.5, 1.0)
+            with pytest.raises(ValueError, match="count"):
+                generator(True, 1.0)
+
+    def test_non_finite_rates_rejected(self):
+        for bad_rate in (float("nan"), float("inf"), -float("inf"), -1.0):
+            with pytest.raises(ValueError, match="rate"):
+                poisson_arrivals(10, bad_rate)
+            with pytest.raises(ValueError, match="rate"):
+                bursty_arrivals(10, bad_rate)
+
+    def test_non_finite_start_and_burstiness_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            poisson_arrivals(10, 1.0, start_s=float("nan"))
+        with pytest.raises(ValueError, match="start"):
+            bursty_arrivals(10, 1.0, start_s=-1.0)
+        with pytest.raises(ValueError, match="burstiness"):
+            bursty_arrivals(10, 1.0, burstiness=float("inf"))
+
     def test_validate_arrivals(self):
         validate_arrivals([0.0, 1.0, 1.0, 2.5])
         with pytest.raises(ValueError):
