@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Preemption-aware paged-KV serving under overload.
+
+A memory-constrained Llama2-7B deployment (8 CENT devices, capacity clamped
+to the weights plus ~2.5 worst-case KV caches) takes 2.5x its sustainable
+Poisson arrival rate.  The legacy ``admission="reserve"`` path books KV for
+each request's full future context, so almost everything queues and blows
+the SLA; ``admission="paged"`` (``repro.kvstore``) admits on the *current*
+context, grows each request's block allocation as it decodes, and evicts a
+victim when the pool runs dry — restoring it either by swapping its KV over
+the CXL fabric or by re-prefilling it.  The study prints what preemption
+buys (goodput, latency) and what it costs (evictions, swap time, recompute
+tokens, stall).
+
+Run with::
+
+    python examples/preemptive_serving.py
+"""
+
+from repro.evaluation import format_table, overload_preemption_study
+from repro.models.config import LLAMA2_7B
+
+NUM_DEVICES = 8
+NUM_QUERIES = 96
+OVERLOAD = 2.5            # offered load over the constrained capacity
+KV_CAPACITY_QUERIES = 2.5  # full-context KV caches that fit beside the weights
+
+
+def main() -> None:
+    study = overload_preemption_study(
+        model=LLAMA2_7B,
+        num_devices=NUM_DEVICES,
+        num_queries=NUM_QUERIES,
+        overload=OVERLOAD,
+        kv_capacity_queries=KV_CAPACITY_QUERIES,
+    )
+    print(f"offered load: {study['rate_qps']:.2f} queries/s "
+          f"({OVERLOAD:.1f}x the constrained capacity), "
+          f"SLA {study['sla_latency_s']:.1f} s, "
+          f"capacity {study['memory_capacity_bytes'] / 2**30:.1f} GiB\n")
+    print(format_table(study["rows"],
+                       "Admission modes on one overloaded deployment"))
+
+    by_mode = {row["mode"]: row for row in study["rows"]}
+    reserve = by_mode["reserve"]
+    best = by_mode[study["best_mode"]]
+    if best is not reserve:
+        gain = best["goodput_tokens_per_s"] / max(reserve["goodput_tokens_per_s"], 1e-9)
+        print(f"\n{study['best_mode']} delivers {gain:.1f}x the reserve path's "
+              f"SLA goodput at {best['num_preemptions']} evictions "
+              f"({best['preemption_stall_time_s']:.1f} s total stall).")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,10 @@ Inference".  It provides:
 * an event-driven serving engine with request arrival processes,
   KV-capacity-aware admission and vLLM-style continuous batching
   (``repro.serving``, ``repro.workloads``),
+* a paged KV-cache manager with block-granular allocation and
+  preemption-aware serving — LRU/priority/SLA-deadline victim selection
+  with CXL-priced swap or recompute restore (``repro.kvstore``, enabled
+  through ``ServingEngine(..., admission="paged")``),
 * multi-tenant cluster serving that shards one device pool across models
   and traffic classes with placement, routing and admission policies
   (``repro.cluster``), and
@@ -71,6 +75,7 @@ from repro.core.results import (
     ServingResult,
 )
 from repro.serving.engine import ServingEngine
+from repro.kvstore import BlockPool, KvAllocator, PreemptionPolicy
 from repro.cluster.tenant import SlaClass, TenantSpec
 from repro.cluster.engine import ClusterEngine
 from repro.mapping.parallelism import (
@@ -96,6 +101,9 @@ __all__ = [
     "LatencyStats",
     "ServingResult",
     "ServingEngine",
+    "BlockPool",
+    "KvAllocator",
+    "PreemptionPolicy",
     "ClusterResult",
     "ClusterEngine",
     "TenantSpec",

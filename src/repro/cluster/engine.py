@@ -36,7 +36,10 @@ from repro.core.results import ClusterResult, ServingResult
 from repro.core.system import CentSystem
 from repro.models.config import ModelConfig
 from repro.serving.engine import EngineRun, ServingEngine, evict_to_bound
-from repro.serving.metrics import aggregate_serving_result
+from repro.serving.metrics import (
+    aggregate_serving_result,
+    merge_queue_depth_timelines,
+)
 from repro.serving.request import RequestState, ServingRequest
 from repro.workloads.queries import Query
 
@@ -203,9 +206,23 @@ class ClusterEngine:
         for replica in replicas:
             trace = routing.trace_for(replica.spec.replica_id)
             if trace:
-                runs[replica.spec.replica_id] = replica.engine.simulate(trace)
+                runs[replica.spec.replica_id] = replica.engine.simulate(
+                    trace, sla_latency_s=self._replica_sla_s(replica.spec))
 
         return self._aggregate(placement, routing, runs, by_id)
+
+    def _replica_sla_s(self, spec: ReplicaSpec) -> Optional[float]:
+        """The strictest member tenant's latency SLO, for the engine's
+        ``sla_deadline`` preemption policy (None when no member has one).
+
+        A time-shared replica serves tenants with different SLOs; deadline
+        slack judged against the tightest bound protects the most urgent
+        traffic, which is the policy's intent.
+        """
+        by_name = {t.name: t for t in self.tenants}
+        slos = [by_name[name].latency_slo_s for name in spec.tenant_names]
+        slos = [s for s in slos if s is not None]
+        return min(slos) if slos else None
 
     # ------------------------------------------------------------------ results
 
@@ -263,6 +280,12 @@ class ClusterEngine:
                 peak_memory_bytes=sum(run.peak_memory_bytes for run in used),
                 memory_capacity_bytes=sum(run.memory_capacity_bytes for run in used),
                 sla_latency_s=tenant.latency_slo_s,
+                # Replica backlog samples, summed across concurrent
+                # replicas: the measured queue signal the router's backlog
+                # model can be closed against.
+                queue_depth_timeline=merge_queue_depth_timelines(
+                    [run.queue_depth_timeline for run in used]
+                ),
             )
 
         return ClusterResult(

@@ -76,7 +76,11 @@ class CentConfig:
         if self.device_bus_gbps <= 0:
             raise ValueError("device bus bandwidth must be positive")
         if not 0 < self.kv_occupancy <= 1:
-            raise ValueError("kv_occupancy must be in (0, 1]")
+            raise ValueError(
+                f"kv_occupancy must be in (0, 1] (the fraction of the "
+                f"worst-case KV footprint reserved per in-flight query), "
+                f"got {self.kv_occupancy!r}"
+            )
         if self.context_samples < 2:
             raise ValueError("at least two context samples are needed")
         if self.block_cache_entries <= 0:

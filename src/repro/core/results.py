@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -201,6 +201,23 @@ class ServingResult:
     sla_latency_s: Optional[float] = None
     completed_within_sla: int = 0
     sla_decode_tokens: int = 0
+    #: Evictions under paged admission (``repro.kvstore``); all zero on the
+    #: legacy ``admission="reserve"`` path.
+    num_preemptions: int = 0
+    num_swap_outs: int = 0
+    num_swap_ins: int = 0
+    #: Total CXL time spent staging KV caches out and back (swap restore).
+    swap_time_s: float = 0.0
+    #: Tokens re-prefilled to rebuild evicted KV (recompute restore).
+    recompute_tokens: int = 0
+    #: Total time preempted requests spent off the device (eviction to
+    #: decode-ready), summed over requests.
+    preemption_stall_time_s: float = 0.0
+    #: Per-iteration ``(time_s, queued, running)`` samples: ``queued`` are
+    #: arrived requests not currently running (admission queue plus any
+    #: preempted victims awaiting restore).  The measured backlog signal a
+    #: cluster router can feed back into its dispatch decisions.
+    queue_depth_timeline: Tuple[Tuple[float, int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_requests < 0 or self.num_completed < 0 or self.num_rejected < 0:
@@ -209,6 +226,12 @@ class ServingResult:
             raise ValueError("completed + rejected cannot exceed the trace size")
         if self.makespan_s < 0:
             raise ValueError("makespan must be non-negative")
+        if (self.num_preemptions < 0 or self.num_swap_outs < 0
+                or self.num_swap_ins < 0):
+            raise ValueError("preemption counters must be non-negative")
+        if (self.swap_time_s < 0 or self.recompute_tokens < 0
+                or self.preemption_stall_time_s < 0):
+            raise ValueError("preemption costs must be non-negative")
 
     # ------------------------------------------------------------------ throughput
 
@@ -268,6 +291,44 @@ class ServingResult:
         if self.num_requests == 0:
             return 0.0
         return self.num_rejected / self.num_requests
+
+    # ------------------------------------------------------------------ preemption
+
+    @property
+    def preemptions_per_completed(self) -> float:
+        """Mean evictions per completed request (thrash indicator)."""
+        if self.num_completed == 0:
+            return 0.0
+        return self.num_preemptions / self.num_completed
+
+    # ------------------------------------------------------------------ backlog
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Largest number of arrived-but-not-running requests observed."""
+        return max((queued for _, queued, _ in self.queue_depth_timeline),
+                   default=0)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Time-weighted mean backlog over the run.
+
+        Each sample holds until the next one (the last until the makespan),
+        matching the event loop's piecewise-constant view of the queue.
+        """
+        timeline = self.queue_depth_timeline
+        if not timeline:
+            return 0.0
+        end = max(self.makespan_s, timeline[-1][0])
+        start = timeline[0][0]
+        span = end - start
+        if span <= 0:
+            return float(timeline[-1][1])
+        weighted = 0.0
+        for (t, queued, _), (t_next, _, _) in zip(
+                timeline, list(timeline[1:]) + [(end, 0, 0)]):
+            weighted += queued * (t_next - t)
+        return weighted / span
 
 
 @dataclass(frozen=True)
@@ -397,3 +458,20 @@ class ClusterResult:
         if self.makespan_s <= 0:
             return 0.0
         return self.busy_device_seconds / (self.makespan_s * self.pool_devices)
+
+    # ------------------------------------------------------------------ preemption
+
+    @property
+    def total_preemptions(self) -> int:
+        """Pool-wide evictions under paged admission, across all tenants."""
+        return sum(r.num_preemptions for r in self.tenant_results.values())
+
+    @property
+    def total_swap_time_s(self) -> float:
+        """Pool-wide CXL time spent swapping KV caches out and back."""
+        return sum(r.swap_time_s for r in self.tenant_results.values())
+
+    @property
+    def total_preemption_stall_s(self) -> float:
+        """Pool-wide time requests spent evicted, summed over requests."""
+        return sum(r.preemption_stall_time_s for r in self.tenant_results.values())

@@ -1,0 +1,88 @@
+"""Per-request KV allocations over a shared :class:`BlockPool`.
+
+The allocator owns the owner→blocks map the serving engine consults every
+iteration: a request allocates blocks for its prompt at admission, grows by
+one token per decode step (a new block only when it crosses a block
+boundary), and releases everything on completion or preemption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.kvstore.block_pool import BlockPool
+
+__all__ = ["KvAllocator"]
+
+
+class KvAllocator:
+    """Tracks each owner's token count and block count against one pool."""
+
+    def __init__(self, pool: BlockPool) -> None:
+        self.pool = pool
+        self._tokens: Dict[Hashable, int] = {}
+        self._blocks: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------ queries
+
+    def holds_tokens(self, owner: Hashable) -> int:
+        return self._tokens.get(owner, 0)
+
+    def holds_blocks(self, owner: Hashable) -> int:
+        return self._blocks.get(owner, 0)
+
+    @property
+    def num_owners(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.pool.allocated_bytes
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def allocate(self, owner: Hashable, tokens: int) -> bool:
+        """Fresh allocation covering ``tokens``; False if the pool is short.
+
+        Failure is side-effect free, so admission can probe and retry later.
+        """
+        if owner in self._tokens:
+            raise ValueError(f"owner {owner!r} already holds an allocation")
+        if tokens < 0:
+            raise ValueError(f"token count must be non-negative, got {tokens}")
+        blocks = self.pool.blocks_for(tokens)
+        if not self.pool.allocate(blocks):
+            return False
+        self._tokens[owner] = tokens
+        self._blocks[owner] = blocks
+        return True
+
+    def grow(self, owner: Hashable, tokens: int) -> bool:
+        """Extend ``owner``'s allocation to cover ``tokens`` in total.
+
+        Allocates a new block only when the target crosses a block
+        boundary; False (side-effect free) when the pool cannot supply it —
+        the caller preempts a victim and retries.
+        """
+        held = self._tokens.get(owner)
+        if held is None:
+            raise ValueError(f"owner {owner!r} holds no allocation to grow")
+        if tokens < held:
+            raise ValueError(
+                f"allocations only grow ({owner!r} holds {held} tokens, "
+                f"asked for {tokens}); release and re-allocate to shrink"
+            )
+        needed = self.pool.blocks_for(tokens) - self._blocks[owner]
+        if needed > 0 and not self.pool.allocate(needed):
+            return False
+        self._tokens[owner] = tokens
+        self._blocks[owner] += max(needed, 0)
+        return True
+
+    def release(self, owner: Hashable) -> int:
+        """Free ``owner``'s blocks; returns the token count it covered."""
+        tokens = self._tokens.pop(owner, 0)
+        blocks = self._blocks.pop(owner, 0)
+        if blocks:
+            self.pool.release(blocks)
+        return tokens

@@ -1,0 +1,103 @@
+"""Fixed-size KV-cache block pool over one deployment's memory budget.
+
+The pool is pure bookkeeping: it never touches the performance model, it
+only answers "how many blocks does a context need" and "are that many
+free".  Block identities are not tracked — the simulator prices capacity
+and transfer volume, not physical placement — so allocation is a counter,
+which keeps the serving engine's per-iteration work O(running requests).
+"""
+
+from __future__ import annotations
+
+__all__ = ["BlockPool"]
+
+
+class BlockPool:
+    """Carves a KV byte budget into fixed-size token blocks.
+
+    Parameters
+    ----------
+    budget_bytes:
+        KV memory left after the model weights (and any replica copies)
+        are resident.
+    bytes_per_token:
+        Full-model KV-cache bytes appended per token
+        (:meth:`~repro.models.memory.ModelMemoryProfile.kv_cache_bytes_per_token`).
+    block_tokens:
+        Tokens per block (vLLM's ``block_size``; 16 by default).
+    occupancy:
+        Mirrors ``CentConfig.kv_occupancy`` — the fraction of the
+        worst-case footprint the reserve path books per in-flight query.
+        The pool is sized to ``budget / occupancy`` so paged admission
+        sees the *same effective KV capacity* the occupancy-discounted
+        reservations assume (the knob emulates on-demand allocation that
+        paged mode performs physically); 1.0 leaves the budget unchanged.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        bytes_per_token: int,
+        block_tokens: int = 16,
+        occupancy: float = 1.0,
+    ) -> None:
+        if budget_bytes < 0:
+            raise ValueError(f"budget must be non-negative, got {budget_bytes}")
+        if bytes_per_token <= 0:
+            raise ValueError(f"bytes per token must be positive, got {bytes_per_token}")
+        if block_tokens <= 0:
+            raise ValueError(f"block_tokens must be positive, got {block_tokens}")
+        if not 0 < occupancy <= 1:
+            raise ValueError(f"occupancy must be in (0, 1], got {occupancy!r}")
+        self.bytes_per_token = bytes_per_token
+        self.block_tokens = block_tokens
+        self.block_bytes = block_tokens * bytes_per_token
+        self.num_blocks = int(budget_bytes / occupancy) // self.block_bytes
+        self.free_blocks = self.num_blocks
+
+    # ------------------------------------------------------------------ sizing
+
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` of KV cache (rounded up)."""
+        if tokens < 0:
+            raise ValueError(f"token count must be non-negative, got {tokens}")
+        return -(-tokens // self.block_tokens)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - self.free_blocks
+
+    @property
+    def capacity_tokens(self) -> int:
+        """Largest total context the pool can hold at once."""
+        return self.num_blocks * self.block_tokens
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.used_blocks * self.block_bytes
+
+    @property
+    def utilization(self) -> float:
+        if self.num_blocks == 0:
+            return 0.0
+        return self.used_blocks / self.num_blocks
+
+    # ------------------------------------------------------------------ allocation
+
+    def allocate(self, num_blocks: int) -> bool:
+        """Take ``num_blocks`` from the free list; False if they don't fit."""
+        if num_blocks < 0:
+            raise ValueError(f"block count must be non-negative, got {num_blocks}")
+        if num_blocks > self.free_blocks:
+            return False
+        self.free_blocks -= num_blocks
+        return True
+
+    def release(self, num_blocks: int) -> None:
+        if num_blocks < 0:
+            raise ValueError(f"block count must be non-negative, got {num_blocks}")
+        if num_blocks > self.used_blocks:
+            raise ValueError(
+                f"cannot release {num_blocks} blocks; only {self.used_blocks} in use"
+            )
+        self.free_blocks += num_blocks

@@ -1,0 +1,133 @@
+"""Victim selection and restore pricing for paged-KV preemption.
+
+When the block pool runs dry the serving engine evicts one running request
+at a time until the starved request's growth fits.  The policy here decides
+*who* (deterministically — same trace, same victim sequence), and the
+restore mode decides *what the eviction costs*:
+
+* ``swap`` — the victim's KV bytes stream out to host memory over the CXL
+  fabric and stream back on resume; :func:`kv_swap_time_s` prices both
+  directions from :class:`~repro.cxl.link.CxlLinkParameters` (per-device x4
+  links in parallel across pipeline stages, bounded by the host x16 link);
+* ``recompute`` — the KV is dropped and the victim's context is
+  re-prefilled on resume through the engine's normal chunked-prefill path,
+  so the cost comes from :class:`~repro.core.iteration.IterationCostModel`
+  and competes with genuine prefill work for the chunk budget.
+
+Victim candidates are duck-typed (anything with ``request_id``,
+``arrival_time_s``, ``last_token_time_s``, ``admitted_time_s`` and a
+``query`` carrying ``priority``) so this module stays import-cycle-free of
+``repro.serving``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cxl.link import CxlLinkParameters
+
+__all__ = [
+    "PREEMPTION_POLICIES",
+    "RESTORE_MODES",
+    "PreemptionPolicy",
+    "kv_swap_time_s",
+]
+
+#: Supported victim-selection policies.
+PREEMPTION_POLICIES = ("lru", "priority", "sla_deadline")
+
+#: Supported restore paths for a preempted request's KV cache.
+RESTORE_MODES = ("swap", "recompute")
+
+
+def kv_swap_time_s(
+    num_bytes: int,
+    link: CxlLinkParameters,
+    pp_stages: int = 1,
+) -> float:
+    """One-direction KV swap time over the CXL fabric, in seconds.
+
+    A request's KV cache is sharded across its pipeline stages' devices, so
+    up to ``pp_stages`` x4 device links stream concurrently; the shared x16
+    host link bounds the aggregate.  One switch traversal of latency fronts
+    the transfer (the per-block transactions behind it are pipelined).
+    """
+    if num_bytes < 0:
+        raise ValueError(f"transfer size must be non-negative, got {num_bytes}")
+    if num_bytes == 0:
+        return 0.0
+    shards = max(int(pp_stages), 1)
+    device_ns = (num_bytes / shards) / link.device_bandwidth_gbps
+    host_ns = num_bytes / link.host_bandwidth_gbps
+    return (link.base_latency_ns + max(device_ns, host_ns)) * 1e-9
+
+
+class PreemptionPolicy:
+    """Deterministic victim selection plus the configured restore path.
+
+    Policies (ties always break toward the later arrival, then the larger
+    ``request_id``, so a given trace yields one victim sequence):
+
+    * ``lru`` — evict the request that made progress least recently (its
+      last emitted token, else its admission, else its arrival); the
+      stalest request has the most to redo anyway.
+    * ``priority`` — evict the lowest ``Query.priority`` first, LRU within
+      a priority level.
+    * ``sla_deadline`` — evict the request with the most slack to its SLA
+      deadline (``arrival + sla_latency_s``); without an SLA the latest
+      arrival has the most implicit slack.
+    """
+
+    def __init__(
+        self,
+        policy: str = "lru",
+        restore: str = "swap",
+        sla_latency_s: Optional[float] = None,
+    ) -> None:
+        if policy not in PREEMPTION_POLICIES:
+            raise ValueError(
+                f"unknown preemption policy {policy!r}; "
+                f"choose from {PREEMPTION_POLICIES}"
+            )
+        if restore not in RESTORE_MODES:
+            raise ValueError(
+                f"unknown restore mode {restore!r}; choose from {RESTORE_MODES}"
+            )
+        if sla_latency_s is not None and sla_latency_s <= 0:
+            raise ValueError("the SLA latency bound must be positive")
+        self.policy = policy
+        self.restore = restore
+        self.sla_latency_s = sla_latency_s
+
+    # ------------------------------------------------------------------ keys
+
+    @staticmethod
+    def _last_use_s(request) -> float:
+        for stamp in (request.last_token_time_s, request.admitted_time_s):
+            if stamp is not None:
+                return stamp
+        return request.arrival_time_s
+
+    def _deadline_s(self, request) -> float:
+        if self.sla_latency_s is None:
+            return request.arrival_time_s
+        return request.arrival_time_s + self.sla_latency_s
+
+    # ------------------------------------------------------------------ selection
+
+    def select_victim(self, candidates: Sequence, clock: float = 0.0):
+        """The request to evict, or ``None`` when no candidate exists."""
+        pool = list(candidates)
+        if not pool:
+            return None
+        if self.policy == "lru":
+            def key(r):
+                return (self._last_use_s(r), -r.arrival_time_s, -r.request_id)
+        elif self.policy == "priority":
+            def key(r):
+                return (getattr(r.query, "priority", 1.0), self._last_use_s(r),
+                        -r.arrival_time_s, -r.request_id)
+        else:  # sla_deadline: most slack to its deadline goes first
+            def key(r):
+                return (clock - self._deadline_s(r), -r.request_id)
+        return min(pool, key=key)

@@ -56,7 +56,14 @@ class ModelMemoryProfile:
         return context_length * self.kv_cache_bytes_per_token()
 
     def kv_cache_bytes_per_block_per_query(self, context_length: int) -> int:
-        return self.kv_cache_bytes_per_query(context_length) // self.model.num_layers
+        """One transformer block's share of a query's KV cache, rounded up.
+
+        Ceiling division: flooring would undercount whenever the per-query
+        total does not divide evenly across layers, and capacity checks
+        built on a per-block undercount admit mappings that do not fit.
+        """
+        total = self.kv_cache_bytes_per_query(context_length)
+        return -(-total // self.model.num_layers)
 
     # ------------------------------------------------------------------ totals
 

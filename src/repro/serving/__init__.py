@@ -18,11 +18,15 @@ iteration pricing in ``repro.core.iteration``.
 """
 
 from repro.core.results import LatencyStats, ServingResult, percentile
-from repro.serving.engine import EngineRun, ServingEngine
-from repro.serving.metrics import aggregate_serving_result
+from repro.serving.engine import ADMISSION_MODES, EngineRun, ServingEngine
+from repro.serving.metrics import (
+    aggregate_serving_result,
+    merge_queue_depth_timelines,
+)
 from repro.serving.request import RequestState, ServingRequest
 
 __all__ = [
+    "ADMISSION_MODES",
     "EngineRun",
     "ServingEngine",
     "ServingRequest",
@@ -31,4 +35,5 @@ __all__ = [
     "LatencyStats",
     "percentile",
     "aggregate_serving_result",
+    "merge_queue_depth_timelines",
 ]

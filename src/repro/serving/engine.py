@@ -5,11 +5,20 @@ requests against a :class:`~repro.core.system.CentSystem`:
 
 * requests arrive according to their ``arrival_time_s`` (an open-loop
   arrival process, e.g. :func:`~repro.workloads.queries.poisson_arrivals`);
-* admission is **KV-capacity aware**: a request joins the running batch only
-  when its full-context KV cache fits the memory left over from the model
-  weights (via :class:`~repro.models.memory.ModelMemoryProfile`) and a batch
-  slot (a pipeline-stage position) is free, so the in-flight context never
-  exceeds the system's ``memory_capacity_bytes``;
+* admission is **KV-capacity aware**, with two modes.  The default
+  ``admission="reserve"`` admits a request only when its *full-context* KV
+  cache fits the memory left over from the model weights (via
+  :class:`~repro.models.memory.ModelMemoryProfile`) and a batch slot (a
+  pipeline-stage position) is free, so the in-flight context never exceeds
+  the system's ``memory_capacity_bytes``.  ``admission="paged"`` instead
+  carves the KV budget into fixed-size token blocks
+  (:class:`~repro.kvstore.BlockPool`) and admits on the request's *current*
+  context: blocks are allocated for the prompt at admission and grown one
+  token per decode step, and when the pool runs dry a
+  :class:`~repro.kvstore.PreemptionPolicy` evicts a victim whose KV is
+  either swapped out over the CXL fabric and back
+  (``preemption_restore="swap"``) or dropped and re-prefilled
+  (``"recompute"``);
 * batching is **continuous**: newly admitted requests prefill in bounded
   chunks, every decode step advances all running requests at once, and
   finished requests free their slot immediately — no waiting for the
@@ -40,17 +49,27 @@ Quickstart::
     trace = with_arrivals(sharegpt_like_queries(200), poisson_arrivals(200, rate_qps=0.5))
     result = ServingEngine(system).run(trace, sla_latency_s=120.0)
     print(result.ttft.p99_s, result.tbt.p50_s, result.goodput_tokens_per_s)
+
+Overload the same deployment and let paged admission absorb it::
+
+    paged = ServingEngine(system, admission="paged", preemption_policy="lru",
+                          preemption_restore="swap")
+    overloaded = paged.run(trace, sla_latency_s=120.0)
+    print(overloaded.num_preemptions, overloaded.goodput_tokens_per_s)
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.iteration import IterationCostModel
 from repro.core.results import ServingResult
 from repro.core.system import CentSystem
+from repro.kvstore.allocator import KvAllocator
+from repro.kvstore.block_pool import BlockPool
+from repro.kvstore.preemption import PreemptionPolicy, kv_swap_time_s
 from repro.mapping.parallelism import ParallelismPlan
 from repro.mapping.placement import validate_capacity
 from repro.models.memory import ModelMemoryProfile
@@ -58,7 +77,10 @@ from repro.serving.metrics import aggregate_serving_result
 from repro.serving.request import RequestState, ServingRequest
 from repro.workloads.queries import Query
 
-__all__ = ["EngineRun", "ServingEngine", "evict_to_bound"]
+__all__ = ["ADMISSION_MODES", "EngineRun", "ServingEngine", "evict_to_bound"]
+
+#: Supported admission modes: full-context reservation vs paged blocks.
+ADMISSION_MODES = ("reserve", "paged")
 
 
 def evict_to_bound(cache: Dict, bound: int) -> None:
@@ -92,6 +114,11 @@ class EngineRun:
     decode_step_tokens: int
     peak_memory_bytes: int
     memory_capacity_bytes: int
+    #: Per-iteration ``(time_s, queued, running)`` samples; ``queued``
+    #: counts arrived-but-not-running requests (waiting plus preempted).
+    queue_depth_timeline: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: ``(time_s, request_id)`` per eviction, in victim order (paged mode).
+    preemption_log: List[Tuple[float, int]] = field(default_factory=list)
 
 
 class ServingEngine:
@@ -126,6 +153,19 @@ class ServingEngine:
     memory_capacity_bytes:
         Override of the system's memory capacity, for what-if studies and
         for tests that force admission pressure.
+    admission:
+        ``"reserve"`` (default) — the bit-exact legacy path: admit on the
+        full-context KV reservation.  ``"paged"`` — admit on the current
+        context with block-granular growth and preemption on pool
+        exhaustion (see ``repro.kvstore``).
+    kv_block_tokens:
+        Tokens per KV block in paged mode (vLLM's ``block_size``).
+    preemption_policy:
+        Victim selection in paged mode: ``"lru"``, ``"priority"`` or
+        ``"sla_deadline"``.
+    preemption_restore:
+        How a victim's KV comes back: ``"swap"`` (CXL-priced staging to
+        host memory and back) or ``"recompute"`` (drop and re-prefill).
     """
 
     def __init__(
@@ -138,6 +178,10 @@ class ServingEngine:
         interleave_prefill: bool = False,
         context_step: int = 256,
         memory_capacity_bytes: Optional[int] = None,
+        admission: str = "reserve",
+        kv_block_tokens: int = 16,
+        preemption_policy: str = "lru",
+        preemption_restore: str = "swap",
     ) -> None:
         if max_batch_size is not None and max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -145,6 +189,15 @@ class ServingEngine:
             raise ValueError("prefill_chunk_tokens must be positive")
         if context_step <= 0:
             raise ValueError("context_step must be positive")
+        if admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {admission!r}; choose from {ADMISSION_MODES}"
+            )
+        if kv_block_tokens <= 0:
+            raise ValueError("kv_block_tokens must be positive")
+        # Fail fast on bad policy/restore names with the policy's own
+        # validation (one definition of the valid sets and messages).
+        PreemptionPolicy(preemption_policy, restore=preemption_restore)
         self.system = system
         self.model = system.model
         self.plan = plan
@@ -158,6 +211,10 @@ class ServingEngine:
         )
         if self.memory_capacity_bytes <= 0:
             raise ValueError("memory capacity must be positive")
+        self.admission = admission
+        self.kv_block_tokens = kv_block_tokens
+        self.preemption_policy = preemption_policy
+        self.preemption_restore = preemption_restore
         self._profile = ModelMemoryProfile(self.model)
         # _setup results keyed by the servable context length (the only
         # trace-dependent input) plus the engine knobs that feed _setup:
@@ -194,6 +251,9 @@ class ServingEngine:
         if kv_budget <= 0:
             # Weights alone overflow; run() raises the precise error.
             return True
+        if self.admission == "paged":
+            pool = self._make_pool(kv_budget)
+            return pool.blocks_for(query.total_context) <= pool.num_blocks
         return self._kv_reservation_bytes(query.total_context) <= kv_budget
 
     def _setup(self, trace: Sequence[Query]):
@@ -261,6 +321,15 @@ class ServingEngine:
             )
         return budget
 
+    def _make_pool(self, kv_budget: int) -> BlockPool:
+        """The paged-mode block pool over the post-weight KV budget."""
+        return BlockPool(
+            kv_budget,
+            self._profile.kv_cache_bytes_per_token(),
+            block_tokens=self.kv_block_tokens,
+            occupancy=self.system.config.kv_occupancy,
+        )
+
     # ------------------------------------------------------------------ serving
 
     def run(
@@ -272,7 +341,7 @@ class ServingEngine:
         """Serve ``trace`` to completion and return measured statistics."""
         if sla_latency_s is not None and sla_latency_s <= 0:
             raise ValueError("the SLA latency bound must be positive")
-        run = self.simulate(trace)
+        run = self.simulate(trace, sla_latency_s=sla_latency_s)
         return aggregate_serving_result(
             run.requests,
             model_name=self.model.name,
@@ -284,19 +353,38 @@ class ServingEngine:
             peak_memory_bytes=run.peak_memory_bytes,
             memory_capacity_bytes=run.memory_capacity_bytes,
             sla_latency_s=sla_latency_s,
+            queue_depth_timeline=run.queue_depth_timeline,
         )
 
-    def simulate(self, trace: Sequence[Query]) -> EngineRun:
+    def simulate(
+        self,
+        trace: Sequence[Query],
+        *,
+        sla_latency_s: Optional[float] = None,
+    ) -> EngineRun:
         """Run the event loop over ``trace`` and return per-request outcomes.
 
         The building block of :meth:`run` (which folds the outcome into a
         :class:`ServingResult`) and of ``repro.cluster`` (which serves one
         trace per replica and re-attributes requests to tenants).
+        ``sla_latency_s`` only informs the ``sla_deadline`` preemption
+        policy's notion of slack; it never gates admission.
         """
         queries = list(trace)
         plan, cost, slots = self._setup(queries)
         kv_budget = self._kv_budget_bytes(plan)
         weight_bytes = self.memory_capacity_bytes - kv_budget
+        paged = self.admission == "paged"
+
+        allocator: Optional[KvAllocator] = None
+        policy: Optional[PreemptionPolicy] = None
+        if paged:
+            allocator = KvAllocator(self._make_pool(kv_budget))
+            policy = PreemptionPolicy(
+                self.preemption_policy,
+                restore=self.preemption_restore,
+                sla_latency_s=sla_latency_s,
+            )
 
         requests = [ServingRequest(i, q) for i, q in enumerate(queries)]
         order = sorted(requests, key=lambda r: r.arrival_time_s)
@@ -308,11 +396,13 @@ class ServingEngine:
             if not self._is_servable(request.query, kv_budget):
                 request.state = RequestState.REJECTED
             else:
-                request.kv_reserved_bytes = \
-                    self._kv_reservation_bytes(request.query.total_context)
+                if not paged:
+                    request.kv_reserved_bytes = \
+                        self._kv_reservation_bytes(request.query.total_context)
                 pending.append(request)
 
         waiting: Deque[ServingRequest] = deque()
+        preempted: Deque[ServingRequest] = deque()
         running: List[ServingRequest] = []
         clock = 0.0
         reserved_bytes = 0
@@ -322,20 +412,154 @@ class ServingEngine:
         prefill_time_s = 0.0
         decode_time_s = 0.0
         decode_step_tokens = 0
+        queue_depth_timeline: List[Tuple[float, int, int]] = []
+        preemption_log: List[Tuple[float, int]] = []
+        bytes_per_token = self._profile.kv_cache_bytes_per_token()
+        # The paged pool is sized to the effective capacity the reserve
+        # path's occupancy-discounted reservations assume (budget /
+        # kv_occupancy in block bytes); reported memory applies the same
+        # discount, so peak_memory_bytes stays within the physical
+        # capacity in both admission modes.
+        kv_scale = self.system.config.kv_occupancy if paged else 1.0
 
-        while pending or waiting or running:
+        # ------------------------------------------------ paged-mode helpers
+
+        def preempt(victim: ServingRequest) -> None:
+            """Evict ``victim``: free its blocks, set up its restore path."""
+            if victim.restore_remaining > 0:
+                # Re-evicted mid-rebuild: the aborted rebuild was stall
+                # time, and the unexecuted tail of the earlier recompute
+                # charge never ran — refund it before re-charging below.
+                victim.stall_s += clock - victim.restore_started_s
+                victim.recompute_tokens -= victim.restore_remaining
+                victim.restore_remaining = 0
+                victim.restore_total = 0
+            tokens_with_kv = victim.kv_tokens
+            context = victim.context_length
+            allocator.release(victim.request_id)
+            victim.kv_tokens = 0
+            victim.preempted_count += 1
+            victim.preempt_time_s = clock
+            victim.state = RequestState.PREEMPTED
+            victim.restore_ready_s = 0.0
+            if policy.restore == "swap":
+                # Only materialised KV travels; the prompt's still-unwritten
+                # tail of a prefilling victim does not.
+                victim.resume_kv_tokens = tokens_with_kv
+                victim.swap_bytes = context * bytes_per_token
+                out_s = kv_swap_time_s(victim.swap_bytes, self.system.config.link,
+                                       pp_stages=plan.pp_stages)
+                victim.num_swap_outs += 1
+                victim.swap_time_s += out_s
+                victim.swap_done_s = clock + out_s
+            elif victim.prefill_remaining > 0:
+                # Recompute a half-prefilled victim: rebuild the lost prefix
+                # through the restore path, then let the prompt's tail
+                # continue; the rebuild span counts as stall exactly like a
+                # decoding victim's.
+                prefix = victim.query.prompt_tokens - victim.prefill_remaining
+                victim.recompute_tokens += prefix
+                victim.restore_remaining = prefix
+                victim.restore_total = prefix
+                victim.resume_kv_tokens = victim.query.prompt_tokens
+            else:
+                # Recompute a decoding victim by re-prefilling its context.
+                victim.recompute_tokens += context
+                victim.restore_remaining = context
+                victim.restore_total = context
+                victim.resume_kv_tokens = context
+            running.remove(victim)
+            preempted.append(victim)
+            preemption_log.append((clock, victim.request_id))
+
+        def resume(request: ServingRequest) -> None:
+            """Bring a preempted request back; blocks are already allocated."""
+            request.kv_tokens = request.resume_kv_tokens
+            request.stall_s += clock - request.preempt_time_s
+            if policy.restore == "swap":
+                in_s = kv_swap_time_s(request.swap_bytes, self.system.config.link,
+                                      pp_stages=plan.pp_stages)
+                request.num_swap_ins += 1
+                request.swap_time_s += in_s
+                # Swap-in serialises behind any still-draining swap-out.
+                request.restore_ready_s = max(clock, request.swap_done_s) + in_s
+                request.stall_s += request.restore_ready_s - clock
+            if request.restore_remaining > 0:
+                # Recompute restore: the re-prefill ahead still keeps the
+                # request off decode, so its span counts as stall too
+                # (accrued when the rebuild completes).
+                request.restore_started_s = clock
+            rebuilding = request.prefill_remaining > 0 or request.restore_remaining > 0
+            request.state = RequestState.PREFILL if rebuilding else RequestState.DECODE
+
+        def grow_or_preempt(candidates: List[ServingRequest]) -> List[ServingRequest]:
+            """Grow each decodable request's KV to its context, evicting on
+            pool exhaustion; returns the requests that may decode now."""
+            batch: List[ServingRequest] = []
+            for request in candidates:
+                if request.state is RequestState.PREEMPTED:
+                    continue  # evicted by an earlier candidate's growth
+                target = max(request.context_length, request.kv_tokens)
+                grown = allocator.grow(request.request_id, target)
+                while not grown:
+                    victims = [r for r in running
+                               if r is not request and r.restore_ready_s <= clock]
+                    victim = policy.select_victim(victims, clock)
+                    if victim is None:
+                        break
+                    preempt(victim)
+                    if victim in batch:
+                        batch.remove(victim)
+                    grown = allocator.grow(request.request_id, target)
+                if grown:
+                    request.kv_tokens = target
+                    batch.append(request)
+            return batch
+
+        # ------------------------------------------------------- event loop
+
+        while pending or waiting or preempted or running:
             while pending and pending[0].arrival_time_s <= clock:
                 waiting.append(pending.popleft())
 
-            # FCFS admission while a slot and the KV budget allow.
-            while (waiting and len(running) < slots
-                   and reserved_bytes + waiting[0].kv_reserved_bytes <= kv_budget):
-                request = waiting.popleft()
-                request.state = RequestState.PREFILL
-                request.admitted_time_s = clock
-                reserved_bytes += request.kv_reserved_bytes
-                running.append(request)
-            peak_memory = max(peak_memory, weight_bytes + reserved_bytes)
+            if paged:
+                # Preempted requests resume first (FCFS by eviction time) so
+                # fresh admissions cannot starve a victim's restore.
+                while preempted and len(running) < slots:
+                    request = preempted[0]
+                    if not allocator.allocate(request.request_id,
+                                              request.resume_kv_tokens):
+                        break
+                    preempted.popleft()
+                    resume(request)
+                    running.append(request)
+                # Paged admission: blocks for the *current* need (the
+                # prompt), not the full future context.
+                while (not preempted and waiting and len(running) < slots
+                       and allocator.allocate(waiting[0].request_id,
+                                              waiting[0].query.prompt_tokens)):
+                    request = waiting.popleft()
+                    request.kv_tokens = request.query.prompt_tokens
+                    request.state = RequestState.PREFILL
+                    request.admitted_time_s = clock
+                    running.append(request)
+                peak_memory = max(
+                    peak_memory,
+                    weight_bytes + int(allocator.allocated_bytes * kv_scale))
+            else:
+                # FCFS admission while a slot and the KV budget allow.
+                while (waiting and len(running) < slots
+                       and reserved_bytes + waiting[0].kv_reserved_bytes <= kv_budget):
+                    request = waiting.popleft()
+                    request.state = RequestState.PREFILL
+                    request.admitted_time_s = clock
+                    reserved_bytes += request.kv_reserved_bytes
+                    running.append(request)
+                peak_memory = max(peak_memory, weight_bytes + reserved_bytes)
+
+            queue_depth_timeline.append(
+                (clock, len(waiting) + len(preempted), len(running))
+            )
 
             if not running:
                 # Idle: jump to the next arrival.
@@ -353,26 +577,66 @@ class ServingEngine:
             # ``interleave_prefill`` (chunked-prefill mode) the iteration
             # runs the prefill chunk *and* the decode step together, so the
             # stall is bounded by the chunk at the price of stretching the
-            # co-scheduled decode iteration.
+            # co-scheduled decode iteration.  Recompute restores share the
+            # prefill chunk budget: rebuilding a victim's KV is prompt work.
             chunk_budget = self.prefill_chunk_tokens
             prefill_work: List[tuple] = []
             for request in running:
                 if chunk_budget <= 0:
                     break
-                if request.prefill_remaining <= 0:
+                if request.restore_ready_s > clock:
+                    continue  # swap-in still in flight
+                # A rebuild (lost prefix or whole context) streams before
+                # any still-pending prompt tail.
+                remaining = (request.restore_remaining
+                             if request.restore_remaining > 0
+                             else request.prefill_remaining)
+                if remaining <= 0:
                     continue
-                tokens = min(request.prefill_remaining, chunk_budget)
+                tokens = min(remaining, chunk_budget)
                 prefill_work.append((request, tokens))
                 chunk_budget -= tokens
             if prefill_work and not self.interleave_prefill:
                 decode_batch: List[ServingRequest] = []
             else:
-                decode_batch = [r for r in running if r.prefill_remaining == 0]
+                decode_batch = [r for r in running
+                                if r.prefill_remaining == 0
+                                and r.restore_remaining == 0
+                                and r.restore_ready_s <= clock]
+            if paged and decode_batch:
+                decode_batch = grow_or_preempt(decode_batch)
+                peak_memory = max(
+                    peak_memory,
+                    weight_bytes + int(allocator.allocated_bytes * kv_scale))
+                # A growth-triggered eviction may have hit a co-scheduled
+                # prefilling request (chunked-prefill mode): its chunk no
+                # longer runs this iteration.
+                prefill_work = [(r, t) for r, t in prefill_work
+                                if r.state is not RequestState.PREEMPTED]
+
+            if not prefill_work and not decode_batch:
+                # Everyone runnable is waiting on a swap-in; jump to the
+                # first restore completion (or the next arrival, whichever
+                # is sooner) instead of spinning.
+                horizon = [r.restore_ready_s for r in running
+                           if r.restore_ready_s > clock]
+                if pending:
+                    horizon.append(pending[0].arrival_time_s)
+                if not horizon:
+                    raise RuntimeError(
+                        "serving engine stalled with running requests but no "
+                        "schedulable work; this is a bug"
+                    )
+                clock = min(horizon)
+                continue
 
             prefill_s = 0.0
             for request, tokens in prefill_work:
-                start = request.query.prompt_tokens - request.prefill_remaining
-                midpoint = max(start + tokens // 2, 1)
+                if request.restore_remaining > 0:
+                    done = request.restore_total - request.restore_remaining
+                else:
+                    done = request.query.prompt_tokens - request.prefill_remaining
+                midpoint = max(done + tokens // 2, 1)
                 prefill_s += cost.prefill_chunk_s(tokens, midpoint)
             decode_s = cost.decode_iteration_s(
                 [r.context_length for r in decode_batch]
@@ -385,6 +649,19 @@ class ServingEngine:
 
             # ---------------------------------------------- apply the iteration
             for request, tokens in prefill_work:
+                if request.restore_remaining > 0:
+                    # KV rebuilt, nothing emitted: the request already owns
+                    # its generated tokens and rejoins decode next iteration.
+                    request.restore_remaining -= tokens
+                    if request.restore_remaining == 0:
+                        if request.prefill_remaining == 0:
+                            request.state = RequestState.DECODE
+                        # Eviction-to-rebuilt: the rebuild span joins the
+                        # off-device time already accrued at resume (a
+                        # prefill victim's prompt tail then continues as
+                        # ordinary, non-stall prefill work).
+                        request.stall_s += clock - request.restore_started_s
+                    continue
                 request.prefill_remaining -= tokens
                 if request.prefill_remaining == 0:
                     # The chunk completing the prefill emits the first token.
@@ -404,7 +681,11 @@ class ServingEngine:
             for request in finished:
                 request.state = RequestState.FINISHED
                 request.finish_time_s = clock
-                reserved_bytes -= request.kv_reserved_bytes
+                if paged:
+                    allocator.release(request.request_id)
+                    request.kv_tokens = 0
+                else:
+                    reserved_bytes -= request.kv_reserved_bytes
             if finished:
                 running = [r for r in running if r.state is not RequestState.FINISHED]
 
@@ -417,6 +698,8 @@ class ServingEngine:
             decode_step_tokens=decode_step_tokens,
             peak_memory_bytes=peak_memory,
             memory_capacity_bytes=self.memory_capacity_bytes,
+            queue_depth_timeline=queue_depth_timeline,
+            preemption_log=preemption_log,
         )
 
     # ------------------------------------------------------------------ sizing
@@ -429,7 +712,10 @@ class ServingEngine:
         while it does), whereas decode iterations advance the whole batch at
         once, so a query's decode share is ``decode_tokens`` iterations
         divided across the occupied slots.  Useful for choosing an arrival
-        rate that loads, but does not drown, the system.
+        rate that loads, but does not drown, the system.  The reservation-
+        based slot cap below is deliberately kept for paged mode too: it
+        estimates the *sustainable* concurrency, which preemption overshoots
+        at a restore cost this estimate does not model.
         """
         queries = list(trace)
         plan, cost, slots = self._setup(queries)

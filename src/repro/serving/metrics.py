@@ -8,12 +8,54 @@ drains.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.core.results import LatencyStats, ServingResult, percentile
 from repro.serving.request import RequestState, ServingRequest
 
-__all__ = ["LatencyStats", "percentile", "aggregate_serving_result"]
+__all__ = [
+    "LatencyStats",
+    "percentile",
+    "aggregate_serving_result",
+    "merge_queue_depth_timelines",
+]
+
+
+def merge_queue_depth_timelines(
+    timelines: Sequence[Sequence[Tuple[float, int, int]]],
+) -> list:
+    """Sum concurrent per-replica backlog signals into one timeline.
+
+    Each input is a piecewise-constant ``(time_s, queued, running)`` signal;
+    the merged signal carries, at every sample time, the *sum* of each
+    replica's most recent value — simply interleaving the samples would
+    report one replica's backlog where the caller expects the pool's.  A
+    single input comes back unchanged, so the single-replica tenant keeps
+    engine parity.
+    """
+    timelines = [list(t) for t in timelines if t]
+    if not timelines:
+        return []
+    if len(timelines) == 1:
+        return timelines[0]
+    events = sorted(
+        (sample[0], index, sample)
+        for index, timeline in enumerate(timelines)
+        for sample in timeline
+    )
+    latest: dict = {}
+    merged = []
+    i = 0
+    while i < len(events):
+        now = events[i][0]
+        while i < len(events) and events[i][0] == now:
+            _, index, (_, queued, running) = events[i]
+            latest[index] = (queued, running)
+            i += 1
+        merged.append((now,
+                       sum(q for q, _ in latest.values()),
+                       sum(r for _, r in latest.values())))
+    return merged
 
 
 def aggregate_serving_result(
@@ -28,8 +70,15 @@ def aggregate_serving_result(
     peak_memory_bytes: int,
     memory_capacity_bytes: int,
     sla_latency_s: Optional[float] = None,
+    queue_depth_timeline: Sequence[Tuple[float, int, int]] = (),
 ) -> ServingResult:
-    """Fold the finished request set into a :class:`ServingResult`."""
+    """Fold the finished request set into a :class:`ServingResult`.
+
+    Preemption, swap and stall counters are summed straight off the
+    requests, so callers that re-attribute a run's requests to subsets
+    (the multi-tenant cluster layer) get exact per-subset accounting for
+    free; only the queue-depth timeline is engine-level and passed in.
+    """
     completed = [r for r in requests if r.state is RequestState.FINISHED]
     rejected = [r for r in requests if r.state is RequestState.REJECTED]
 
@@ -65,4 +114,13 @@ def aggregate_serving_result(
         sla_latency_s=sla_latency_s,
         completed_within_sla=len(within_sla),
         sla_decode_tokens=sum(r.query.decode_tokens for r in within_sla),
+        num_preemptions=sum(r.preempted_count for r in requests),
+        num_swap_outs=sum(r.num_swap_outs for r in requests),
+        num_swap_ins=sum(r.num_swap_ins for r in requests),
+        swap_time_s=sum(r.swap_time_s for r in requests),
+        recompute_tokens=sum(r.recompute_tokens for r in requests),
+        preemption_stall_time_s=sum(r.stall_s for r in requests),
+        queue_depth_timeline=tuple(
+            (float(t), int(q), int(n)) for t, q, n in queue_depth_timeline
+        ),
     )

@@ -17,13 +17,22 @@ class RequestState(enum.Enum):
     QUEUED = "queued"        # arrived, waiting for admission
     PREFILL = "prefill"      # admitted, prompt tokens streaming in
     DECODE = "decode"        # generating output tokens
+    PREEMPTED = "preempted"  # evicted from the paged KV pool, awaiting resume
     FINISHED = "finished"    # all output tokens generated
     REJECTED = "rejected"    # can never fit the system; refused on arrival
 
 
 @dataclass
 class ServingRequest:
-    """One query's measured journey through the engine."""
+    """One query's measured journey through the engine.
+
+    The fields below ``tbt_samples_s`` exist for the paged-admission mode
+    (``repro.kvstore``): they track the request's on-device KV allocation,
+    its restore progress after a preemption, and the preemption/swap
+    counters the aggregation folds into the
+    :class:`~repro.core.results.ServingResult`.  Under the legacy
+    ``admission="reserve"`` path they keep their zero defaults.
+    """
 
     request_id: int
     query: Query
@@ -36,6 +45,35 @@ class ServingRequest:
     tokens_generated: int = 0
     kv_reserved_bytes: int = 0
     tbt_samples_s: List[float] = field(default_factory=list)
+    #: Tokens currently backed by allocated KV blocks (paged mode only).
+    kv_tokens: int = 0
+    #: Tokens of KV still to re-prefill after a recompute-mode preemption.
+    restore_remaining: int = 0
+    #: Size of the current rebuild (a decode victim's whole context, a
+    #: prefill victim's lost prefix); prices the rebuild chunks' midpoints.
+    restore_total: int = 0
+    #: Tokens the next resume must re-allocate blocks for.
+    resume_kv_tokens: int = 0
+    #: Engine time at which this request's swap-in completes; the request
+    #: holds its slot and blocks but cannot decode before then.
+    restore_ready_s: float = 0.0
+    #: When the in-flight swap-out finishes draining (swap-in serialises
+    #: behind it if the request resumes immediately).
+    swap_done_s: float = 0.0
+    #: KV bytes the last swap-out staged to the host (swap restore only).
+    swap_bytes: int = 0
+    #: When the request was last preempted (stall accounting).
+    preempt_time_s: Optional[float] = None
+    #: When the request last re-acquired a slot with a KV rebuild still
+    #: ahead of it (recompute restore); the rebuild span counts as stall.
+    restore_started_s: float = 0.0
+    # ---- counters surfaced through aggregate_serving_result ----
+    preempted_count: int = 0
+    num_swap_outs: int = 0
+    num_swap_ins: int = 0
+    swap_time_s: float = 0.0
+    recompute_tokens: int = 0
+    stall_s: float = 0.0
 
     def __post_init__(self) -> None:
         self.prefill_remaining = self.query.prompt_tokens

@@ -26,17 +26,26 @@ class Query:
     ``arrival_time_s`` defaults to zero, which reproduces the paper's static
     evaluation shape (every query present at the start of the run); the
     serving engine uses it to replay trace-driven open-loop traffic.
+    ``priority`` ranks requests for the paged-admission ``priority``
+    preemption policy (lower values are evicted first); the default gives
+    every request equal standing, so traces that never set it behave as
+    before.
     """
 
     prompt_tokens: int
     decode_tokens: int
     arrival_time_s: float = 0.0
+    priority: float = 1.0
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.decode_tokens <= 0:
             raise ValueError("prompt and decode token counts must be positive")
         if not np.isfinite(self.arrival_time_s) or self.arrival_time_s < 0:
             raise ValueError("arrival time must be finite and non-negative")
+        if not np.isfinite(self.priority) or self.priority < 0:
+            raise ValueError(
+                f"priority must be finite and non-negative, got {self.priority!r}"
+            )
 
     @property
     def total_context(self) -> int:

@@ -37,6 +37,18 @@ class TestCentConfig:
         with pytest.raises(ValueError):
             CentConfig(device_bus_gbps=0.0)
 
+    def test_kv_occupancy_bounds_and_message(self):
+        # The (0, 1] validation must reject both ends and name the value,
+        # so a sweep that mis-scales the knob fails with context.
+        for bad in (0.0, -0.25, 1.5, float("nan")):
+            with pytest.raises(ValueError, match="kv_occupancy") as excinfo:
+                CentConfig(kv_occupancy=bad)
+            assert "(0, 1]" in str(excinfo.value)
+            assert repr(bad) in str(excinfo.value)
+        # Both boundaries of the valid range construct fine.
+        assert CentConfig(kv_occupancy=1.0).kv_occupancy == 1.0
+        assert CentConfig(kv_occupancy=0.05).kv_occupancy == 0.05
+
 
 class TestLatencyBreakdown:
     def test_total_and_fractions(self):

@@ -1,5 +1,7 @@
 """Unit tests for model configurations and memory sizing."""
 
+import dataclasses
+
 import pytest
 
 from repro.models.config import (
@@ -80,6 +82,35 @@ class TestMemoryProfile:
         per_block = profile.block_bytes(batch_size=4, context_length=1024)
         total = profile.total_bytes(batch_size=4, context_length=1024)
         assert per_block * LLAMA2_7B.num_layers <= total
+
+    def test_per_block_kv_bytes_round_up_not_down(self):
+        # Regression: the per-block KV share used floor division, which
+        # undercounts whenever the per-query total does not divide evenly
+        # across the layers; capacity checks built on the per-block figure
+        # must never see less than the true total.
+        class OddKvModel(type(LLAMA2_7B)):
+            def kv_cache_bytes_per_token(self, bytes_per_element=2):
+                # One byte of per-token metadata breaks divisibility.
+                return super().kv_cache_bytes_per_token(bytes_per_element) + 1
+
+        odd = OddKvModel(**{f.name: getattr(LLAMA2_7B, f.name)
+                            for f in dataclasses.fields(LLAMA2_7B)})
+        profile = ModelMemoryProfile(odd)
+        context = 1023  # 1023 * (per_token + 1) is not a multiple of 32
+        total = profile.kv_cache_bytes_per_query(context)
+        per_block = profile.kv_cache_bytes_per_block_per_query(context)
+        assert total % odd.num_layers != 0  # the case floor division loses
+        assert per_block * odd.num_layers >= total
+        assert per_block == -(-total // odd.num_layers)
+
+    def test_per_block_kv_bytes_exact_when_divisible(self):
+        # The derived KV size of the stock models is a multiple of the layer
+        # count, so rounding up must not change their per-block share.
+        profile = ModelMemoryProfile(LLAMA2_70B)
+        total = profile.kv_cache_bytes_per_query(4096)
+        per_block = profile.kv_cache_bytes_per_block_per_query(4096)
+        assert total % LLAMA2_70B.num_layers == 0
+        assert per_block * LLAMA2_70B.num_layers == total
 
     def test_max_batch_size_decreases_with_context(self):
         profile = ModelMemoryProfile(LLAMA2_70B)
