@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare a fresh BENCH JSON against a baseline.
+
+CI uploads every run's ``pytest-benchmark`` JSON (``BENCH_*.json``), whose
+``extra_info`` carries the goodput/throughput numbers the serving, cluster
+and closed-loop benchmarks attach.  This script downloads nothing itself —
+the workflow fetches the previous main-branch artifact — and compares the
+perf-relevant ``extra_info`` metrics benchmark by benchmark:
+
+* a metric lower than ``(1 - max_regression)`` times its baseline fails the
+  gate (exit code 1), listing every offender;
+* a missing, empty or malformed baseline is tolerated (exit code 0 with a
+  notice): first runs and expired artifacts must not brick the pipeline;
+* metrics present on one side only are reported but never fail (new
+  benchmarks appear, old ones retire).
+
+Usage::
+
+    python benchmarks/compare_bench.py --baseline DIR_OR_FILE \
+        --current BENCH_smoke.json [--max-regression 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: ``extra_info`` keys containing any of these substrings are perf metrics
+#: where *lower is worse*; everything else (labels, counters) is ignored.
+METRIC_MARKERS = ("goodput", "throughput")
+
+
+def is_tracked_metric(key: str, value: object) -> bool:
+    """Whether one extra_info entry participates in the regression gate."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return False
+    return any(marker in key.lower() for marker in METRIC_MARKERS)
+
+
+def extract_metrics(report: dict) -> Dict[Tuple[str, str], float]:
+    """``(benchmark fullname, metric key) -> value`` for tracked metrics."""
+    metrics: Dict[Tuple[str, str], float] = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name") or "<unnamed>"
+        for key, value in (bench.get("extra_info") or {}).items():
+            if is_tracked_metric(key, value):
+                metrics[(name, key)] = float(value)
+    return metrics
+
+
+def find_baseline_file(path: Path) -> Optional[Path]:
+    """The baseline ``BENCH_*.json`` under ``path`` (itself, or newest)."""
+    if path.is_file():
+        return path
+    if path.is_dir():
+        candidates = sorted(path.rglob("BENCH_*.json"))
+        if candidates:
+            return candidates[-1]
+    return None
+
+
+def load_report(path: Path) -> Optional[dict]:
+    try:
+        with path.open() as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"compare_bench: cannot read {path}: {error}")
+        return None
+    if not isinstance(report, dict):
+        print(f"compare_bench: {path} is not a benchmark report")
+        return None
+    return report
+
+
+def compare(
+    baseline: Dict[Tuple[str, str], float],
+    current: Dict[Tuple[str, str], float],
+    max_regression: float,
+) -> List[str]:
+    """Human-readable failure lines for every metric regressing past the bar."""
+    failures: List[str] = []
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"  [gone]  {key[0]} :: {key[1]} (baseline {baseline[key]:.3f})")
+            continue
+        base, fresh = baseline[key], current[key]
+        if base <= 0:
+            continue
+        change = (fresh - base) / base
+        status = "ok" if change >= -max_regression else "FAIL"
+        print(f"  [{status:4}] {key[0]} :: {key[1]}: "
+              f"{base:.3f} -> {fresh:.3f} ({change:+.1%})")
+        if change < -max_regression:
+            failures.append(
+                f"{key[0]} :: {key[1]} regressed {-change:.1%} "
+                f"({base:.3f} -> {fresh:.3f}; limit {max_regression:.0%})"
+            )
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  [new ]  {key[0]} :: {key[1]} = {current[key]:.3f}")
+    return failures
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="baseline BENCH_*.json file or a directory "
+                             "holding the downloaded artifact")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="largest tolerated relative drop (default 0.10)")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if not 0 <= args.max_regression < 1:
+        parser.error("--max-regression must be in [0, 1)")
+
+    current_report = load_report(args.current)
+    if current_report is None:
+        print("compare_bench: no current benchmark report; failing the gate")
+        return 1
+
+    baseline_path = find_baseline_file(args.baseline)
+    if baseline_path is None:
+        print(f"compare_bench: no baseline under {args.baseline}; "
+              "first run or expired artifact — gate passes vacuously")
+        return 0
+    baseline_report = load_report(baseline_path)
+    if baseline_report is None:
+        print("compare_bench: unreadable baseline — gate passes vacuously")
+        return 0
+
+    baseline = extract_metrics(baseline_report)
+    current = extract_metrics(current_report)
+    if not baseline:
+        print("compare_bench: baseline carries no tracked metrics — "
+              "gate passes vacuously")
+        return 0
+
+    print(f"compare_bench: {baseline_path} vs {args.current} "
+          f"(fail below -{args.max_regression:.0%})")
+    failures = compare(baseline, current, args.max_regression)
+    if failures:
+        print(f"\ncompare_bench: {len(failures)} regression(s) past the "
+              f"{args.max_regression:.0%} bar:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("compare_bench: no tracked metric regressed past the bar")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

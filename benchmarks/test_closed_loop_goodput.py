@@ -1,0 +1,36 @@
+"""Closed-loop cluster study: epoch re-placement vs static placement.
+
+Runs the phase-shifted bursty two-tenant mix of
+:func:`repro.evaluation.closed_loop_study` on a 12-device Llama2-7B pool
+and prints the static-vs-closed-loop table.  The per-mode goodput numbers
+are attached as ``extra_info`` so the CI benchmark artifact
+(``BENCH_*.json``) tracks them per PR — and the benchmark regression gate
+(``benchmarks/compare_bench.py``) fails the build if a change quietly
+erodes them.
+"""
+
+from repro.evaluation import closed_loop_study, format_table
+
+
+def test_closed_loop_goodput(benchmark, once, capsys):
+    study = once(benchmark, closed_loop_study,
+                 num_devices=12, queries_per_tenant=40)
+    rows = study["rows"]
+    for row in rows:
+        benchmark.extra_info[f"aggregate_goodput_tokens_per_s[{row['mode']}]"] = \
+            row["aggregate_goodput_tokens_per_s"]
+    benchmark.extra_info["closed_loop_gain"] = study["closed_loop_gain"]
+    benchmark.extra_info["num_rebalances"] = study["num_rebalances"]
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Closed-loop vs static cluster control"))
+
+    by_mode = {row["mode"]: row for row in rows}
+    assert set(by_mode) == {"static_sla_aware", "closed_loop"}
+    # The tentpole claim: closing the loop beats static sla_aware placement
+    # on the overloaded bursty mix, and does so by actually re-placing.
+    assert by_mode["closed_loop"]["aggregate_goodput_tokens_per_s"] > \
+        by_mode["static_sla_aware"]["aggregate_goodput_tokens_per_s"]
+    assert by_mode["closed_loop"]["num_rebalances"] >= 1
+    # The open-loop path must stay deterministic run to run.
+    assert study["static_bit_exact"] is True

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Closed-loop cluster serving: epoch re-placement + backlog-feedback routing.
+
+Two Llama2-7B tenants share a 12-device pool, but their traffic is
+*phase-shifted*: ``early`` fires a heavy-tailed burst immediately, ``late``
+fires an equal burst once the first should have drained.  Total demand is
+symmetric, so every static placement splits the pool evenly — and each
+tenant drowns during its own burst while its neighbour's devices idle.
+
+The closed loop (``repro.cluster.control``) pauses every replica at epoch
+boundaries, reads the measured backlog off ``queue_depth_timeline``,
+re-anchors the router's drain model to it, and re-places the pool toward
+the bursting tenant whenever the projected goodput gain beats the migration
+stall (model weights reloading over the CXL fabric).  The study prints the
+static-vs-closed-loop comparison plus the applied re-placements.
+
+Run with::
+
+    python examples/closed_loop_serving.py
+"""
+
+from repro.evaluation import closed_loop_study, format_table
+
+POOL_DEVICES = 12
+QUERIES_PER_TENANT = 40
+
+
+def main() -> None:
+    study = closed_loop_study(num_devices=POOL_DEVICES,
+                              queries_per_tenant=QUERIES_PER_TENANT)
+    print(format_table(
+        study["rows"],
+        f"Closed-loop vs static placement ({POOL_DEVICES} devices, "
+        f"{QUERIES_PER_TENANT} queries/tenant)",
+    ))
+    print(f"\noperating point: {study['rate_qps']:.2f} qps per burst, "
+          f"SLO {study['sla_s']:.1f} s, control epoch {study['epoch_s']:.1f} s")
+    print("closed-loop goodput gain over static sla_aware: "
+          f"{study['closed_loop_gain']:.2f}x "
+          f"({study['num_rebalances']} re-placements, "
+          f"{study['migration_stall_s']:.2f} s total migration stall)")
+    print(f"open-loop path bit-exact across runs: {study['static_bit_exact']}")
+    print("\nper-epoch pool goodput / backlog:")
+    for start_s, goodput, backlog in study["epoch_timeline"]:
+        bar = "#" * min(int(backlog), 60)
+        print(f"  t={start_s:7.1f}s  goodput {goodput:8.1f} tok/s  "
+              f"backlog {backlog:6.1f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

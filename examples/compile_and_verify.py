@@ -64,7 +64,7 @@ def main() -> None:
         x_fun = functional.forward(x_fun, position)
         max_error = max(max_error, float(np.max(np.abs(x_ref - x_fun))))
     scale = float(np.max(np.abs(x_ref))) or 1.0
-    print(f"Functional simulator vs NumPy reference over 4 tokens: "
+    print("Functional simulator vs NumPy reference over 4 tokens: "
           f"max abs error {max_error:.4f} (relative {max_error / scale:.3%})")
 
 

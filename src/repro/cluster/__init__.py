@@ -33,6 +33,14 @@ Quickstart (see ``examples/multi_tenant_serving.py``)::
     print(result.aggregate_goodput_tokens_per_s, result.max_min_goodput_ratio)
 """
 
+from repro.cluster.control import (
+    REBALANCE_MODES,
+    ClusterControlLoop,
+    ControlConfig,
+    RebalanceDecision,
+    RebalancePolicy,
+    weight_reload_time_s,
+)
 from repro.cluster.engine import ClusterEngine
 from repro.cluster.placement import (
     PLACEMENT_POLICIES,
@@ -44,6 +52,8 @@ from repro.cluster.placement import (
 from repro.cluster.scheduler import (
     ROUTING_POLICIES,
     ClusterScheduler,
+    ReplicaFeedback,
+    RouterState,
     RoutingPlan,
     TenantAccounting,
 )
@@ -61,8 +71,16 @@ __all__ = [
     "PLACEMENT_POLICIES",
     "ClusterScheduler",
     "RoutingPlan",
+    "RouterState",
+    "ReplicaFeedback",
     "TenantAccounting",
     "ROUTING_POLICIES",
     "ClusterEngine",
     "ClusterResult",
+    "REBALANCE_MODES",
+    "ControlConfig",
+    "RebalanceDecision",
+    "RebalancePolicy",
+    "ClusterControlLoop",
+    "weight_reload_time_s",
 ]

@@ -162,25 +162,39 @@ class ClusterEngine:
             replicas.append(_Replica(spec=spec, engine=engine))
         return replicas
 
-    def _estimate_rates(self, replicas: List[_Replica]) -> None:
-        """Estimate each replica's sustained token rate for the router.
+    def _group_tokens_per_s(self, names: Tuple[str, ...], devices: int) -> float:
+        """Estimated sustained token rate of one replica of ``names``.
 
         Converts the memoised :meth:`_capability` estimate (queries/s on
         the replica's candidate trace — all queries of the tenants it
         serves) into a token rate; the placer's trim probe for the same
-        (tenants, devices) key already paid for it.
+        (tenants, devices) key already paid for it.  The router's backlog
+        model and the closed-loop rebalancer's gain projection share this
+        one definition.
         """
         by_name = {t.name: t for t in self.tenants}
+        members = tuple(by_name[name] for name in names)
+        qps = self._capability(members, devices)
+        tokens = sum(t.offered_tokens for t in members)
+        queries = sum(len(t.trace) for t in members)
+        return max(qps * tokens / queries, 1e-9)
+
+    def _estimate_rates(self, replicas: List[_Replica]) -> None:
+        """Estimate each replica's sustained token rate for the router."""
         for replica in replicas:
-            members = tuple(by_name[name] for name in replica.spec.tenant_names)
-            qps = self._capability(members, replica.spec.num_devices)
-            tokens = sum(t.offered_tokens for t in members)
-            queries = sum(len(t.trace) for t in members)
-            replica.tokens_per_s = max(qps * tokens / queries, 1e-9)
+            replica.tokens_per_s = self._group_tokens_per_s(
+                replica.spec.tenant_names, replica.spec.num_devices)
 
     # ------------------------------------------------------------------ run
 
-    def run(self, placement_policy: Optional[str] = None) -> ClusterResult:
+    def run(
+        self,
+        placement_policy: Optional[str] = None,
+        *,
+        rebalance: str = "off",
+        epoch_s: Optional[float] = None,
+        control: Optional["ControlConfig"] = None,
+    ) -> ClusterResult:
         """Place, route and serve every tenant; return the cluster outcome.
 
         ``placement_policy`` overrides the constructor's policy for this
@@ -188,7 +202,34 @@ class ClusterEngine:
         capability probes (the expensive part of placement, cost-model
         warm-up included) are policy-independent and stay cached across
         runs.
+
+        ``rebalance="off"`` (default) is the open-loop single-shot path and
+        is bit-exact with the pre-closed-loop engine.  ``rebalance="epoch"``
+        — or an explicit ``control`` config — hands the run to the
+        epoch-driven :class:`~repro.cluster.control.ClusterControlLoop`:
+        backlog-feedback routing plus (unless the config disables it)
+        observed-demand re-placement at epoch boundaries; ``epoch_s``
+        overrides the control interval.
         """
+        from repro.cluster.control import REBALANCE_MODES, ClusterControlLoop, ControlConfig
+
+        if rebalance not in REBALANCE_MODES:
+            raise ValueError(
+                f"unknown rebalance mode {rebalance!r}; choose from "
+                f"{REBALANCE_MODES}"
+            )
+        if control is not None and epoch_s is not None:
+            raise ValueError(
+                "pass either epoch_s or an explicit control config, not both "
+                "(the config carries its own epoch_s)"
+            )
+        if control is not None or rebalance != "off":
+            if control is None:
+                control = (ControlConfig(rebalance=rebalance, epoch_s=epoch_s)
+                           if epoch_s is not None
+                           else ControlConfig(rebalance=rebalance))
+            return ClusterControlLoop(self, control).run(placement_policy)
+
         placer = (self.placer if placement_policy is None
                   else self._make_placer(placement_policy))
         placement = placer.place(self.tenants, self.config.num_devices)

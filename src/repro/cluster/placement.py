@@ -202,8 +202,22 @@ class ClusterPlacer:
 
     # ------------------------------------------------------------------ placing
 
-    def place(self, tenants: Sequence[TenantSpec], pool_devices: int) -> ClusterPlacement:
-        """Partition ``pool_devices`` across ``tenants``."""
+    def place(
+        self,
+        tenants: Sequence[TenantSpec],
+        pool_devices: int,
+        *,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> ClusterPlacement:
+        """Partition ``pool_devices`` across ``tenants``.
+
+        ``weights`` overrides the policy's own apportionment weights with
+        explicit per-tenant values — the closed-loop controller re-places on
+        *observed* demand (measured backlog plus the last epoch's arrivals)
+        this way, while the policies remain defined on the offered trace.
+        Feasibility floors still apply; only the spare devices follow the
+        weights.
+        """
         tenants = list(tenants)
         if not tenants:
             raise ValueError("at least one tenant is required")
@@ -226,9 +240,22 @@ class ClusterPlacer:
                 f"but the pool has {pool_devices}"
             )
 
-        tightest = min(t.latency_slo_s for t in tenants)
-        weights = {t.name: self._weight(t, tightest) for t in tenants}
+        if weights is None:
+            tightest = min(t.latency_slo_s for t in tenants)
+            weights = {t.name: self._weight(t, tightest) for t in tenants}
+        else:
+            missing = {t.name for t in tenants} - set(weights)
+            if missing:
+                raise ValueError(f"weights missing for tenants {sorted(missing)}")
+            if any(w < 0 or not math.isfinite(w) for w in weights.values()):
+                raise ValueError("weights must be finite and non-negative")
+            weights = {t.name: weights[t.name] for t in tenants}
         total_weight = sum(weights.values())
+        if total_weight <= 0:
+            # Degenerate all-zero demand: fall back to an even split of the
+            # spare rather than dividing by zero.
+            weights = {t.name: 1.0 for t in tenants}
+            total_weight = float(len(tenants))
         spare = pool_devices - reserved
 
         # Largest-remainder apportionment of the spare devices.

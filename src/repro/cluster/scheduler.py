@@ -1,9 +1,9 @@
 """Routing arriving requests onto the placed replicas.
 
-``ClusterScheduler`` walks the merged arrival stream of every tenant once
-(in arrival order, as a front-end router would see it) and decides, per
-request, which of the tenant's replicas serves it — or rejects it at the
-tenant's admission cap.  Three policies:
+``ClusterScheduler`` walks a merged arrival stream (in arrival order, as a
+front-end router would see it) and decides, per request, which of the
+tenant's replicas serves it — or rejects it at the tenant's admission cap.
+Three policies:
 
 * ``round_robin`` — cycle through the tenant's replicas; the stateless
   baseline;
@@ -13,25 +13,38 @@ tenant's admission cap.  Three policies:
   request's deadline (arrival + the tenant's SLO), falling back to the
   earliest predicted completion when none can.
 
-The router's view of replica load is a deliberately simple backlog model —
-each replica drains routed work at its estimated token rate — because a
-front-end cannot observe the engine's internal batch state; the engines
-then replay the routed traces exactly, so routing mistakes show up in the
-measured per-tenant latencies.
+The router's view of replica load is a backlog model — each replica drains
+routed work at its estimated token rate — because a front-end cannot observe
+the engine's internal batch state.  On the open-loop :meth:`route` path that
+model runs uncorrected for the whole trace, and routing mistakes show up in
+the measured per-tenant latencies.  The closed-loop path
+(``repro.cluster.control``) instead routes one epoch at a time through
+:meth:`route_window`, carrying :class:`RouterState` across windows and
+re-anchoring the model at every epoch boundary to each replica's *measured*
+backlog and token rate (:class:`ReplicaFeedback`, distilled from the
+engine's ``queue_depth_timeline`` and per-epoch goodput) — so
+``least_outstanding`` and ``sla_deadline`` track reality under bursty
+arrivals instead of compounding the initial estimate's error.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.placement import ClusterPlacement, ReplicaSpec
 from repro.cluster.tenant import TenantSpec
 from repro.workloads.queries import Query
 
-__all__ = ["ROUTING_POLICIES", "TenantAccounting", "RoutingPlan", "ClusterScheduler"]
+__all__ = [
+    "ROUTING_POLICIES",
+    "TenantAccounting",
+    "RoutingPlan",
+    "RouterState",
+    "ReplicaFeedback",
+    "ClusterScheduler",
+]
 
 ROUTING_POLICIES = ("round_robin", "least_outstanding", "sla_deadline")
 
@@ -68,6 +81,56 @@ class RoutingPlan:
         return [query for _, query in self.assignments.get(replica_id, [])]
 
 
+@dataclass
+class RouterState:
+    """Router model carried across routing windows of one closed-loop run.
+
+    ``ready_s`` is the predicted instant each replica's routed backlog
+    drains; ``outstanding`` the per-tenant min-heaps of predicted finish
+    times behind the admission caps; ``robin_pos`` each tenant's round-robin
+    cursor.  :meth:`ClusterScheduler.route` builds a fresh one per call, so
+    the open-loop path is unchanged by the state being externalised.
+    """
+
+    ready_s: Dict[int, float] = field(default_factory=dict)
+    outstanding: Dict[str, List[float]] = field(default_factory=dict)
+    robin_pos: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReplicaFeedback:
+    """Measured state of one replica at an epoch boundary.
+
+    Distilled by the control loop from the engine's measured signals: the
+    tail of the per-iteration ``queue_depth_timeline`` (``queued`` /
+    ``running``), the work still owed (``outstanding_tokens``), and the
+    token rate the replica actually sustained over the last epoch
+    (``observed_tokens_per_s``; ``estimated_tokens_per_s`` is the a-priori
+    capability fallback for replicas that have not run yet).
+    """
+
+    queued: int = 0
+    running: int = 0
+    outstanding_tokens: float = 0.0
+    observed_tokens_per_s: float = 0.0
+    estimated_tokens_per_s: float = 0.0
+    #: Extra seconds before the replica can serve at all (a replica rebuilt
+    #: by a re-placement is still reloading weights at the window start).
+    extra_delay_s: float = 0.0
+
+    def drain_s(self) -> float:
+        """Predicted seconds to drain the measured backlog."""
+        rate = self.observed_tokens_per_s or self.estimated_tokens_per_s
+        if self.outstanding_tokens <= 0:
+            return self.extra_delay_s
+        if rate <= 0:
+            # No progress and no estimate: the backlog is effectively stuck;
+            # an arbitrarily large drain keeps the replica at the bottom of
+            # every least-loaded ranking without poisoning the arithmetic.
+            return float("inf")
+        return self.extra_delay_s + self.outstanding_tokens / rate
+
+
 class ClusterScheduler:
     """Routes each tenant's requests across that tenant's replicas."""
 
@@ -85,30 +148,75 @@ class ClusterScheduler:
         placement: ClusterPlacement,
         service_estimator: ServiceEstimator,
     ) -> RoutingPlan:
-        """Assign every request of every tenant to one replica (or reject)."""
-        plan = RoutingPlan(policy=self.policy)
-        for replica in placement.replicas:
-            plan.assignments[replica.replica_id] = []
-        for tenant in tenants:
-            plan.rejected[tenant.name] = []
-            plan.accounting[tenant.name] = TenantAccounting(offered=len(tenant.trace))
+        """Assign every request of every tenant to one replica (or reject).
 
-        by_name = {t.name: t for t in tenants}
-        candidates = {t.name: placement.replicas_for(t.name) for t in tenants}
-        robin = {name: itertools.cycle(reps) for name, reps in candidates.items()}
-        # Predicted time each replica's routed backlog drains.
-        ready_s: Dict[int, float] = {r.replica_id: 0.0 for r in placement.replicas}
-        # Per tenant: min-heap of predicted finish times of routed requests.
-        outstanding: Dict[str, List[float]] = {t.name: [] for t in tenants}
-
+        The open-loop single-pass path: the whole merged arrival stream is
+        routed against the uncorrected backlog model.
+        """
         stream = sorted(
             ((query, tenant.name) for tenant in tenants for query in tenant.trace),
             key=lambda item: item[0].arrival_time_s,
         )
+        return self.route_window(tenants, placement, service_estimator,
+                                 stream=stream, state=RouterState())
+
+    def route_window(
+        self,
+        tenants: Sequence[TenantSpec],
+        placement: ClusterPlacement,
+        service_estimator: ServiceEstimator,
+        *,
+        stream: Sequence[Tuple[Query, str]],
+        state: RouterState,
+        feedback: Optional[Dict[int, ReplicaFeedback]] = None,
+        window_start_s: float = 0.0,
+    ) -> RoutingPlan:
+        """Route one window of the arrival stream, carrying router state.
+
+        ``stream`` is the window's ``(query, tenant name)`` pairs in arrival
+        order; ``state`` carries the backlog model, admission heaps and
+        round-robin cursors from previous windows.  When ``feedback`` is
+        given, each covered replica's predicted drain time is re-anchored to
+        its *measured* backlog before routing — the closed-loop correction —
+        instead of whatever the open-loop model had accumulated.
+        """
+        plan = RoutingPlan(policy=self.policy)
+        for replica in placement.replicas:
+            plan.assignments[replica.replica_id] = []
+            state.ready_s.setdefault(replica.replica_id, 0.0)
+        offered = {t.name: 0 for t in tenants}
+        for _, name in stream:
+            offered[name] += 1
+        for tenant in tenants:
+            plan.rejected[tenant.name] = []
+            plan.accounting[tenant.name] = TenantAccounting(offered=offered[tenant.name])
+            state.outstanding.setdefault(tenant.name, [])
+            state.robin_pos.setdefault(tenant.name, 0)
+
+        if feedback:
+            for replica_id, observed in feedback.items():
+                if replica_id in state.ready_s:
+                    state.ready_s[replica_id] = (
+                        window_start_s + observed.drain_s())
+
+        by_name = {t.name: t for t in tenants}
+        candidates: Dict[str, List[ReplicaSpec]] = {}
+        for tenant in tenants:
+            replicas = [r for r in placement.replicas
+                        if tenant.name in r.tenant_names]
+            if not replicas:
+                raise ValueError(
+                    f"no replica serves tenant {tenant.name!r}: its allotment "
+                    "was trimmed to nothing (capability probes found no "
+                    "feasible count) or the placement dropped it; refusing to "
+                    "route its requests silently"
+                )
+            candidates[tenant.name] = replicas
+
         for query, name in stream:
             tenant = by_name[name]
             arrival = query.arrival_time_s
-            heap = outstanding[name]
+            heap = state.outstanding[name]
             while heap and heap[0] <= arrival:
                 heapq.heappop(heap)
             if tenant.max_outstanding is not None and len(heap) >= tenant.max_outstanding:
@@ -116,11 +224,11 @@ class ClusterScheduler:
                 plan.accounting[name].rejected += 1
                 continue
 
-            replica = self._choose(tenant, query, candidates[name], robin[name],
-                                   ready_s, service_estimator)
-            finish = (max(ready_s[replica.replica_id], arrival)
+            replica = self._choose(tenant, query, candidates[name], state,
+                                   service_estimator)
+            finish = (max(state.ready_s[replica.replica_id], arrival)
                       + service_estimator(replica, query))
-            ready_s[replica.replica_id] = finish
+            state.ready_s[replica.replica_id] = finish
             heapq.heappush(heap, finish)
             plan.assignments[replica.replica_id].append((name, query))
             plan.accounting[name].routed += 1
@@ -134,15 +242,17 @@ class ClusterScheduler:
         tenant: TenantSpec,
         query: Query,
         replicas: List[ReplicaSpec],
-        robin,
-        ready_s: Dict[int, float],
+        state: RouterState,
         service_estimator: ServiceEstimator,
     ) -> ReplicaSpec:
         if len(replicas) == 1:
             return replicas[0]
         if self.policy == "round_robin":
-            return next(robin)
+            position = state.robin_pos[tenant.name]
+            state.robin_pos[tenant.name] = position + 1
+            return replicas[position % len(replicas)]
         arrival = query.arrival_time_s
+        ready_s = state.ready_s
 
         def backlog(replica: ReplicaSpec) -> float:
             return max(0.0, ready_s[replica.replica_id] - arrival)

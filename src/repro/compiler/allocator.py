@@ -11,7 +11,7 @@ block onto too few channels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.dram.geometry import ChannelGeometry, GDDR6_PIM_GEOMETRY

@@ -77,8 +77,8 @@ class CentConfig:
             raise ValueError("device bus bandwidth must be positive")
         if not 0 < self.kv_occupancy <= 1:
             raise ValueError(
-                f"kv_occupancy must be in (0, 1] (the fraction of the "
-                f"worst-case KV footprint reserved per in-flight query), "
+                "kv_occupancy must be in (0, 1] (the fraction of the "
+                "worst-case KV footprint reserved per in-flight query), "
                 f"got {self.kv_occupancy!r}"
             )
         if self.context_samples < 2:

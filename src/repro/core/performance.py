@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from repro.compiler.operations import PnmTask, PnmUnit
-from repro.compiler.transformer import BlockProgram, compile_transformer_block
+from repro.compiler.transformer import compile_transformer_block
 from repro.core.config import CentConfig
 from repro.core.results import LatencyBreakdown
 from repro.cxl.primitives import broadcast, gather, multicast, send_receive

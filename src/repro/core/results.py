@@ -365,6 +365,22 @@ class ClusterResult:
     tenant_offered_decode_tokens: Dict[str, int] = field(default_factory=dict)
     #: Sum over replicas of (busy seconds x devices); busy = prefill + decode.
     busy_device_seconds: float = 0.0
+    #: Epoch length of a closed-loop run (``repro.cluster.control``); ``None``
+    #: for the open-loop single-shot path, whose fields below stay empty.
+    epoch_s: Optional[float] = None
+    #: Re-placements the control loop actually applied.
+    num_rebalances: int = 0
+    #: Total time newly (re)built replicas spent reloading weights over the
+    #: CXL fabric before serving (summed over rebalance events; concurrent
+    #: reloads within one event count once at the slowest replica).
+    migration_stall_s: float = 0.0
+    #: Per-epoch pool-level rows ``(epoch_start_s, goodput_tokens_per_s,
+    #: mean_queue_depth)``: SLA-compliant decode tokens finishing in the
+    #: epoch over the epoch length, and the time-weighted mean measured
+    #: backlog across all replicas.
+    epoch_timeline: Tuple[Tuple[float, float, float], ...] = ()
+    #: ``(time_s, stall_s)`` per applied re-placement, in epoch order.
+    rebalance_log: Tuple[Tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.pool_devices <= 0:
@@ -373,6 +389,10 @@ class ClusterResult:
             raise ValueError("cannot use more devices than the pool holds")
         if self.makespan_s < 0 or self.busy_device_seconds < 0:
             raise ValueError("times must be non-negative")
+        if self.epoch_s is not None and self.epoch_s <= 0:
+            raise ValueError("epoch_s must be positive when set")
+        if self.num_rebalances < 0 or self.migration_stall_s < 0:
+            raise ValueError("rebalance accounting must be non-negative")
         missing = set(self.tenant_results) - set(self.tenant_offered_decode_tokens)
         if missing:
             raise ValueError(

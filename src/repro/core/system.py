@@ -107,6 +107,9 @@ class CentSystem:
         *,
         placement_policy: str = "proportional",
         routing_policy: str = "least_outstanding",
+        rebalance: str = "off",
+        epoch_s=None,
+        control=None,
         **cluster_kwargs,
     ):
         """Serve several tenants' traces on this system's device pool.
@@ -117,6 +120,12 @@ class CentSystem:
         :class:`~repro.core.results.ClusterResult` with one
         :class:`~repro.core.results.ServingResult` per tenant plus
         pool-level goodput, fairness and utilisation.
+
+        ``rebalance="epoch"`` (or an explicit
+        :class:`~repro.cluster.control.ControlConfig` via ``control``) runs
+        the closed loop: epoch-segmented serving with backlog-feedback
+        routing and observed-demand re-placement; the default ``"off"`` is
+        the open-loop single-shot path.
         """
         # Imported here: repro.cluster builds on repro.core.system.
         from repro.cluster.engine import ClusterEngine
@@ -129,7 +138,7 @@ class CentSystem:
             routing_policy=routing_policy,
             **cluster_kwargs,
         )
-        return engine.run()
+        return engine.run(rebalance=rebalance, epoch_s=epoch_s, control=control)
 
     # ------------------------------------------------------------------ capacity
 

@@ -9,7 +9,7 @@ ID mask so one flit can fan out to several destination devices.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 __all__ = ["FlitType", "HeaderSlotCode", "Flit", "PBR_FLIT_BYTES", "FLIT_PAYLOAD_BYTES"]

@@ -9,7 +9,7 @@ port collects a write acknowledgement from each destination.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.cxl.flit import Flit, FlitType, HeaderSlotCode

@@ -21,7 +21,7 @@ The model covers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.dram.bank import Bank, BankGroup
 from repro.dram.commands import CommandType, DRAMCommand

@@ -52,7 +52,6 @@ def figure13_speedups(
     deployments: Sequence[Tuple[ModelConfig, int, int]] = DEPLOYMENTS,
 ) -> Dict[str, List[Dict[str, object]]]:
     """Reproduce the latency, throughput and tokens/$ comparisons."""
-    context = prompt_tokens + decode_tokens
     tco = TcoModel()
 
     latency_rows: List[Dict[str, object]] = []

@@ -94,7 +94,6 @@ def figure15c_energy_efficiency(
         result = cent.run_inference(prompt_tokens, decode_tokens, plan=plan)
         cent_tokens_per_joule = result.tokens_per_joule
 
-        gpu = GPUSystem(model, num_gpus=gpu_count)
         batch, prefill_s, decode_s = _gpu_phase_times(
             model, gpu_count, prompt_tokens, decode_tokens, gpu_batch)
         gpu_decode_tps = batch * decode_tokens / decode_s

@@ -17,7 +17,7 @@ Field names follow the assembly syntax of Tables 2 and 3:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import ClassVar
 
 __all__ = [

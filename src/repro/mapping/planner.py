@@ -15,7 +15,6 @@ from typing import List
 from repro.mapping.parallelism import (
     DataParallel,
     ParallelismPlan,
-    PipelineParallel,
     TensorParallel,
 )
 from repro.mapping.placement import validate_capacity

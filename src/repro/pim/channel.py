@@ -21,15 +21,11 @@ from repro.dram.timing import TimingParameters, GDDR6_PIM_TIMINGS
 from repro.isa.instructions import (
     ActivationFunction,
     CopyBankToGlobalBuffer,
-    CopyGlobalBufferToBank,
     ElementwiseMul,
     Instruction,
     MacAllBank,
     Opcode,
-    ReadMacRegister,
-    ReadSingleBank,
     WriteAllBanks,
-    WriteBias,
     WriteGlobalBuffer,
     WriteSingleBank,
 )

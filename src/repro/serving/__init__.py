@@ -18,16 +18,19 @@ iteration pricing in ``repro.core.iteration``.
 """
 
 from repro.core.results import LatencyStats, ServingResult, percentile
-from repro.serving.engine import ADMISSION_MODES, EngineRun, ServingEngine
+from repro.serving.engine import ADMISSION_MODES, EngineRun, EngineState, ServingEngine
 from repro.serving.metrics import (
     aggregate_serving_result,
     merge_queue_depth_timelines,
+    window_decode_tokens,
+    window_mean_queue_depth,
 )
 from repro.serving.request import RequestState, ServingRequest
 
 __all__ = [
     "ADMISSION_MODES",
     "EngineRun",
+    "EngineState",
     "ServingEngine",
     "ServingRequest",
     "RequestState",
@@ -36,4 +39,6 @@ __all__ = [
     "percentile",
     "aggregate_serving_result",
     "merge_queue_depth_timelines",
+    "window_decode_tokens",
+    "window_mean_queue_depth",
 ]

@@ -77,7 +77,8 @@ from repro.serving.metrics import aggregate_serving_result
 from repro.serving.request import RequestState, ServingRequest
 from repro.workloads.queries import Query
 
-__all__ = ["ADMISSION_MODES", "EngineRun", "ServingEngine", "evict_to_bound"]
+__all__ = ["ADMISSION_MODES", "EngineRun", "EngineState", "ServingEngine",
+           "evict_to_bound"]
 
 #: Supported admission modes: full-context reservation vs paged blocks.
 ADMISSION_MODES = ("reserve", "paged")
@@ -119,6 +120,65 @@ class EngineRun:
     queue_depth_timeline: List[Tuple[float, int, int]] = field(default_factory=list)
     #: ``(time_s, request_id)`` per eviction, in victim order (paged mode).
     preemption_log: List[Tuple[float, int]] = field(default_factory=list)
+
+
+@dataclass
+class EngineState:
+    """Resumable event-loop state of one serving run.
+
+    Produced by :meth:`ServingEngine.begin`, advanced (possibly in several
+    time-bounded segments) by :meth:`ServingEngine.advance`, and fed new
+    arrivals between segments by :meth:`ServingEngine.extend`.  The closed-
+    loop cluster controller (``repro.cluster.control``) uses this to pause
+    every replica at epoch boundaries, read the measured backlog, and resume
+    — or migrate the unfinished work — in the next epoch.
+
+    The plain :meth:`ServingEngine.simulate` path is ``begin`` followed by a
+    single unbounded ``advance`` and is bit-exact with the pre-segmentation
+    engine: segmentation only changes *when* the loop returns control, never
+    what an iteration computes.
+    """
+
+    plan: ParallelismPlan
+    cost: IterationCostModel
+    slots: int
+    kv_budget: int
+    weight_bytes: int
+    paged: bool
+    #: Largest context the plan was searched/validated for; ``extend`` may
+    #: only add queries at or below it (begin's ``planning_trace`` bounds it).
+    planned_context: int
+    sla_latency_s: Optional[float]
+    allocator: Optional[KvAllocator]
+    policy: Optional[PreemptionPolicy]
+    bytes_per_token: int
+    kv_scale: float
+    #: Every request ever fed to this state, in feed order
+    #: (``requests[i].request_id == i``).
+    requests: List[ServingRequest] = field(default_factory=list)
+    pending: Deque[ServingRequest] = field(default_factory=deque)
+    waiting: Deque[ServingRequest] = field(default_factory=deque)
+    preempted: Deque[ServingRequest] = field(default_factory=deque)
+    running: List[ServingRequest] = field(default_factory=list)
+    clock: float = 0.0
+    reserved_bytes: int = 0
+    peak_memory: int = 0
+    prefill_time_s: float = 0.0
+    decode_time_s: float = 0.0
+    decode_step_tokens: int = 0
+    queue_depth_timeline: List[Tuple[float, int, int]] = field(default_factory=list)
+    preemption_log: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def drained(self) -> bool:
+        """True when no fed request still needs engine time."""
+        return not (self.pending or self.waiting or self.preempted or self.running)
+
+    @property
+    def unfinished(self) -> List[ServingRequest]:
+        """Requests still owed work, in feed order (migration candidates)."""
+        live = (RequestState.FINISHED, RequestState.REJECTED)
+        return [r for r in self.requests if r.state not in live]
 
 
 class ServingEngine:
@@ -369,9 +429,33 @@ class ServingEngine:
         trace per replica and re-attributes requests to tenants).
         ``sla_latency_s`` only informs the ``sla_deadline`` preemption
         policy's notion of slack; it never gates admission.
+
+        Equivalent to :meth:`begin` plus one unbounded :meth:`advance`;
+        callers that need epoch segmentation use those directly.
+        """
+        return self.advance(self.begin(trace, sla_latency_s=sla_latency_s))
+
+    # ---------------------------------------------------------- segmented runs
+
+    def begin(
+        self,
+        trace: Sequence[Query],
+        *,
+        sla_latency_s: Optional[float] = None,
+        planning_trace: Optional[Sequence[Query]] = None,
+    ) -> EngineState:
+        """Set up a resumable run and enqueue ``trace`` (which may be empty).
+
+        ``planning_trace`` decouples plan search/validation from the initial
+        arrivals: the closed-loop cluster controller plans each replica
+        against every query its tenants *might* route to it, then feeds the
+        actually-routed arrivals epoch by epoch through :meth:`extend`.
+        When omitted, the plan comes from ``trace`` itself (the
+        :meth:`simulate` path).
         """
         queries = list(trace)
-        plan, cost, slots = self._setup(queries)
+        planning = list(planning_trace) if planning_trace is not None else queries
+        plan, cost, slots = self._setup(planning)
         kv_budget = self._kv_budget_bytes(plan)
         weight_bytes = self.memory_capacity_bytes - kv_budget
         paged = self.admission == "paged"
@@ -386,41 +470,115 @@ class ServingEngine:
                 sla_latency_s=sla_latency_s,
             )
 
-        requests = [ServingRequest(i, q) for i, q in enumerate(queries)]
-        order = sorted(requests, key=lambda r: r.arrival_time_s)
+        state = EngineState(
+            plan=plan,
+            cost=cost,
+            slots=slots,
+            kv_budget=kv_budget,
+            weight_bytes=weight_bytes,
+            paged=paged,
+            planned_context=self._planned_context(planning),
+            sla_latency_s=sla_latency_s,
+            allocator=allocator,
+            policy=policy,
+            bytes_per_token=self._profile.kv_cache_bytes_per_token(),
+            # The paged pool is sized to the effective capacity the reserve
+            # path's occupancy-discounted reservations assume (budget /
+            # kv_occupancy in block bytes); reported memory applies the same
+            # discount, so peak_memory_bytes stays within the physical
+            # capacity in both admission modes.
+            kv_scale=self.system.config.kv_occupancy if paged else 1.0,
+            # Weights are resident for the whole run (feasibility checked
+            # above), even if every request ends up rejected.
+            peak_memory=weight_bytes,
+        )
+        self.extend(state, queries)
+        return state
 
-        pending: Deque[ServingRequest] = deque()
-        for request in order:
+    def _planned_context(self, planning: Sequence[Query]) -> int:
+        """The context length the state's plan was chosen and validated for."""
+        if self.plan is None:
+            return self._servable_context(planning)
+        return self._servable_context(planning, dp_replicas=self.plan.dp_replicas)
+
+    def extend(
+        self, state: EngineState, queries: Sequence[Query]
+    ) -> List[ServingRequest]:
+        """Feed new arrivals into a (possibly mid-run) state.
+
+        Returns the created requests in feed order.  Queries the engine can
+        never serve are marked ``REJECTED`` exactly as at :meth:`begin`; a
+        servable query longer than the state's planned context is a caller
+        error (its cost would extrapolate past the validated plan), raised
+        rather than silently mispriced.
+        """
+        new = [ServingRequest(len(state.requests) + i, q)
+               for i, q in enumerate(queries)]
+        state.requests.extend(new)
+        for request in sorted(new, key=lambda r: r.arrival_time_s):
             # A request whose KV cache alone can never fit (or whose context
             # exceeds the model) is refused outright rather than queued.
-            if not self._is_servable(request.query, kv_budget):
+            if not self._is_servable(request.query, state.kv_budget):
                 request.state = RequestState.REJECTED
-            else:
-                if not paged:
-                    request.kv_reserved_bytes = \
-                        self._kv_reservation_bytes(request.query.total_context)
-                pending.append(request)
+                continue
+            if request.query.total_context > state.planned_context:
+                raise ValueError(
+                    f"query context {request.query.total_context} exceeds the "
+                    f"planned context {state.planned_context}; pass a "
+                    "planning_trace covering every query this state may serve"
+                )
+            if not state.paged:
+                request.kv_reserved_bytes = \
+                    self._kv_reservation_bytes(request.query.total_context)
+            state.pending.append(request)
+        # Later segments usually append strictly later arrivals; restore the
+        # sorted order the admission scan relies on when they do not.
+        arrivals = [r.arrival_time_s for r in state.pending]
+        if any(a > b for a, b in zip(arrivals, arrivals[1:])):
+            state.pending = deque(
+                sorted(state.pending, key=lambda r: r.arrival_time_s))
+        return new
 
-        waiting: Deque[ServingRequest] = deque()
-        preempted: Deque[ServingRequest] = deque()
-        running: List[ServingRequest] = []
-        clock = 0.0
-        reserved_bytes = 0
-        # Weights are resident for the whole run (feasibility checked above),
-        # even if every request ends up rejected.
-        peak_memory = weight_bytes
-        prefill_time_s = 0.0
-        decode_time_s = 0.0
-        decode_step_tokens = 0
-        queue_depth_timeline: List[Tuple[float, int, int]] = []
-        preemption_log: List[Tuple[float, int]] = []
-        bytes_per_token = self._profile.kv_cache_bytes_per_token()
-        # The paged pool is sized to the effective capacity the reserve
-        # path's occupancy-discounted reservations assume (budget /
-        # kv_occupancy in block bytes); reported memory applies the same
-        # discount, so peak_memory_bytes stays within the physical
-        # capacity in both admission modes.
-        kv_scale = self.system.config.kv_occupancy if paged else 1.0
+    def snapshot(self, state: EngineState) -> EngineRun:
+        """The cumulative :class:`EngineRun` view of ``state`` so far."""
+        return EngineRun(
+            plan=state.plan,
+            requests=state.requests,
+            makespan_s=state.clock,
+            prefill_time_s=state.prefill_time_s,
+            decode_time_s=state.decode_time_s,
+            decode_step_tokens=state.decode_step_tokens,
+            peak_memory_bytes=state.peak_memory,
+            memory_capacity_bytes=self.memory_capacity_bytes,
+            queue_depth_timeline=state.queue_depth_timeline,
+            preemption_log=state.preemption_log,
+        )
+
+    def advance(self, state: EngineState, until_s: Optional[float] = None) -> EngineRun:
+        """Run the event loop until drained (or until the clock passes
+        ``until_s``) and return the cumulative outcome so far.
+
+        With ``until_s`` the loop stops *before* starting an iteration at or
+        beyond the bound (an iteration underway may overshoot it: engine
+        iterations are atomic), leaving a state that :meth:`extend` and a
+        later ``advance`` continue seamlessly.  ``until_s=None`` drains the
+        state completely and reproduces the unsegmented engine bit-exactly.
+        """
+        plan, cost, slots = state.plan, state.cost, state.slots
+        kv_budget = state.kv_budget
+        weight_bytes = state.weight_bytes
+        paged = state.paged
+        allocator = state.allocator
+        policy = state.policy
+        pending = state.pending
+        waiting = state.waiting
+        preempted = state.preempted
+        running = state.running
+        bytes_per_token = state.bytes_per_token
+        kv_scale = state.kv_scale
+        queue_depth_timeline = state.queue_depth_timeline
+        preemption_log = state.preemption_log
+        clock = state.clock
 
         # ------------------------------------------------ paged-mode helpers
 
@@ -518,7 +676,15 @@ class ServingEngine:
 
         # ------------------------------------------------------- event loop
 
+        reserved_bytes = state.reserved_bytes
+        peak_memory = state.peak_memory
+        prefill_time_s = state.prefill_time_s
+        decode_time_s = state.decode_time_s
+        decode_step_tokens = state.decode_step_tokens
+
         while pending or waiting or preempted or running:
+            if until_s is not None and clock >= until_s:
+                break
             while pending and pending[0].arrival_time_s <= clock:
                 waiting.append(pending.popleft())
 
@@ -557,12 +723,18 @@ class ServingEngine:
                     running.append(request)
                 peak_memory = max(peak_memory, weight_bytes + reserved_bytes)
 
-            queue_depth_timeline.append(
-                (clock, len(waiting) + len(preempted), len(running))
-            )
+            sample = (clock, len(waiting) + len(preempted), len(running))
+            # An unsegmented run never repeats a sample (the clock strictly
+            # advances between loop tops); resuming a segment would, so the
+            # guard keeps segmented timelines identical to unsegmented ones.
+            if not queue_depth_timeline or queue_depth_timeline[-1] != sample:
+                queue_depth_timeline.append(sample)
 
             if not running:
-                # Idle: jump to the next arrival.
+                # Idle: jump to the next arrival (or stop at the segment
+                # bound; a later extend may add earlier work).
+                if until_s is not None and pending[0].arrival_time_s >= until_s:
+                    break
                 clock = max(clock, pending[0].arrival_time_s)
                 continue
 
@@ -623,10 +795,16 @@ class ServingEngine:
                 if pending:
                     horizon.append(pending[0].arrival_time_s)
                 if not horizon:
+                    if until_s is not None:
+                        # Mid-segment this is not a stall: the next segment's
+                        # extend may bring the arrival that unblocks us.
+                        break
                     raise RuntimeError(
                         "serving engine stalled with running requests but no "
                         "schedulable work; this is a bug"
                     )
+                if until_s is not None and min(horizon) >= until_s:
+                    break
                 clock = min(horizon)
                 continue
 
@@ -687,20 +865,17 @@ class ServingEngine:
                 else:
                     reserved_bytes -= request.kv_reserved_bytes
             if finished:
-                running = [r for r in running if r.state is not RequestState.FINISHED]
+                # In place: the state (and the helper closures) share this list.
+                running[:] = [r for r in running
+                              if r.state is not RequestState.FINISHED]
 
-        return EngineRun(
-            plan=plan,
-            requests=requests,
-            makespan_s=clock,
-            prefill_time_s=prefill_time_s,
-            decode_time_s=decode_time_s,
-            decode_step_tokens=decode_step_tokens,
-            peak_memory_bytes=peak_memory,
-            memory_capacity_bytes=self.memory_capacity_bytes,
-            queue_depth_timeline=queue_depth_timeline,
-            preemption_log=preemption_log,
-        )
+        state.clock = clock
+        state.reserved_bytes = reserved_bytes
+        state.peak_memory = peak_memory
+        state.prefill_time_s = prefill_time_s
+        state.decode_time_s = decode_time_s
+        state.decode_step_tokens = decode_step_tokens
+        return self.snapshot(state)
 
     # ------------------------------------------------------------------ sizing
 

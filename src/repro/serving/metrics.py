@@ -18,7 +18,69 @@ __all__ = [
     "percentile",
     "aggregate_serving_result",
     "merge_queue_depth_timelines",
+    "window_decode_tokens",
+    "window_mean_queue_depth",
 ]
+
+
+def window_decode_tokens(
+    requests: Sequence[ServingRequest],
+    start_s: float,
+    end_s: float,
+    *,
+    sla_latency_s: Optional[float] = None,
+) -> int:
+    """Decode tokens of requests that finished within ``[start_s, end_s)``.
+
+    With ``sla_latency_s`` only SLA-compliant finishes count, making this the
+    per-epoch goodput numerator the closed-loop cluster controller feeds back
+    to its router and rebalancer; without one it is plain epoch throughput.
+    """
+    if end_s < start_s:
+        raise ValueError(f"window end {end_s} precedes start {start_s}")
+    total = 0
+    for request in requests:
+        finish = request.finish_time_s
+        if finish is None or not start_s <= finish < end_s:
+            continue
+        if (sla_latency_s is not None and request.latency_s is not None
+                and request.latency_s > sla_latency_s):
+            continue
+        total += request.query.decode_tokens
+    return total
+
+
+def window_mean_queue_depth(
+    timeline: Sequence[Tuple[float, int, int]],
+    start_s: float,
+    end_s: float,
+) -> float:
+    """Time-weighted mean backlog of a queue-depth signal over one window.
+
+    The timeline is piecewise-constant (each ``(time_s, queued, running)``
+    sample holds until the next), so the sample in force at ``start_s`` is
+    the last one at or before it; a window before the first sample (or an
+    empty timeline) reads as zero backlog.
+    """
+    if end_s < start_s:
+        raise ValueError(f"window end {end_s} precedes start {start_s}")
+    span = end_s - start_s
+    if span <= 0:
+        return 0.0
+    weighted = 0.0
+    current = 0  # queued count in force at the window cursor
+    cursor = start_s
+    for time_s, queued, _ in timeline:
+        if time_s <= start_s:
+            current = queued
+            continue
+        if time_s >= end_s:
+            break
+        weighted += current * (time_s - cursor)
+        cursor = time_s
+        current = queued
+    weighted += current * (end_s - cursor)
+    return weighted / span
 
 
 def merge_queue_depth_timelines(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import numbers
-from typing import Iterable, List, Sequence
+from typing import Iterable, List
 
 from repro.models.config import ModelConfig
 from repro.models.memory import ModelMemoryProfile

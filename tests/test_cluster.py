@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cluster import (
-    ClusterEngine,
     ClusterPlacer,
     ClusterScheduler,
     SlaClass,
@@ -208,7 +207,9 @@ class TestScheduler:
         queries = [Query(64, 32, arrival_time_s=0.01 * i) for i in range(10)]
         tenant = TenantSpec("t", model=small_model, trace=queries, sla_latency_s=1.0)
         placement = self._placement(small_model, 2)
-        estimator = lambda r, q: 5.0 if r.replica_id == 0 else 0.01
+        def estimator(r, q):
+            return 5.0 if r.replica_id == 0 else 0.01
+
         plan = ClusterScheduler("sla_deadline").route([tenant], placement, estimator)
         assert len(plan.assignments[1]) == 10
         assert len(plan.assignments[0]) == 0

@@ -1,0 +1,121 @@
+"""Tests for the CI benchmark regression gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def report(goodput, throughput=500.0, name="benchmarks/test_x.py::test_x"):
+    return {
+        "benchmarks": [{
+            "fullname": name,
+            "extra_info": {
+                "aggregate_goodput_tokens_per_s[closed_loop]": goodput,
+                "throughput_tokens_per_s": throughput,
+                "best_policy": "sla_aware",     # non-numeric: ignored
+                "num_rebalances": 2,            # numeric but untracked key
+            },
+        }],
+    }
+
+
+def write(tmp_path, filename, payload):
+    path = tmp_path / filename
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestMetricExtraction:
+    def test_tracks_goodput_and_throughput_numbers_only(self):
+        metrics = compare_bench.extract_metrics(report(100.0))
+        keys = {key for _, key in metrics}
+        assert keys == {"aggregate_goodput_tokens_per_s[closed_loop]",
+                        "throughput_tokens_per_s"}
+
+    def test_bools_and_strings_are_not_metrics(self):
+        assert not compare_bench.is_tracked_metric("goodput_ok", True)
+        assert not compare_bench.is_tracked_metric("goodput_label", "high")
+        assert compare_bench.is_tracked_metric("GOODPUT_tokens", 1)
+
+
+class TestGate:
+    def test_identical_run_passes(self, tmp_path):
+        base = write(tmp_path, "BENCH_base.json", report(100.0))
+        fresh = write(tmp_path, "BENCH_new.json", report(100.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(fresh)]) == 0
+
+    def test_twenty_percent_goodput_regression_fails(self, tmp_path):
+        base = write(tmp_path, "BENCH_base.json", report(100.0))
+        fresh = write(tmp_path, "BENCH_new.json", report(80.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(fresh)]) == 1
+
+    def test_regression_within_tolerance_passes(self, tmp_path):
+        base = write(tmp_path, "BENCH_base.json", report(100.0))
+        fresh = write(tmp_path, "BENCH_new.json", report(91.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(fresh)]) == 0
+
+    def test_improvement_passes(self, tmp_path):
+        base = write(tmp_path, "BENCH_base.json", report(100.0))
+        fresh = write(tmp_path, "BENCH_new.json", report(250.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(fresh)]) == 0
+
+    def test_custom_bar(self, tmp_path):
+        base = write(tmp_path, "BENCH_base.json", report(100.0))
+        fresh = write(tmp_path, "BENCH_new.json", report(91.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(fresh),
+                                   "--max-regression", "0.05"]) == 1
+
+    def test_missing_baseline_tolerated(self, tmp_path):
+        fresh = write(tmp_path, "BENCH_new.json", report(50.0))
+        assert compare_bench.main(["--baseline", str(tmp_path / "nope"),
+                                   "--current", str(fresh)]) == 0
+
+    def test_malformed_baseline_tolerated(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        fresh = write(tmp_path, "BENCH_new.json", report(50.0))
+        assert compare_bench.main(["--baseline", str(bad),
+                                   "--current", str(fresh)]) == 0
+
+    def test_missing_current_fails(self, tmp_path):
+        base = write(tmp_path, "BENCH_base.json", report(100.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(tmp_path / "none.json")]) == 1
+
+    def test_baseline_directory_uses_newest_bench_file(self, tmp_path):
+        nested = tmp_path / "artifact" / "inner"
+        nested.mkdir(parents=True)
+        write(nested, "BENCH_a.json", report(100.0))
+        write(nested, "BENCH_b.json", report(10.0))
+        fresh = write(tmp_path, "BENCH_new.json", report(50.0))
+        # BENCH_b sorts last and becomes the baseline: 10 -> 50 improves.
+        assert compare_bench.main(["--baseline", str(tmp_path / "artifact"),
+                                   "--current", str(fresh)]) == 0
+
+    def test_retired_and_new_benchmarks_do_not_fail(self, tmp_path):
+        base = write(tmp_path, "BENCH_base.json",
+                     report(100.0, name="benchmarks/test_old.py::test_old"))
+        fresh = write(tmp_path, "BENCH_new.json",
+                      report(100.0, name="benchmarks/test_new.py::test_new"))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(fresh)]) == 0
+
+    def test_bad_max_regression_rejected(self, tmp_path):
+        base = write(tmp_path, "BENCH_base.json", report(100.0))
+        fresh = write(tmp_path, "BENCH_new.json", report(100.0))
+        with pytest.raises(SystemExit):
+            compare_bench.main(["--baseline", str(base),
+                                "--current", str(fresh),
+                                "--max-regression", "1.5"])

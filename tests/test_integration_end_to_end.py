@@ -6,7 +6,6 @@ evaluation relies on: compilation, per-block simulation, parallelisation,
 inference aggregation, power annotation and baseline comparison.
 """
 
-import dataclasses
 
 import pytest
 

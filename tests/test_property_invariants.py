@@ -13,6 +13,7 @@ from repro.models.config import ModelConfig
 from repro.models.memory import ModelMemoryProfile
 from repro.pim.channel import PIMChannel
 from repro.pnm.shared_buffer import SharedBuffer
+from repro.workloads.queries import Query
 
 
 # --------------------------------------------------------------------------- model strategies
@@ -145,3 +146,59 @@ def test_gemv_flops_independent_of_channel_count(out_dim, in_dim, channels):
     # The per-channel MAC work covers at least the channel's share of elements.
     covered = op.mac_micro_ops * 256
     assert covered * channels >= out_dim * in_dim
+
+
+# --------------------------------------------------------------------------- serving invariants
+
+_SERVING_MODEL = ModelConfig(
+    name="prop-serving", num_layers=4, d_model=512, num_heads=8, num_kv_heads=4,
+    d_ff=1408, vocab_size=32000, max_context=512,
+)
+
+
+@st.composite
+def timed_traces(draw):
+    """Small timed traces with mixed shapes and clustered arrivals."""
+    count = draw(st.integers(min_value=2, max_value=10))
+    queries = []
+    clock = 0.0
+    for _ in range(count):
+        prompt = draw(st.integers(min_value=8, max_value=192))
+        decode = draw(st.integers(min_value=4, max_value=64))
+        clock += draw(st.floats(min_value=0.0, max_value=0.02,
+                                allow_nan=False, allow_infinity=False))
+        queries.append(Query(prompt, decode, arrival_time_s=clock))
+    return queries
+
+
+@given(timed_traces(), st.sampled_from(["reserve", "paged"]))
+@settings(max_examples=15, deadline=None)
+def test_queue_depth_timeline_conserves_requests(trace, admission):
+    """The recorded backlog equals arrivals minus completions at every
+    iteration, in both admission modes (the router-feedback signal must be
+    trustworthy before the closed loop routes on it)."""
+    from repro.core.config import CentConfig
+    from repro.core.system import CentSystem
+    from repro.serving import RequestState, ServingEngine
+
+    system = CentSystem(CentConfig(num_devices=1, context_samples=2),
+                        _SERVING_MODEL)
+    # A tight memory budget forces queueing (and, in paged mode, preemption),
+    # so the invariant is exercised under pressure, not just in steady state.
+    profile_capacity = system.memory_capacity_bytes
+    engine = ServingEngine(system, context_step=256, admission=admission,
+                           max_batch_size=2,
+                           memory_capacity_bytes=profile_capacity // 16)
+    run = engine.simulate(trace)
+
+    servable = [r for r in run.requests if r.state is not RequestState.REJECTED]
+    assert run.queue_depth_timeline, "every run must record its backlog"
+    for time_s, queued, running in run.queue_depth_timeline:
+        arrived = sum(1 for r in servable if r.arrival_time_s <= time_s)
+        finished = sum(1 for r in servable
+                       if r.finish_time_s is not None and r.finish_time_s <= time_s)
+        assert queued + running == arrived - finished, (
+            f"backlog sample at t={time_s}: queued={queued} running={running} "
+            f"but arrived={arrived} finished={finished}"
+        )
+        assert queued >= 0 and running >= 0
