@@ -7,8 +7,11 @@ and closed-loop benchmarks attach.  This script downloads nothing itself —
 the workflow fetches the previous main-branch artifact — and compares the
 perf-relevant ``extra_info`` metrics benchmark by benchmark:
 
-* a metric lower than ``(1 - max_regression)`` times its baseline fails the
-  gate (exit code 1), listing every offender;
+* a higher-is-better metric (goodput, throughput, migrated KV volume,
+  restored progress) lower than ``(1 - max_regression)`` times its baseline
+  fails the gate (exit code 1), listing every offender;
+* a lower-is-better metric (stall time) *higher* than
+  ``(1 + max_regression)`` times its baseline fails the same way;
 * a missing, empty or malformed baseline is tolerated (exit code 0 with a
   notice): first runs and expired artifacts must not brick the pipeline;
 * metrics present on one side only are reported but never fail (new
@@ -30,14 +33,24 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 #: ``extra_info`` keys containing any of these substrings are perf metrics
 #: where *lower is worse*; everything else (labels, counters) is ignored.
-METRIC_MARKERS = ("goodput", "throughput")
+METRIC_MARKERS = ("goodput", "throughput", "migrated", "restored")
+
+#: ... and these mark metrics where *higher is worse* (stall seconds): the
+#: gate fails when they grow past the bar instead of when they shrink.
+INVERSE_METRIC_MARKERS = ("stall",)
+
+
+def is_inverse_metric(key: str) -> bool:
+    """Whether ``key`` is a lower-is-better metric (fails on growth)."""
+    return any(marker in key.lower() for marker in INVERSE_METRIC_MARKERS)
 
 
 def is_tracked_metric(key: str, value: object) -> bool:
     """Whether one extra_info entry participates in the regression gate."""
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         return False
-    return any(marker in key.lower() for marker in METRIC_MARKERS)
+    return any(marker in key.lower()
+               for marker in METRIC_MARKERS + INVERSE_METRIC_MARKERS)
 
 
 def extract_metrics(report: dict) -> Dict[Tuple[str, str], float]:
@@ -90,12 +103,18 @@ def compare(
         if base <= 0:
             continue
         change = (fresh - base) / base
-        status = "ok" if change >= -max_regression else "FAIL"
+        if is_inverse_metric(key[1]):
+            regressed = change > max_regression      # stall grew past the bar
+            drift = change
+        else:
+            regressed = change < -max_regression     # goodput shrank past it
+            drift = -change
+        status = "FAIL" if regressed else "ok"
         print(f"  [{status:4}] {key[0]} :: {key[1]}: "
               f"{base:.3f} -> {fresh:.3f} ({change:+.1%})")
-        if change < -max_regression:
+        if regressed:
             failures.append(
-                f"{key[0]} :: {key[1]} regressed {-change:.1%} "
+                f"{key[0]} :: {key[1]} regressed {drift:.1%} "
                 f"({base:.3f} -> {fresh:.3f}; limit {max_regression:.0%})"
             )
     for key in sorted(set(current) - set(baseline)):

@@ -1,15 +1,18 @@
-"""Closed-loop cluster study: epoch re-placement vs static placement.
+"""Closed-loop cluster studies: re-placement and live KV migration.
 
-Runs the phase-shifted bursty two-tenant mix of
-:func:`repro.evaluation.closed_loop_study` on a 12-device Llama2-7B pool
-and prints the static-vs-closed-loop table.  The per-mode goodput numbers
-are attached as ``extra_info`` so the CI benchmark artifact
-(``BENCH_*.json``) tracks them per PR — and the benchmark regression gate
-(``benchmarks/compare_bench.py``) fails the build if a change quietly
-erodes them.
+Runs the phase-shifted bursty two-tenant mix on a 12-device Llama2-7B pool
+twice over: :func:`repro.evaluation.closed_loop_study` pits the closed loop
+(now with live KV migration) against static placement, and
+:func:`repro.evaluation.migration_study` isolates what live migration buys
+over restart-on-migrate.  The per-mode goodput numbers — plus the migration
+economics (``migrated_kv_bytes``, ``migration_stall_s``,
+``restored_progress_tokens``) — are attached as ``extra_info`` so the CI
+benchmark artifact (``BENCH_*.json``) tracks them per PR, and the benchmark
+regression gate (``benchmarks/compare_bench.py``) fails the build if a
+change quietly erodes them.
 """
 
-from repro.evaluation import closed_loop_study, format_table
+from repro.evaluation import closed_loop_study, format_table, migration_study
 
 
 def test_closed_loop_goodput(benchmark, once, capsys):
@@ -34,3 +37,33 @@ def test_closed_loop_goodput(benchmark, once, capsys):
     assert by_mode["closed_loop"]["num_rebalances"] >= 1
     # The open-loop path must stay deterministic run to run.
     assert study["static_bit_exact"] is True
+
+
+def test_migration_goodput(benchmark, once, capsys):
+    study = once(benchmark, migration_study,
+                 num_devices=12, queries_per_tenant=40)
+    rows = study["rows"]
+    for row in rows:
+        benchmark.extra_info[f"aggregate_goodput_tokens_per_s[{row['mode']}]"] = \
+            row["aggregate_goodput_tokens_per_s"]
+    benchmark.extra_info["live_gain"] = study["live_gain"]
+    benchmark.extra_info["migrated_kv_bytes"] = study["migrated_kv_bytes"]
+    benchmark.extra_info["migration_stall_s"] = study["migration_stall_s"]
+    benchmark.extra_info["restored_progress_tokens"] = \
+        study["restored_progress_tokens"]
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Live KV migration vs restart-on-migrate"))
+
+    by_mode = {row["mode"]: row for row in rows}
+    assert set(by_mode) == {"restart", "live"}
+    # The tentpole claim: keeping in-flight KV across a re-placement beats
+    # throwing the progress away and restarting.
+    assert by_mode["live"]["aggregate_goodput_tokens_per_s"] > \
+        by_mode["restart"]["aggregate_goodput_tokens_per_s"]
+    # ... and it does so by actually moving KV, not by accident.
+    assert by_mode["live"]["num_migrated_requests"] >= 1
+    assert by_mode["live"]["migrated_kv_bytes"] > 0
+    assert by_mode["live"]["restored_progress_tokens"] > 0
+    assert by_mode["restart"]["num_migrated_requests"] == 0
+    assert by_mode["restart"]["migrated_kv_bytes"] == 0

@@ -11,8 +11,12 @@ The closed loop (``repro.cluster.control``) pauses every replica at epoch
 boundaries, reads the measured backlog off ``queue_depth_timeline``,
 re-anchors the router's drain model to it, and re-places the pool toward
 the bursting tenant whenever the projected goodput gain beats the migration
-stall (model weights reloading over the CXL fabric).  The study prints the
-static-vs-closed-loop comparison plus the applied re-placements.
+stall (model weights reloading over the CXL fabric).  When a re-placement
+dismantles a replica, its in-flight requests' KV is **live-migrated**
+through host memory (``migration="live"``) so they resume at their
+original progress instead of restarting from scratch.  The study prints
+the static-vs-closed-loop comparison, the applied re-placements, and the
+migration economics (requests moved, KV bytes, progress preserved).
 
 Run with::
 
@@ -39,6 +43,11 @@ def main() -> None:
           f"{study['closed_loop_gain']:.2f}x "
           f"({study['num_rebalances']} re-placements, "
           f"{study['migration_stall_s']:.2f} s total migration stall)")
+    print("live KV migration: "
+          f"{study['num_migrated_requests']} in-flight requests moved, "
+          f"{study['migrated_kv_bytes'] / 2**20:.1f} MiB of KV through host "
+          f"memory in {study['kv_migration_time_s'] * 1e3:.1f} ms, "
+          f"{study['restored_progress_tokens']} progress tokens preserved")
     print(f"open-loop path bit-exact across runs: {study['static_bit_exact']}")
     print("\nper-epoch pool goodput / backlog:")
     for start_s, goodput, backlog in study["epoch_timeline"]:

@@ -34,6 +34,7 @@ Quickstart (see ``examples/multi_tenant_serving.py``)::
 """
 
 from repro.cluster.control import (
+    MIGRATION_MODES,
     REBALANCE_MODES,
     ClusterControlLoop,
     ControlConfig,
@@ -77,6 +78,7 @@ __all__ = [
     "ROUTING_POLICIES",
     "ClusterEngine",
     "ClusterResult",
+    "MIGRATION_MODES",
     "REBALANCE_MODES",
     "ControlConfig",
     "RebalanceDecision",

@@ -23,11 +23,24 @@ measured signals the serving engine already records:
   (:func:`~repro.kvstore.preemption.kv_swap_time_s`) — by the configured
   margin.  Replicas whose shape survives a re-placement keep their engine
   state; dismantled replicas hand their unfinished requests to the new
-  replica set (their partial progress is lost, like a recompute preemption,
-  and the wasted work stays in the pool's busy time).
+  replica set.
+
+* **Live KV migration** — with ``migration="live"`` (the default) a
+  dismantled replica's in-flight requests keep their progress: each one's
+  materialised KV is swapped out to host memory
+  (:meth:`~repro.serving.engine.ServingEngine.migrate_out`, priced on the
+  CXL link like any paged-KV swap) and swapped into the destination
+  replica (:meth:`~repro.serving.engine.ServingEngine.migrate_in`), where
+  it resumes decoding at its original token — TTFT, latency and SLA
+  classification stay anchored to the original arrival.
+  ``migration="restart"`` is the pre-live behaviour: partial progress is
+  lost, like a recompute preemption, and the request re-enters the new
+  replica from scratch (arrival time still original).  Requests that have
+  made no progress yet restart under both modes — they have no KV to move.
 
 ``rebalance="off"`` (the default everywhere) bypasses this module entirely
-and runs the single-shot PR-2 path, bit-exactly.
+and runs the single-shot PR-2 path, bit-exactly; ``migration="restart"``
+reproduces the pre-live-migration closed loop bit-exactly.
 """
 
 from __future__ import annotations
@@ -52,6 +65,7 @@ from repro.serving.request import RequestState, ServingRequest
 from repro.workloads.queries import Query
 
 __all__ = [
+    "MIGRATION_MODES",
     "REBALANCE_MODES",
     "ControlConfig",
     "RebalanceDecision",
@@ -62,6 +76,9 @@ __all__ = [
 
 #: Supported re-placement modes of the closed loop.
 REBALANCE_MODES = ("off", "epoch")
+
+#: What happens to a dismantled replica's in-flight requests.
+MIGRATION_MODES = ("restart", "live")
 
 
 def weight_reload_time_s(spec: ReplicaSpec, link) -> float:
@@ -88,6 +105,12 @@ class ControlConfig:
     rebalance:
         ``"epoch"`` re-places at epoch boundaries; ``"off"`` keeps the
         initial placement (feedback routing still applies when enabled).
+    migration:
+        ``"live"`` (default) swaps a dismantled replica's in-flight KV
+        through host memory onto the new replica set, so requests resume
+        at their original progress; ``"restart"`` re-runs them from
+        scratch (the pre-live behaviour, kept bit-exact for regression
+        comparisons).
     routing_feedback:
         Feed measured backlog/rate back into the router at every epoch
         boundary.  ``False`` keeps the open-loop backlog model (ablation).
@@ -109,6 +132,7 @@ class ControlConfig:
 
     epoch_s: float = 20.0
     rebalance: str = "epoch"
+    migration: str = "live"
     routing_feedback: bool = True
     hysteresis: float = 0.25
     min_epochs_between: int = 1
@@ -123,6 +147,11 @@ class ControlConfig:
             raise ValueError(
                 f"unknown rebalance mode {self.rebalance!r}; "
                 f"choose from {REBALANCE_MODES}"
+            )
+        if self.migration not in MIGRATION_MODES:
+            raise ValueError(
+                f"unknown migration mode {self.migration!r}; "
+                f"choose from {MIGRATION_MODES}"
             )
         if self.hysteresis < 0:
             raise ValueError("hysteresis must be non-negative")
@@ -256,6 +285,16 @@ class RebalancePolicy:
         )
 
 
+@dataclass
+class _MigrationStats:
+    """Pool-level live-migration economics, accumulated across rebalances."""
+
+    num_requests: int = 0
+    kv_bytes: int = 0
+    kv_time_s: float = 0.0
+    restored_tokens: int = 0
+
+
 @dataclass(eq=False)
 class _ReplicaRuntime:
     """One live (or archived) replica: spec, engine, resumable state.
@@ -371,6 +410,7 @@ class ClusterControlLoop:
         last_rebalance_epoch = -config.min_epochs_between - 1
         num_rebalances = 0
         migration_stall_s = 0.0
+        migration_stats = _MigrationStats()
         rebalance_log: List[Tuple[float, float]] = []
         epoch_rows: List[Tuple[float, float, float]] = []
 
@@ -481,7 +521,7 @@ class ClusterControlLoop:
                     placement = decision.placement
                     live = self._apply_rebalance(
                         decision, live, archived, router, final_attempt,
-                        now_s=end_s)
+                        now_s=end_s, stats=migration_stats)
                     last_rebalance_epoch = epoch
                     num_rebalances += 1
                     migration_stall_s += decision.stall_s
@@ -506,7 +546,8 @@ class ClusterControlLoop:
 
         return self._aggregate(placement, runtimes(), final_attempt,
                                cap_rejected, num_rebalances,
-                               migration_stall_s, rebalance_log, epoch_rows)
+                               migration_stall_s, rebalance_log, epoch_rows,
+                               migration_stats)
 
     # ------------------------------------------------------------------ pieces
 
@@ -551,6 +592,7 @@ class ClusterControlLoop:
         final_attempt: Dict[Tuple[str, int], Tuple[_ReplicaRuntime, int]],
         *,
         now_s: float,
+        stats: _MigrationStats,
     ) -> Dict[int, _ReplicaRuntime]:
         """Install ``decision.placement``: carry matching replicas' states,
         build the rest (paying the reload stall), migrate stranded work."""
@@ -575,9 +617,14 @@ class ClusterControlLoop:
         router.ready_s = ready_s
         router.robin_pos = {name: 0 for name in router.robin_pos}
 
-        # Unfinished work on dismantled replicas restarts on the new set:
-        # KV (and partial progress) is lost, arrival times are kept, so the
+        # Unfinished work on dismantled replicas moves to the new set.
+        # ``migration="live"``: requests with materialised KV swap it
+        # through host memory and resume at their original progress;
+        # everything else (and every request under ``"restart"``) re-enters
+        # from scratch.  Arrival times are kept either way, so the
         # disruption lands in the measured latencies.
+        live_migration = self.config.migration == "live"
+        link = self.cluster.config.link
         for signature_matches in pool.values():
             for _, runtime in signature_matches:
                 archived.append(runtime)
@@ -585,10 +632,38 @@ class ClusterControlLoop:
                     owner, index = runtime.feed[request.request_id]
                     target = self._migration_target(new_live, owner)
                     request_id = len(target.state.requests)
-                    self._feed(target, owner, index, request.query)
+                    if (live_migration and request.context_length > 0
+                            and request.restore_remaining == 0):
+                        moved = runtime.engine.migrate_out(
+                            runtime.state, request, now_s=now_s)
+                        landed = target.engine.migrate_in(
+                            target.state, moved, now_s=now_s)
+                        target.feed.append((owner, index))
+                        if landed.state is not RequestState.REJECTED:
+                            stats.num_requests += 1
+                            stats.kv_bytes += moved.swap_bytes
+                            stats.restored_tokens += moved.kv_tokens
+                            stats.kv_time_s += moved.swap_out_s
+                            if not moved.swap_in_priced:
+                                # Swap-in priced eagerly with the
+                                # destination's formula (resume charges the
+                                # same value).  A request migrated *again*
+                                # before it ever resumed already priced its
+                                # single eventual swap-in on the first hop,
+                                # so that hop adds nothing here.
+                                stats.kv_time_s += kv_swap_time_s(
+                                    moved.swap_bytes, link,
+                                    pp_stages=target.state.plan.pp_stages)
+                            remaining = (request.prefill_remaining
+                                         + max(request.query.decode_tokens
+                                               - request.tokens_generated, 0))
+                            router.ready_s[target.spec.replica_id] += (
+                                remaining / target.tokens_per_s)
+                    else:
+                        self._feed(target, owner, index, request.query)
+                        router.ready_s[target.spec.replica_id] += (
+                            request.query.total_context / target.tokens_per_s)
                     final_attempt[(owner, index)] = (target, request_id)
-                    router.ready_s[target.spec.replica_id] += (
-                        request.query.total_context / target.tokens_per_s)
         return new_live
 
     @staticmethod
@@ -633,6 +708,7 @@ class ClusterControlLoop:
         migration_stall_s: float,
         rebalance_log: List[Tuple[float, float]],
         epoch_rows: List[Tuple[float, float, float]],
+        migration_stats: _MigrationStats,
     ) -> ClusterResult:
         cluster = self.cluster
         tenants = cluster.tenants
@@ -701,4 +777,8 @@ class ClusterControlLoop:
             migration_stall_s=migration_stall_s,
             epoch_timeline=tuple(epoch_rows),
             rebalance_log=tuple(rebalance_log),
+            num_migrated_requests=migration_stats.num_requests,
+            migrated_kv_bytes=migration_stats.kv_bytes,
+            kv_migration_time_s=migration_stats.kv_time_s,
+            restored_progress_tokens=migration_stats.restored_tokens,
         )

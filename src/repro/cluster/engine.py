@@ -193,6 +193,7 @@ class ClusterEngine:
         *,
         rebalance: str = "off",
         epoch_s: Optional[float] = None,
+        migration: Optional[str] = None,
         control: Optional["ControlConfig"] = None,
     ) -> ClusterResult:
         """Place, route and serve every tenant; return the cluster outcome.
@@ -209,7 +210,10 @@ class ClusterEngine:
         epoch-driven :class:`~repro.cluster.control.ClusterControlLoop`:
         backlog-feedback routing plus (unless the config disables it)
         observed-demand re-placement at epoch boundaries; ``epoch_s``
-        overrides the control interval.
+        overrides the control interval and ``migration`` selects what
+        happens to a dismantled replica's in-flight requests (``"live"``,
+        the default, swaps their KV through host memory so they resume at
+        their original progress; ``"restart"`` re-runs them from scratch).
         """
         from repro.cluster.control import REBALANCE_MODES, ClusterControlLoop, ControlConfig
 
@@ -223,11 +227,24 @@ class ClusterEngine:
                 "pass either epoch_s or an explicit control config, not both "
                 "(the config carries its own epoch_s)"
             )
+        if control is not None and migration is not None:
+            raise ValueError(
+                "pass either migration or an explicit control config, not "
+                "both (the config carries its own migration mode)"
+            )
+        if migration is not None and rebalance == "off" and control is None:
+            raise ValueError(
+                "migration only applies to closed-loop runs; set "
+                "rebalance='epoch' (or pass a control config)"
+            )
         if control is not None or rebalance != "off":
             if control is None:
-                control = (ControlConfig(rebalance=rebalance, epoch_s=epoch_s)
-                           if epoch_s is not None
-                           else ControlConfig(rebalance=rebalance))
+                kwargs = {"rebalance": rebalance}
+                if epoch_s is not None:
+                    kwargs["epoch_s"] = epoch_s
+                if migration is not None:
+                    kwargs["migration"] = migration
+                control = ControlConfig(**kwargs)
             return ClusterControlLoop(self, control).run(placement_policy)
 
         placer = (self.placer if placement_policy is None

@@ -213,6 +213,14 @@ class ServingResult:
     #: Total time preempted requests spent off the device (eviction to
     #: decode-ready), summed over requests.
     preemption_stall_time_s: float = 0.0
+    #: Block-granular (partial) evictions among ``num_preemptions``: only
+    #: the victim's coldest prefix blocks were staged out, the rest stayed
+    #: resident (``repro.kvstore`` with ``preemption_partial_blocks``).
+    num_partial_evictions: int = 0
+    #: Requests this engine received mid-flight through live KV migration,
+    #: and the host-staged KV bytes that travelled with them.
+    num_migrated_in: int = 0
+    migrated_kv_bytes: int = 0
     #: Per-iteration ``(time_s, queued, running)`` samples: ``queued`` are
     #: arrived requests not currently running (admission queue plus any
     #: preempted victims awaiting restore).  The measured backlog signal a
@@ -232,6 +240,9 @@ class ServingResult:
         if (self.swap_time_s < 0 or self.recompute_tokens < 0
                 or self.preemption_stall_time_s < 0):
             raise ValueError("preemption costs must be non-negative")
+        if (self.num_partial_evictions < 0 or self.num_migrated_in < 0
+                or self.migrated_kv_bytes < 0):
+            raise ValueError("migration counters must be non-negative")
 
     # ------------------------------------------------------------------ throughput
 
@@ -381,6 +392,17 @@ class ClusterResult:
     epoch_timeline: Tuple[Tuple[float, float, float], ...] = ()
     #: ``(time_s, stall_s)`` per applied re-placement, in epoch order.
     rebalance_log: Tuple[Tuple[float, float], ...] = ()
+    #: In-flight requests live-migrated (KV through host memory) when their
+    #: replica was dismantled; ``migration="restart"`` leaves all four zero.
+    num_migrated_requests: int = 0
+    #: KV bytes live migrations streamed through host memory.
+    migrated_kv_bytes: int = 0
+    #: CXL time spent streaming migrated KV out of dismantled replicas and
+    #: into their destinations (per-request swap pricing, summed).
+    kv_migration_time_s: float = 0.0
+    #: Prefill + decode progress tokens live migration preserved that a
+    #: restart-on-migrate would have recomputed from scratch.
+    restored_progress_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.pool_devices <= 0:
@@ -393,6 +415,10 @@ class ClusterResult:
             raise ValueError("epoch_s must be positive when set")
         if self.num_rebalances < 0 or self.migration_stall_s < 0:
             raise ValueError("rebalance accounting must be non-negative")
+        if (self.num_migrated_requests < 0 or self.migrated_kv_bytes < 0
+                or self.kv_migration_time_s < 0
+                or self.restored_progress_tokens < 0):
+            raise ValueError("migration accounting must be non-negative")
         missing = set(self.tenant_results) - set(self.tenant_offered_decode_tokens)
         if missing:
             raise ValueError(
@@ -495,3 +521,8 @@ class ClusterResult:
     def total_preemption_stall_s(self) -> float:
         """Pool-wide time requests spent evicted, summed over requests."""
         return sum(r.preemption_stall_time_s for r in self.tenant_results.values())
+
+    @property
+    def total_partial_evictions(self) -> int:
+        """Pool-wide block-granular evictions, across all tenants."""
+        return sum(r.num_partial_evictions for r in self.tenant_results.values())

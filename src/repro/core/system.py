@@ -109,6 +109,7 @@ class CentSystem:
         routing_policy: str = "least_outstanding",
         rebalance: str = "off",
         epoch_s=None,
+        migration=None,
         control=None,
         **cluster_kwargs,
     ):
@@ -125,7 +126,10 @@ class CentSystem:
         :class:`~repro.cluster.control.ControlConfig` via ``control``) runs
         the closed loop: epoch-segmented serving with backlog-feedback
         routing and observed-demand re-placement; the default ``"off"`` is
-        the open-loop single-shot path.
+        the open-loop single-shot path.  ``migration`` selects what happens
+        to a dismantled replica's in-flight requests on re-placement:
+        ``"live"`` (default) swaps their KV through host memory so they
+        resume at their original progress, ``"restart"`` re-runs them.
         """
         # Imported here: repro.cluster builds on repro.core.system.
         from repro.cluster.engine import ClusterEngine
@@ -138,7 +142,8 @@ class CentSystem:
             routing_policy=routing_policy,
             **cluster_kwargs,
         )
-        return engine.run(rebalance=rebalance, epoch_s=epoch_s, control=control)
+        return engine.run(rebalance=rebalance, epoch_s=epoch_s,
+                          migration=migration, control=control)
 
     # ------------------------------------------------------------------ capacity
 

@@ -35,7 +35,7 @@ from repro.evaluation.serving_studies import (
     figure14d_query_latency_serving,
 )
 from repro.evaluation.cluster_studies import multi_tenant_policy_study
-from repro.evaluation.closed_loop_studies import closed_loop_study
+from repro.evaluation.closed_loop_studies import closed_loop_study, migration_study
 from repro.evaluation.preemption_studies import overload_preemption_study
 
 __all__ = [
@@ -63,5 +63,6 @@ __all__ = [
     "figure14d_query_latency_serving",
     "multi_tenant_policy_study",
     "closed_loop_study",
+    "migration_study",
     "overload_preemption_study",
 ]

@@ -7,16 +7,23 @@ engine's ``admission="paged"`` mode:
   into fixed-size token blocks (sized from
   :meth:`~repro.models.memory.ModelMemoryProfile.kv_cache_bytes_per_token`,
   at the same effective capacity the reserve path's
-  ``kv_occupancy``-discounted reservations assume);
+  ``kv_occupancy``-discounted reservations assume), with a host-staging
+  ledger (``swap_out`` / ``swap_in`` / ``drop_swapped``) for
+  block-granular swap;
 * :class:`KvAllocator` — grows each request's block allocation as its
-  context advances through decode, and releases it on completion or
-  preemption;
+  context advances through decode, releases it on completion or
+  preemption, and supports partial residency: ``evict_blocks`` stages an
+  owner's coldest prefix blocks to host memory and ``readmit`` brings
+  them back all-or-nothing;
 * :class:`PreemptionPolicy` — deterministic victim selection
   (``lru`` / ``priority`` / ``sla_deadline``) when the pool runs dry, with
   two restore paths: ``swap`` (KV bytes staged out and back over the CXL
   links, priced by :func:`kv_swap_time_s`) and ``recompute`` (the victim's
   context is re-prefilled through the normal
-  :class:`~repro.core.iteration.IterationCostModel` path).
+  :class:`~repro.core.iteration.IterationCostModel` path); with
+  ``partial_blocks=N`` a swap eviction takes only the victim's N coldest
+  prefix blocks, so the restore transfer shrinks from the whole context
+  to the staged blocks.
 
 The serving engine (``repro.serving.engine``) owns the event loop; this
 package owns the bookkeeping and the policy decisions, so they can be unit

@@ -4,6 +4,12 @@ The allocator owns the owner→blocks map the serving engine consults every
 iteration: a request allocates blocks for its prompt at admission, grows by
 one token per decode step (a new block only when it crosses a block
 boundary), and releases everything on completion or preemption.
+
+Swap is block-granular: :meth:`evict_blocks` stages an owner's coldest
+prefix blocks to host memory (the owner stays *partially resident* — its
+remaining blocks keep their device residency), and :meth:`readmit` brings
+the staged blocks back all-or-nothing, so a failed readmission under pool
+pressure never strands a half-granted allocation.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ class KvAllocator:
         self.pool = pool
         self._tokens: Dict[Hashable, int] = {}
         self._blocks: Dict[Hashable, int] = {}
+        #: Blocks each owner currently has staged in host memory.
+        self._swapped: Dict[Hashable, int] = {}
 
     # ------------------------------------------------------------------ queries
 
@@ -29,7 +37,16 @@ class KvAllocator:
         return self._tokens.get(owner, 0)
 
     def holds_blocks(self, owner: Hashable) -> int:
+        """Blocks the owner's allocation logically covers (resident + staged)."""
+        return self._blocks.get(owner, 0) + self._swapped.get(owner, 0)
+
+    def holds_resident_blocks(self, owner: Hashable) -> int:
+        """Blocks the owner currently has on device."""
         return self._blocks.get(owner, 0)
+
+    def holds_swapped_blocks(self, owner: Hashable) -> int:
+        """Blocks the owner currently has staged in host memory."""
+        return self._swapped.get(owner, 0)
 
     @property
     def num_owners(self) -> int:
@@ -72,7 +89,7 @@ class KvAllocator:
                 f"allocations only grow ({owner!r} holds {held} tokens, "
                 f"asked for {tokens}); release and re-allocate to shrink"
             )
-        needed = self.pool.blocks_for(tokens) - self._blocks[owner]
+        needed = self.pool.blocks_for(tokens) - self.holds_blocks(owner)
         if needed > 0 and not self.pool.allocate(needed):
             return False
         self._tokens[owner] = tokens
@@ -80,9 +97,55 @@ class KvAllocator:
         return True
 
     def release(self, owner: Hashable) -> int:
-        """Free ``owner``'s blocks; returns the token count it covered."""
+        """Free ``owner``'s blocks; returns the token count it covered.
+
+        Host-staged blocks (block-granular swap) are dropped with the
+        device-resident ones — nothing of the owner survives.
+        """
         tokens = self._tokens.pop(owner, 0)
         blocks = self._blocks.pop(owner, 0)
         if blocks:
             self.pool.release(blocks)
+        swapped = self._swapped.pop(owner, 0)
+        if swapped:
+            self.pool.drop_swapped(swapped)
         return tokens
+
+    # ------------------------------------------------------------------ swap
+
+    def evict_blocks(self, owner: Hashable, num_blocks: int) -> int:
+        """Stage up to ``num_blocks`` of ``owner``'s coldest prefix blocks
+        to host memory, freeing their device blocks for other requests.
+
+        Returns the number actually staged (bounded by the owner's resident
+        count); the owner keeps the rest of its allocation on device and
+        must :meth:`readmit` before its KV is whole again.
+        """
+        if owner not in self._tokens:
+            raise ValueError(f"owner {owner!r} holds no allocation to evict from")
+        if num_blocks <= 0:
+            raise ValueError(f"block count must be positive, got {num_blocks}")
+        staged = min(num_blocks, self._blocks[owner])
+        if staged:
+            self.pool.swap_out(staged)
+            self._blocks[owner] -= staged
+            self._swapped[owner] = self._swapped.get(owner, 0) + staged
+        return staged
+
+    def readmit(self, owner: Hashable) -> bool:
+        """Bring ``owner``'s host-staged blocks back on device.
+
+        All-or-nothing: False (side-effect free) when the pool cannot hold
+        every staged block, so a failed readmission under pressure never
+        leaves the owner with a partially-granted restore.
+        """
+        if owner not in self._tokens:
+            raise ValueError(f"owner {owner!r} holds no allocation to readmit")
+        staged = self._swapped.get(owner, 0)
+        if staged == 0:
+            return True
+        if not self.pool.swap_in(staged):
+            return False
+        self._blocks[owner] += staged
+        del self._swapped[owner]
+        return True

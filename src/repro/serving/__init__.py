@@ -18,7 +18,13 @@ iteration pricing in ``repro.core.iteration``.
 """
 
 from repro.core.results import LatencyStats, ServingResult, percentile
-from repro.serving.engine import ADMISSION_MODES, EngineRun, EngineState, ServingEngine
+from repro.serving.engine import (
+    ADMISSION_MODES,
+    EngineRun,
+    EngineState,
+    KvMigration,
+    ServingEngine,
+)
 from repro.serving.metrics import (
     aggregate_serving_result,
     merge_queue_depth_timelines,
@@ -31,6 +37,7 @@ __all__ = [
     "ADMISSION_MODES",
     "EngineRun",
     "EngineState",
+    "KvMigration",
     "ServingEngine",
     "ServingRequest",
     "RequestState",

@@ -18,7 +18,16 @@ requests against a :class:`~repro.core.system.CentSystem`:
   :class:`~repro.kvstore.PreemptionPolicy` evicts a victim whose KV is
   either swapped out over the CXL fabric and back
   (``preemption_restore="swap"``) or dropped and re-prefilled
-  (``"recompute"``);
+  (``"recompute"``); with ``preemption_partial_blocks=N`` the eviction is
+  **block-granular** — only the victim's N coldest prefix blocks are
+  staged to host memory, the rest stay resident, and the restore stall
+  shrinks to the staged blocks' transfer;
+* requests can be **live-migrated** between engines mid-flight
+  (:meth:`ServingEngine.migrate_out` / :meth:`ServingEngine.migrate_in`):
+  the KV streams through host memory priced like a swap, and the request
+  resumes on the destination at its original progress — the mechanism the
+  closed-loop cluster controller (``repro.cluster.control``) uses when a
+  re-placement dismantles a replica with work in flight;
 * batching is **continuous**: newly admitted requests prefill in bounded
   chunks, every decode step advances all running requests at once, and
   finished requests free their slot immediately — no waiting for the
@@ -77,8 +86,8 @@ from repro.serving.metrics import aggregate_serving_result
 from repro.serving.request import RequestState, ServingRequest
 from repro.workloads.queries import Query
 
-__all__ = ["ADMISSION_MODES", "EngineRun", "EngineState", "ServingEngine",
-           "evict_to_bound"]
+__all__ = ["ADMISSION_MODES", "EngineRun", "EngineState", "KvMigration",
+           "ServingEngine", "evict_to_bound"]
 
 #: Supported admission modes: full-context reservation vs paged blocks.
 ADMISSION_MODES = ("reserve", "paged")
@@ -176,9 +185,60 @@ class EngineState:
 
     @property
     def unfinished(self) -> List[ServingRequest]:
-        """Requests still owed work, in feed order (migration candidates)."""
-        live = (RequestState.FINISHED, RequestState.REJECTED)
-        return [r for r in self.requests if r.state not in live]
+        """Requests still owed work, in feed order (migration candidates).
+
+        Excludes requests already handed to another engine by a live
+        migration: the receiving engine owns them now.
+        """
+        done = (RequestState.FINISHED, RequestState.REJECTED,
+                RequestState.MIGRATED)
+        return [r for r in self.requests if r.state not in done]
+
+
+@dataclass(frozen=True)
+class KvMigration:
+    """One in-flight request's state, staged in host memory mid-migration.
+
+    Produced by :meth:`ServingEngine.migrate_out` on the dismantled engine
+    and consumed by :meth:`ServingEngine.migrate_in` on the destination.
+    Carries the request's progress (so it resumes decoding where it left
+    off), its measured history (arrival-anchored TTFT/latency and TBT
+    samples survive the move), and its cost counters (the destination's
+    result keeps the whole journey's preemption/swap/stall accounting).
+    """
+
+    query: Query
+    tokens_generated: int
+    prefill_remaining: int
+    #: Materialised KV tokens travelling through host memory.
+    kv_tokens: int
+    #: Bytes of KV the destination swaps in (``kv_tokens`` worth).
+    swap_bytes: int
+    #: CXL time the source spent streaming not-yet-staged KV out; zero when
+    #: the request was already swap-staged in host memory at migration.
+    swap_out_s: float
+    #: Absolute time the whole host copy is in place — the migration
+    #: instant plus ``swap_out_s``, or later when an eviction's swap-out
+    #: was still draining; the destination's swap-in serialises behind it.
+    host_ready_s: float
+    #: True when the chain's single destination swap-in was already priced
+    #: by an earlier hop (the request re-migrated before it ever resumed).
+    swap_in_priced: bool
+    # ---- measured history carried across the move ----
+    admitted_time_s: Optional[float]
+    first_token_time_s: Optional[float]
+    last_token_time_s: Optional[float]
+    tbt_samples_s: Tuple[float, ...]
+    # ---- cost counters carried across the move ----
+    preempted_count: int
+    num_swap_outs: int
+    num_swap_ins: int
+    swap_time_s: float
+    recompute_tokens: int
+    stall_s: float
+    partial_evictions: int
+    migrated_count: int
+    migrated_kv_bytes: int
 
 
 class ServingEngine:
@@ -226,6 +286,12 @@ class ServingEngine:
     preemption_restore:
         How a victim's KV comes back: ``"swap"`` (CXL-priced staging to
         host memory and back) or ``"recompute"`` (drop and re-prefill).
+    preemption_partial_blocks:
+        Block-granular swap: evict only this many of a victim's coldest
+        prefix blocks per preemption (the victim stays partially resident
+        and re-admits just the staged blocks), instead of its whole
+        allocation.  ``None`` (default) keeps the legacy full eviction;
+        requires ``preemption_restore="swap"``.
     """
 
     def __init__(
@@ -242,6 +308,7 @@ class ServingEngine:
         kv_block_tokens: int = 16,
         preemption_policy: str = "lru",
         preemption_restore: str = "swap",
+        preemption_partial_blocks: Optional[int] = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -255,9 +322,10 @@ class ServingEngine:
             )
         if kv_block_tokens <= 0:
             raise ValueError("kv_block_tokens must be positive")
-        # Fail fast on bad policy/restore names with the policy's own
-        # validation (one definition of the valid sets and messages).
-        PreemptionPolicy(preemption_policy, restore=preemption_restore)
+        # Fail fast on bad policy/restore/partial knobs with the policy's
+        # own validation (one definition of the valid sets and messages).
+        PreemptionPolicy(preemption_policy, restore=preemption_restore,
+                         partial_blocks=preemption_partial_blocks)
         self.system = system
         self.model = system.model
         self.plan = plan
@@ -275,6 +343,7 @@ class ServingEngine:
         self.kv_block_tokens = kv_block_tokens
         self.preemption_policy = preemption_policy
         self.preemption_restore = preemption_restore
+        self.preemption_partial_blocks = preemption_partial_blocks
         self._profile = ModelMemoryProfile(self.model)
         # _setup results keyed by the servable context length (the only
         # trace-dependent input) plus the engine knobs that feed _setup:
@@ -468,6 +537,7 @@ class ServingEngine:
                 self.preemption_policy,
                 restore=self.preemption_restore,
                 sla_latency_s=sla_latency_s,
+                partial_blocks=self.preemption_partial_blocks,
             )
 
         state = EngineState(
@@ -600,6 +670,7 @@ class ServingEngine:
             victim.preempt_time_s = clock
             victim.state = RequestState.PREEMPTED
             victim.restore_ready_s = 0.0
+            victim.restore_via = policy.restore
             if policy.restore == "swap":
                 # Only materialised KV travels; the prompt's still-unwritten
                 # tail of a prefilling victim does not.
@@ -630,11 +701,52 @@ class ServingEngine:
             preempted.append(victim)
             preemption_log.append((clock, victim.request_id))
 
+        def stage_out(victim: ServingRequest, num_blocks: int, *,
+                      park: bool) -> None:
+            """Block-granular eviction: stage the victim's coldest prefix
+            blocks to host memory, keeping the rest device-resident.
+
+            ``park=True`` takes a runner out of the batch (its restore is a
+            small swap-in of just the staged blocks instead of
+            re-allocating — and re-transferring — the whole context).
+            ``park=False`` deepens the eviction of an *already parked*
+            victim when no runner is left to evict: the extra bite joins
+            the same parked episode — its restore grows by the staged
+            blocks and its stall clock keeps running from the original
+            eviction — instead of deadlocking the survivor's growth.
+            """
+            staged = allocator.evict_blocks(victim.request_id, num_blocks)
+            victim.swapped_kv_blocks += staged
+            victim.partial_evictions += 1
+            victim.preempted_count += 1
+            bytes_out = staged * allocator.pool.block_bytes
+            out_s = kv_swap_time_s(bytes_out, self.system.config.link,
+                                   pp_stages=plan.pp_stages)
+            victim.num_swap_outs += 1
+            victim.swap_time_s += out_s
+            if park:
+                victim.preempt_time_s = clock
+                victim.state = RequestState.PREEMPTED
+                victim.restore_ready_s = 0.0
+                victim.restore_via = "swap"
+                # The allocation survives: resume re-admits the staged
+                # blocks and the KV token count is unchanged.
+                victim.resume_kv_tokens = victim.kv_tokens
+                victim.swap_bytes = bytes_out
+                victim.swap_done_s = clock + out_s
+                running.remove(victim)
+                preempted.append(victim)
+            else:
+                victim.swap_bytes += bytes_out
+                # The fresh transfer queues behind any still-draining one.
+                victim.swap_done_s = max(victim.swap_done_s, clock) + out_s
+            preemption_log.append((clock, victim.request_id))
+
         def resume(request: ServingRequest) -> None:
             """Bring a preempted request back; blocks are already allocated."""
             request.kv_tokens = request.resume_kv_tokens
             request.stall_s += clock - request.preempt_time_s
-            if policy.restore == "swap":
+            if request.restore_via == "swap":
                 in_s = kv_swap_time_s(request.swap_bytes, self.system.config.link,
                                       pp_stages=plan.pp_stages)
                 request.num_swap_ins += 1
@@ -642,6 +754,8 @@ class ServingEngine:
                 # Swap-in serialises behind any still-draining swap-out.
                 request.restore_ready_s = max(clock, request.swap_done_s) + in_s
                 request.stall_s += request.restore_ready_s - clock
+            request.restore_via = ""
+            request.migration_pending = False
             if request.restore_remaining > 0:
                 # Recompute restore: the re-prefill ahead still keeps the
                 # request off decode, so its span counts as stall too
@@ -659,15 +773,37 @@ class ServingEngine:
                     continue  # evicted by an earlier candidate's growth
                 target = max(request.context_length, request.kv_tokens)
                 grown = allocator.grow(request.request_id, target)
+                partial = policy.partial_blocks
                 while not grown:
                     victims = [r for r in running
                                if r is not request and r.restore_ready_s <= clock]
                     victim = policy.select_victim(victims, clock)
-                    if victim is None:
+                    if victim is not None:
+                        # Block-granular swap: stage only the victim's
+                        # coldest prefix blocks when it holds more than
+                        # that; a victim at or below the partial size is
+                        # evicted whole.
+                        if (partial is not None
+                                and allocator.holds_resident_blocks(
+                                    victim.request_id) > partial):
+                            stage_out(victim, partial, park=True)
+                        else:
+                            preempt(victim)
+                        if victim in batch:
+                            batch.remove(victim)
+                    elif partial is not None:
+                        # No runner left to evict; free blocks from a
+                        # parked, still partially-resident victim instead
+                        # of deadlocking the survivor's growth.
+                        parked = [r for r in preempted
+                                  if allocator.holds_resident_blocks(
+                                      r.request_id) > 0]
+                        victim = policy.select_victim(parked, clock)
+                        if victim is None:
+                            break
+                        stage_out(victim, partial, park=False)
+                    else:
                         break
-                    preempt(victim)
-                    if victim in batch:
-                        batch.remove(victim)
                     grown = allocator.grow(request.request_id, target)
                 if grown:
                     request.kv_tokens = target
@@ -689,14 +825,28 @@ class ServingEngine:
                 waiting.append(pending.popleft())
 
             if paged:
-                # Preempted requests resume first (FCFS by eviction time) so
-                # fresh admissions cannot starve a victim's restore.
-                while preempted and len(running) < slots:
-                    request = preempted[0]
-                    if not allocator.allocate(request.request_id,
-                                              request.resume_kv_tokens):
-                        break
-                    preempted.popleft()
+                # Preempted requests resume first (eviction-order-first) so
+                # fresh admissions cannot starve a victim's restore.  A
+                # partially-resident victim re-admits just its staged
+                # blocks; everyone else re-allocates from scratch.  Both
+                # grants are all-or-nothing, so a failed resume under
+                # pressure leaves no partially-granted blocks behind — and
+                # an unresumable head is skipped, not waited on: a parked
+                # victim's residency (or a large migrated-in allocation)
+                # must never wedge the queue while a smaller one fits.
+                index = 0
+                while index < len(preempted) and len(running) < slots:
+                    request = preempted[index]
+                    if request.swapped_kv_blocks:
+                        resumable = allocator.readmit(request.request_id)
+                    else:
+                        resumable = allocator.allocate(
+                            request.request_id, request.resume_kv_tokens)
+                    if not resumable:
+                        index += 1
+                        continue
+                    request.swapped_kv_blocks = 0
+                    del preempted[index]
                     resume(request)
                     running.append(request)
                 # Paged admission: blocks for the *current* need (the
@@ -713,8 +863,24 @@ class ServingEngine:
                     peak_memory,
                     weight_bytes + int(allocator.allocated_bytes * kv_scale))
             else:
+                # Migrated-in requests resume first, re-booking their
+                # full-context reservation (migration is the only way a
+                # request reaches the preempted queue in reserve mode).
+                # As in the paged loop above, an unfit head is skipped so a
+                # large migrated allocation cannot wedge the queue while a
+                # smaller one fits.
+                index = 0
+                while index < len(preempted) and len(running) < slots:
+                    request = preempted[index]
+                    if reserved_bytes + request.kv_reserved_bytes > kv_budget:
+                        index += 1
+                        continue
+                    del preempted[index]
+                    resume(request)
+                    reserved_bytes += request.kv_reserved_bytes
+                    running.append(request)
                 # FCFS admission while a slot and the KV budget allow.
-                while (waiting and len(running) < slots
+                while (not preempted and waiting and len(running) < slots
                        and reserved_bytes + waiting[0].kv_reserved_bytes <= kv_budget):
                     request = waiting.popleft()
                     request.state = RequestState.PREFILL
@@ -731,6 +897,17 @@ class ServingEngine:
                 queue_depth_timeline.append(sample)
 
             if not running:
+                if not pending:
+                    # Nothing running, nothing arriving, and the queued
+                    # backlog could not be (re)admitted this instant.
+                    # Mid-segment the next extend may unblock it; with the
+                    # input drained it never will.
+                    if until_s is not None:
+                        break
+                    raise RuntimeError(
+                        "serving engine stalled with queued requests but no "
+                        "admissible work; this is a bug"
+                    )
                 # Idle: jump to the next arrival (or stop at the segment
                 # bound; a later extend may add earlier work).
                 if until_s is not None and pending[0].arrival_time_s >= until_s:
@@ -877,6 +1054,151 @@ class ServingEngine:
         state.decode_step_tokens = decode_step_tokens
         return self.snapshot(state)
 
+    # ------------------------------------------------------------- migration
+
+    def migrate_out(self, state: EngineState, request: ServingRequest,
+                    *, now_s: float) -> KvMigration:
+        """Hand ``request`` off to another engine, staging its KV in host
+        memory.
+
+        Used by the closed-loop cluster controller when a re-placement
+        dismantles a replica with work in flight: the request's
+        materialised KV streams out over the CXL fabric (KV a swap eviction
+        already staged pays no fresh transfer), its blocks or reservation
+        are freed, and the returned :class:`KvMigration` carries everything
+        :meth:`migrate_in` needs to resume it elsewhere at its original
+        progress.  A recompute-evicted request has no KV to move (restart
+        it instead); a finished, rejected or already-migrated request
+        cannot move at all.
+        """
+        if request.state in (RequestState.FINISHED, RequestState.REJECTED,
+                             RequestState.MIGRATED):
+            raise ValueError(
+                f"request {request.request_id} is {request.state.value}; "
+                "only in-flight requests can migrate"
+            )
+        if request.restore_remaining > 0:
+            raise ValueError(
+                f"request {request.request_id} awaits a recompute rebuild; "
+                "its KV is gone — restart it on the destination instead"
+            )
+        context = request.context_length
+        total_bytes = context * state.bytes_per_token
+        # KV already swap-staged in host memory travels for free; only the
+        # device-resident remainder pays a fresh swap-out on this fabric.
+        staged_bytes = (request.swap_bytes
+                        if request.state is RequestState.PREEMPTED else 0)
+        fresh_bytes = max(total_bytes - staged_bytes, 0)
+        out_s = (kv_swap_time_s(fresh_bytes, self.system.config.link,
+                                pp_stages=state.plan.pp_stages)
+                 if fresh_bytes else 0.0)
+        # The host copy is whole once the fresh transfer finishes AND any
+        # still-draining eviction swap-out has landed.
+        host_ready_s = now_s + out_s
+        if request.state is RequestState.PREEMPTED:
+            host_ready_s = max(host_ready_s, request.swap_done_s)
+        moved = KvMigration(
+            query=request.query,
+            tokens_generated=request.tokens_generated,
+            prefill_remaining=request.prefill_remaining,
+            kv_tokens=context,
+            swap_bytes=total_bytes,
+            swap_out_s=out_s,
+            host_ready_s=host_ready_s,
+            swap_in_priced=request.migration_pending,
+            admitted_time_s=request.admitted_time_s,
+            first_token_time_s=request.first_token_time_s,
+            last_token_time_s=request.last_token_time_s,
+            tbt_samples_s=tuple(request.tbt_samples_s),
+            preempted_count=request.preempted_count,
+            num_swap_outs=request.num_swap_outs + (1 if fresh_bytes else 0),
+            num_swap_ins=request.num_swap_ins,
+            swap_time_s=request.swap_time_s + out_s,
+            recompute_tokens=request.recompute_tokens,
+            # A request migrated while parked has been stalled since its
+            # eviction; close that span here (the destination's resume
+            # counts only from the migration instant onward).
+            stall_s=request.stall_s + (
+                max(now_s - request.preempt_time_s, 0.0)
+                if request.state is RequestState.PREEMPTED else 0.0),
+            partial_evictions=request.partial_evictions,
+            migrated_count=request.migrated_count,
+            migrated_kv_bytes=request.migrated_kv_bytes,
+        )
+        # Strip the request from the (frozen) source state: free its blocks
+        # or reservation and drop it from whichever queue still holds it.
+        if state.paged:
+            state.allocator.release(request.request_id)
+        elif request in state.running:
+            state.reserved_bytes -= request.kv_reserved_bytes
+        for queue in (state.pending, state.waiting, state.preempted):
+            if request in queue:
+                queue.remove(request)
+        if request in state.running:
+            state.running.remove(request)
+        request.kv_tokens = 0
+        request.swapped_kv_blocks = 0
+        request.restore_via = ""
+        request.migration_pending = False
+        request.state = RequestState.MIGRATED
+        return moved
+
+    def migrate_in(self, state: EngineState, moved: KvMigration,
+                   *, now_s: float) -> ServingRequest:
+        """Admit a migrated request with its progress and history intact.
+
+        The request joins the destination like a swap-evicted victim whose
+        KV sits in host memory: it queues as ``PREEMPTED`` and resumes —
+        ahead of fresh admissions — once the destination can hold its KV
+        (block re-allocation in paged mode, a full-context reservation in
+        reserve mode), paying a swap-in priced on *this* engine's fabric
+        serialised behind the source's still-draining swap-out.  TTFT,
+        latency and SLA classification stay anchored to the original
+        arrival time, which travels inside ``moved.query``.
+        """
+        request = ServingRequest(len(state.requests), moved.query)
+        state.requests.append(request)
+        request.tokens_generated = moved.tokens_generated
+        request.prefill_remaining = moved.prefill_remaining
+        request.admitted_time_s = moved.admitted_time_s
+        request.first_token_time_s = moved.first_token_time_s
+        request.last_token_time_s = moved.last_token_time_s
+        request.tbt_samples_s = list(moved.tbt_samples_s)
+        request.preempted_count = moved.preempted_count
+        request.num_swap_outs = moved.num_swap_outs
+        request.num_swap_ins = moved.num_swap_ins
+        request.swap_time_s = moved.swap_time_s
+        request.recompute_tokens = moved.recompute_tokens
+        request.stall_s = moved.stall_s
+        request.partial_evictions = moved.partial_evictions
+        request.migrated_count = moved.migrated_count + 1
+        request.migrated_kv_bytes = moved.migrated_kv_bytes + moved.swap_bytes
+        if not self._is_servable(moved.query, state.kv_budget):
+            request.state = RequestState.REJECTED
+            return request
+        if moved.query.total_context > state.planned_context:
+            raise ValueError(
+                f"query context {moved.query.total_context} exceeds the "
+                f"planned context {state.planned_context}; pass a "
+                "planning_trace covering every query this state may serve"
+            )
+        request.state = RequestState.PREEMPTED
+        request.restore_via = "swap"
+        request.migration_pending = True
+        request.preempt_time_s = now_s
+        request.swap_bytes = moved.swap_bytes
+        request.swap_done_s = moved.host_ready_s
+        # Blocks on resume: the whole prompt for a mid-prefill request
+        # (mirroring paged admission), the materialised context otherwise.
+        request.resume_kv_tokens = (moved.query.prompt_tokens
+                                    if moved.prefill_remaining > 0
+                                    else moved.kv_tokens)
+        if not state.paged:
+            request.kv_reserved_bytes = \
+                self._kv_reservation_bytes(moved.query.total_context)
+        state.preempted.append(request)
+        return request
+
     # ------------------------------------------------------------------ sizing
 
     def estimated_capacity_qps(self, trace: Sequence[Query]) -> float:
@@ -887,10 +1209,13 @@ class ServingEngine:
         while it does), whereas decode iterations advance the whole batch at
         once, so a query's decode share is ``decode_tokens`` iterations
         divided across the occupied slots.  Useful for choosing an arrival
-        rate that loads, but does not drown, the system.  The reservation-
-        based slot cap below is deliberately kept for paged mode too: it
-        estimates the *sustainable* concurrency, which preemption overshoots
-        at a restore cost this estimate does not model.
+        rate that loads, but does not drown, the system.  The memory-side
+        slot cap is admission-aware: ``reserve`` books each query's
+        full-context KV up front, while ``paged`` holds only the *current*
+        context, so its sustainable concurrency is how many mid-decode
+        contexts the block pool fits — sizing paged replicas by the reserve
+        booking (the pre-fix behaviour) under-estimated them and starved
+        the cluster placer's capability probe.
         """
         queries = list(trace)
         plan, cost, slots = self._setup(queries)
@@ -904,10 +1229,17 @@ class ServingEngine:
         mean_decode = sum(q.decode_tokens for q in queries) / len(queries)
         mid_context = int(mean_prompt + mean_decode / 2)
         # On memory-bound configs the KV budget, not the plan, caps how many
-        # requests decode concurrently.
-        reservation = self._kv_reservation_bytes(int(mean_prompt + mean_decode))
-        if reservation > 0:
-            slots = max(1, min(slots, kv_budget // reservation))
+        # requests decode concurrently — per the admission mode actually
+        # gating the run.
+        if self.admission == "paged":
+            pool = self._make_pool(kv_budget)
+            blocks_per_query = pool.blocks_for(max(mid_context, 1))
+            if blocks_per_query > 0:
+                slots = max(1, min(slots, pool.num_blocks // blocks_per_query))
+        else:
+            reservation = self._kv_reservation_bytes(int(mean_prompt + mean_decode))
+            if reservation > 0:
+                slots = max(1, min(slots, kv_budget // reservation))
         prefill_s = cost.prefill_chunk_s(int(mean_prompt), max(int(mean_prompt) // 2, 1))
         decode_share_s = mean_decode * cost.decode_iteration_s([mid_context]) / slots
         return 1.0 / (prefill_s + decode_share_s)

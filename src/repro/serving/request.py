@@ -20,6 +20,7 @@ class RequestState(enum.Enum):
     PREEMPTED = "preempted"  # evicted from the paged KV pool, awaiting resume
     FINISHED = "finished"    # all output tokens generated
     REJECTED = "rejected"    # can never fit the system; refused on arrival
+    MIGRATED = "migrated"    # live-migrated to another engine, which owns it now
 
 
 @dataclass
@@ -67,6 +68,17 @@ class ServingRequest:
     #: When the request last re-acquired a slot with a KV rebuild still
     #: ahead of it (recompute restore); the rebuild span counts as stall.
     restore_started_s: float = 0.0
+    #: How the current eviction's KV comes back: ``"swap"`` or
+    #: ``"recompute"`` while evicted, ``""`` otherwise.  Live migrations
+    #: always restore by swap, whatever the destination's policy.
+    restore_via: str = ""
+    #: Blocks of this request's KV staged in host memory by a partial
+    #: (block-granular) eviction; resume re-admits exactly these while the
+    #: rest of the allocation stayed device-resident.
+    swapped_kv_blocks: int = 0
+    #: True between a live migration landing and its first resume on the
+    #: destination: the chain's single swap-in is already accounted for.
+    migration_pending: bool = False
     # ---- counters surfaced through aggregate_serving_result ----
     preempted_count: int = 0
     num_swap_outs: int = 0
@@ -74,6 +86,12 @@ class ServingRequest:
     swap_time_s: float = 0.0
     recompute_tokens: int = 0
     stall_s: float = 0.0
+    #: Block-granular evictions among ``preempted_count``.
+    partial_evictions: int = 0
+    #: Times this request was live-migrated between engines, and the KV
+    #: bytes those moves streamed through host memory.
+    migrated_count: int = 0
+    migrated_kv_bytes: int = 0
 
     def __post_init__(self) -> None:
         self.prefill_remaining = self.query.prompt_tokens

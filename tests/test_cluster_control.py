@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cluster import (
+    MIGRATION_MODES,
     ClusterEngine,
     ClusterPlacer,
     ClusterScheduler,
@@ -18,7 +19,7 @@ from repro.core.config import CentConfig
 from repro.core.system import CentSystem
 from repro.evaluation import closed_loop_study
 from repro.models.config import ModelConfig
-from repro.serving import ServingEngine
+from repro.serving import RequestState, ServingEngine
 from repro.workloads import (
     bursty_arrivals,
     poisson_arrivals,
@@ -50,11 +51,14 @@ class TestControlConfig:
     def test_defaults_valid(self):
         config = ControlConfig()
         assert config.rebalance == "epoch"
+        assert config.migration == "live"
         assert config.routing_feedback
+        assert MIGRATION_MODES == ("restart", "live")
 
     @pytest.mark.parametrize("kwargs", [
         {"epoch_s": 0.0},
         {"rebalance": "hourly"},
+        {"migration": "teleport"},
         {"hysteresis": -0.1},
         {"min_epochs_between": -1},
         {"lookahead_epochs": 0},
@@ -390,6 +394,223 @@ class TestSegmentedEngine:
         assert len(state.unfinished) == 6
         engine.advance(state)
         assert state.unfinished == []
+
+
+# -------------------------------------------------------------- live migration
+
+
+class TestEngineMigration:
+    """migrate_out / migrate_in: the engine-level live-migration primitive."""
+
+    def make_engine(self, small_model, admission):
+        system = CentSystem(CentConfig(num_devices=2, context_samples=2),
+                            small_model)
+        return ServingEngine(
+            system, context_step=512, admission=admission,
+            memory_capacity_bytes=system.memory_capacity_bytes // 4)
+
+    @pytest.mark.parametrize("admission", ["reserve", "paged"])
+    def test_migration_preserves_progress_and_original_arrival(
+            self, small_model, admission):
+        """Satellite regression: a request moved after a re-placement keeps
+        its *original* arrival time in TTFT/latency/SLA accounting, and its
+        decode resumes at the migrated token instead of restarting."""
+        source = self.make_engine(small_model, admission)
+        target = self.make_engine(small_model, admission)
+        trace = timed_trace(25, 300.0)
+        state_a = source.begin(trace)
+        source.advance(state_a, until_s=0.05)
+        movable = [r for r in state_a.unfinished
+                   if r.context_length > 0 and r.restore_remaining == 0]
+        assert movable, "the cut must strand in-flight work"
+
+        state_b = target.begin([], planning_trace=trace)
+        state_b.clock = 0.05
+        landed = []
+        for request in movable:
+            snapshot = (request.query.arrival_time_s, request.tokens_generated,
+                        request.first_token_time_s, list(request.tbt_samples_s))
+            moved = source.migrate_out(state_a, request, now_s=0.05)
+            migrated = target.migrate_in(state_b, moved, now_s=0.05)
+            assert request.state is RequestState.MIGRATED
+            assert request not in state_a.unfinished
+            assert migrated.arrival_time_s == snapshot[0]
+            assert migrated.tokens_generated == snapshot[1]
+            assert migrated.first_token_time_s == snapshot[2]
+            assert migrated.tbt_samples_s == snapshot[3]
+            assert migrated.migrated_count == 1
+            assert migrated.migrated_kv_bytes == moved.swap_bytes > 0
+            landed.append((migrated, snapshot))
+        for request in state_a.unfinished:
+            target.extend(state_b, [request.query])
+        target.advance(state_b)
+        assert state_b.drained
+        for migrated, snapshot in landed:
+            assert migrated.state is RequestState.FINISHED
+            # Exactly decode_tokens generated across both engines: the
+            # pre-migration tokens were never re-emitted.
+            assert migrated.tokens_generated == migrated.query.decode_tokens
+            # Latency spans from the ORIGINAL arrival (before the cut).
+            assert migrated.latency_s == pytest.approx(
+                migrated.finish_time_s - snapshot[0])
+            # The move itself was priced: a swap-in and off-device stall.
+            assert migrated.num_swap_ins >= 1
+            assert migrated.stall_s > 0
+
+    def test_restarted_request_keeps_original_arrival(self, small_model):
+        """Satellite regression for the restart path: re-feeding the query
+        into a fresh engine keeps the original arrival, so TTFT counts the
+        whole disruption, not just the post-restart wait."""
+        engine = self.make_engine(small_model, "reserve")
+        query = timed_trace(1, 5.0)[0]
+        state = engine.begin([], planning_trace=[query])
+        state.clock = 3.0                      # the re-placement instant
+        engine.extend(state, [query])
+        engine.advance(state)
+        request = state.requests[0]
+        assert request.state is RequestState.FINISHED
+        assert request.arrival_time_s == query.arrival_time_s
+        # The pre-restart queueing shows up in the measured TTFT.
+        assert request.ttft_s >= 3.0 - query.arrival_time_s
+
+    def test_migrate_out_refuses_unmovable_requests(self, small_model):
+        engine = self.make_engine(small_model, "paged")
+        trace = timed_trace(4, 50.0)
+        state = engine.begin(trace)
+        engine.advance(state)
+        finished = state.requests[0]
+        with pytest.raises(ValueError, match="only in-flight"):
+            engine.migrate_out(state, finished, now_s=1.0)
+
+    @pytest.mark.parametrize("admission", ["reserve", "paged"])
+    def test_migration_is_deterministic(self, small_model, admission):
+        def run_once():
+            source = self.make_engine(small_model, admission)
+            target = self.make_engine(small_model, admission)
+            trace = timed_trace(25, 300.0)
+            state_a = source.begin(trace)
+            source.advance(state_a, until_s=0.05)
+            state_b = target.begin([], planning_trace=trace)
+            state_b.clock = 0.05
+            for request in list(state_a.unfinished):
+                if request.context_length > 0 and request.restore_remaining == 0:
+                    moved = source.migrate_out(state_a, request, now_s=0.05)
+                    target.migrate_in(state_b, moved, now_s=0.05)
+                else:
+                    target.extend(state_b, [request.query])
+            target.advance(state_b)
+            return sorted((r.request_id, r.finish_time_s)
+                          for r in state_b.requests
+                          if r.finish_time_s is not None)
+        assert run_once() == run_once()
+
+
+class TestClusterLiveMigration:
+    """The closed loop's migration="live" vs the PR-4 restart behaviour."""
+
+    def make_engine(self, small_model, num_devices=6):
+        config = CentConfig(num_devices=num_devices, context_samples=2)
+        tenants = [
+            TenantSpec("early", model=small_model, sla_latency_s=0.2,
+                       trace=with_arrivals(
+                           sharegpt_like_queries(30, seed=5),
+                           bursty_arrivals(30, 400.0, seed=5))),
+            TenantSpec("late", model=small_model, sla_latency_s=0.2,
+                       trace=with_arrivals(
+                           sharegpt_like_queries(30, seed=6),
+                           bursty_arrivals(30, 400.0, seed=6, start_s=0.3))),
+        ]
+        return ClusterEngine(config, tenants, context_step=512)
+
+    @pytest.fixture(scope="class")
+    def live_result(self, small_model):
+        return self.make_engine(small_model).run(rebalance="epoch",
+                                                 epoch_s=0.05)
+
+    @pytest.fixture(scope="class")
+    def restart_result(self, small_model):
+        return self.make_engine(small_model).run(rebalance="epoch",
+                                                 epoch_s=0.05,
+                                                 migration="restart")
+
+    def test_live_is_the_default_and_actually_migrates(self, live_result):
+        assert live_result.num_rebalances >= 1
+        assert live_result.num_migrated_requests > 0
+        assert live_result.migrated_kv_bytes > 0
+        assert live_result.kv_migration_time_s > 0
+        assert live_result.restored_progress_tokens > 0
+
+    def test_migration_counters_propagate_to_tenant_results(self, live_result):
+        migrated_in = sum(r.num_migrated_in
+                          for r in live_result.tenant_results.values())
+        assert migrated_in >= live_result.num_migrated_requests > 0
+        assert sum(r.migrated_kv_bytes
+                   for r in live_result.tenant_results.values()) \
+            >= live_result.migrated_kv_bytes
+
+    def test_live_conserves_requests(self, live_result):
+        for result in live_result.tenant_results.values():
+            assert result.num_requests == 30
+            assert result.num_completed + result.num_rejected == 30
+
+    def test_restart_mode_reports_zero_migration(self, restart_result):
+        assert restart_result.num_rebalances >= 1
+        assert restart_result.num_migrated_requests == 0
+        assert restart_result.migrated_kv_bytes == 0
+        assert restart_result.kv_migration_time_s == 0.0
+        assert restart_result.restored_progress_tokens == 0
+        for result in restart_result.tenant_results.values():
+            assert result.num_migrated_in == 0
+            assert result.num_completed + result.num_rejected == 30
+
+    def test_live_beats_restart_on_the_bursty_mix(self, live_result,
+                                                  restart_result):
+        """The tentpole claim at test scale: keeping in-flight KV across a
+        re-placement delivers strictly more SLA goodput than restarting."""
+        assert live_result.aggregate_goodput_tokens_per_s > \
+            restart_result.aggregate_goodput_tokens_per_s
+
+    def test_restart_mode_is_deterministic(self, small_model, restart_result):
+        again = self.make_engine(small_model).run(rebalance="epoch",
+                                                  epoch_s=0.05,
+                                                  migration="restart")
+        assert again == restart_result
+
+    def test_live_mode_is_deterministic(self, small_model, live_result):
+        again = self.make_engine(small_model).run(rebalance="epoch",
+                                                  epoch_s=0.05,
+                                                  migration="live")
+        assert again == live_result
+
+    def test_migration_study_reports_the_gain(self, small_model):
+        from repro.evaluation import migration_study
+        study = migration_study(model=small_model, num_devices=6,
+                                queries_per_tenant=30, context_samples=2)
+        by_mode = {row["mode"]: row for row in study["rows"]}
+        assert set(by_mode) == {"restart", "live"}
+        assert study["best_mode"] == "live"
+        assert study["live_gain"] > 1.0
+        assert by_mode["live"]["num_migrated_requests"] > 0
+        assert by_mode["restart"]["num_migrated_requests"] == 0
+
+    def test_migration_param_validation(self, small_model):
+        engine = self.make_engine(small_model)
+        with pytest.raises(ValueError, match="not.*both"):
+            engine.run(rebalance="epoch", migration="live",
+                       control=ControlConfig())
+        with pytest.raises(ValueError, match="closed-loop"):
+            engine.run(migration="live")
+        with pytest.raises(ValueError, match="migration mode"):
+            engine.run(rebalance="epoch", migration="teleport")
+
+    def test_cluster_result_migration_validation(self):
+        from repro.core.results import ClusterResult
+        with pytest.raises(ValueError, match="migration accounting"):
+            ClusterResult("static", "round_robin", 2, 2, 1.0,
+                          num_migrated_requests=-1)
+        with pytest.raises(ValueError, match="migration accounting"):
+            ClusterResult("static", "round_robin", 2, 2, 1.0,
+                          migrated_kv_bytes=-5)
 
 
 # ----------------------------------------------------------------- closed loop

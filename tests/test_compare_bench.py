@@ -44,6 +44,18 @@ class TestMetricExtraction:
         assert not compare_bench.is_tracked_metric("goodput_label", "high")
         assert compare_bench.is_tracked_metric("GOODPUT_tokens", 1)
 
+    def test_migration_metrics_are_tracked(self):
+        assert compare_bench.is_tracked_metric("migrated_kv_bytes", 1024)
+        assert compare_bench.is_tracked_metric("restored_progress_tokens", 9)
+        assert compare_bench.is_tracked_metric("migration_stall_s", 0.5)
+        # Counters without a marker stay untracked.
+        assert not compare_bench.is_tracked_metric("num_rebalances", 2)
+
+    def test_stall_metrics_are_inverse(self):
+        assert compare_bench.is_inverse_metric("migration_stall_s")
+        assert not compare_bench.is_inverse_metric("migrated_kv_bytes")
+        assert not compare_bench.is_inverse_metric("goodput_tokens_per_s")
+
 
 class TestGate:
     def test_identical_run_passes(self, tmp_path):
@@ -111,6 +123,36 @@ class TestGate:
                       report(100.0, name="benchmarks/test_new.py::test_new"))
         assert compare_bench.main(["--baseline", str(base),
                                    "--current", str(fresh)]) == 0
+
+    def test_stall_growth_fails_the_gate(self, tmp_path):
+        def stall_report(stall_s):
+            return {"benchmarks": [{
+                "fullname": "benchmarks/test_x.py::test_x",
+                "extra_info": {"migration_stall_s": stall_s},
+            }]}
+        base = write(tmp_path, "BENCH_base.json", stall_report(1.0))
+        worse = write(tmp_path, "BENCH_worse.json", stall_report(1.5))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(worse)]) == 1
+        # A stall *shrinking* is an improvement, not a regression.
+        better = write(tmp_path, "BENCH_better.json", stall_report(0.2))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(better)]) == 0
+
+    def test_migrated_volume_drop_fails_the_gate(self, tmp_path):
+        def kv_report(kv_bytes):
+            return {"benchmarks": [{
+                "fullname": "benchmarks/test_x.py::test_x",
+                "extra_info": {"migrated_kv_bytes": kv_bytes},
+            }]}
+        base = write(tmp_path, "BENCH_base.json", kv_report(1000.0))
+        # Live migration silently disabled would show as a collapse here.
+        broken = write(tmp_path, "BENCH_broken.json", kv_report(10.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(broken)]) == 1
+        fine = write(tmp_path, "BENCH_fine.json", kv_report(1200.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(fine)]) == 0
 
     def test_bad_max_regression_rejected(self, tmp_path):
         base = write(tmp_path, "BENCH_base.json", report(100.0))

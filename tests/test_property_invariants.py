@@ -148,6 +148,86 @@ def test_gemv_flops_independent_of_channel_count(out_dim, in_dim, channels):
     assert covered * channels >= out_dim * in_dim
 
 
+# --------------------------------------------------------------------------- kv block conservation
+
+@st.composite
+def allocator_op_sequences(draw):
+    """Random lifecycles over a small block pool: allocations, growth,
+    partial (block-granular) evictions, readmissions and releases."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=30))):
+        kind = draw(st.sampled_from(
+            ["allocate", "grow", "evict", "readmit", "release", "migrate"]))
+        owner = draw(st.integers(min_value=0, max_value=4))
+        tokens = draw(st.integers(min_value=0, max_value=200))
+        blocks = draw(st.integers(min_value=1, max_value=6))
+        ops.append((kind, owner, tokens, blocks))
+    return ops
+
+
+@given(st.integers(min_value=1, max_value=12), allocator_op_sequences())
+@settings(max_examples=200)
+def test_kv_blocks_conserved_across_preemption_and_swap(num_blocks, ops):
+    """Block conservation at every step: every block of each pool is either
+    free or device-resident (``free + used == pool size``), every block an
+    owner logically holds is either resident or host-staged, and each
+    pool's host-staging counter agrees with the per-owner ledgers — across
+    allocation, growth, partial eviction, readmission, release, and
+    migration of an owner between two pools (the live-migration shape:
+    release on the source, fresh allocation on the destination)."""
+    from repro.kvstore import BlockPool, KvAllocator
+
+    pools = [BlockPool(budget_bytes=num_blocks * 16 * 10, bytes_per_token=10,
+                       block_tokens=16) for _ in range(2)]
+    allocators = [KvAllocator(pool) for pool in pools]
+    held: dict = {}     # owner -> (allocator index, tokens covered)
+    for kind, owner, tokens, blocks in ops:
+        if kind == "allocate" and owner not in held:
+            if allocators[0].allocate(owner, tokens):
+                held[owner] = (0, tokens)
+        elif kind == "grow" and owner in held:
+            side, current = held[owner]
+            target = max(current, tokens)
+            if allocators[side].grow(owner, target):
+                held[owner] = (side, target)
+        elif kind == "evict" and owner in held:
+            allocators[held[owner][0]].evict_blocks(owner, blocks)
+        elif kind == "readmit" and owner in held:
+            allocators[held[owner][0]].readmit(owner)
+        elif kind == "release" and owner in held:
+            side, current = held.pop(owner)
+            assert allocators[side].release(owner) == current
+        elif kind == "migrate" and owner in held:
+            source, current = held[owner]
+            destination = 1 - source
+            # All-or-nothing: a destination too full to hold the whole
+            # allocation leaves both pools untouched (the request stays).
+            if allocators[destination].allocate(owner, current):
+                assert allocators[source].release(owner) == current
+                held[owner] = (destination, current)
+
+        # ---- the conservation laws, after every single operation ----
+        for side, (pool, allocator) in enumerate(zip(pools, allocators)):
+            owners = [o for o, (s, _) in held.items() if s == side]
+            assert pool.free_blocks + pool.used_blocks == pool.num_blocks
+            assert pool.used_blocks == sum(
+                allocator.holds_resident_blocks(o) for o in owners)
+            assert pool.swapped_blocks == sum(
+                allocator.holds_swapped_blocks(o) for o in owners)
+            for o in owners:
+                resident = allocator.holds_resident_blocks(o)
+                swapped = allocator.holds_swapped_blocks(o)
+                assert resident >= 0 and swapped >= 0
+                assert resident + swapped == pool.blocks_for(held[o][1]) \
+                    == allocator.holds_blocks(o)
+
+    for owner, (side, _) in list(held.items()):
+        allocators[side].release(owner)
+    for pool in pools:
+        assert pool.free_blocks == pool.num_blocks
+        assert pool.swapped_blocks == 0
+
+
 # --------------------------------------------------------------------------- serving invariants
 
 _SERVING_MODEL = ModelConfig(
