@@ -33,7 +33,11 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 #: ``extra_info`` keys containing any of these substrings are perf metrics
 #: where *lower is worse*; everything else (labels, counters) is ignored.
-METRIC_MARKERS = ("goodput", "throughput", "migrated", "restored")
+#: ``requests_per_s`` covers the simulator's own speed
+#: (``sim_requests_per_s``, benchmarks/test_sim_speed.py): simulator
+#: throughput gates like serving goodput does.
+METRIC_MARKERS = ("goodput", "throughput", "migrated", "restored",
+                  "requests_per_s")
 
 #: ... and these mark metrics where *higher is worse* (stall seconds): the
 #: gate fails when they grow past the bar instead of when they shrink.

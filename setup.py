@@ -1,10 +1,22 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Package metadata for the CXL-PIM serving simulator.
 
-The project is fully described by ``pyproject.toml``; this file only enables
-the legacy ``pip install -e . --no-use-pep517`` / ``python setup.py develop``
-paths on machines where PEP 660 editable installs are unavailable.
+``numpy`` is a hard install requirement, not a dev extra: the vectorized
+iteration core (``repro.core.iteration``, ``repro.serving.engine``) prices
+decode batches and fast-forwards event windows through numpy arrays, so the
+simulator does not import without it.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.6.0",
+    description="CXL-PIM LLM serving simulator",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -25,7 +25,10 @@ one token per stage beat per replica.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Sequence
+
+import numpy as np
 
 from repro.core.performance import PerformanceModel
 from repro.mapping.parallelism import ParallelismPlan
@@ -53,6 +56,18 @@ class IterationCostModel:
         # Interpolation endpoints seen this run; tiny (one float per grid
         # point) and keyed only by context because model and plan are fixed.
         self._grid_ns: Dict[int, float] = {}
+        # Model and plan are frozen for the lifetime of the cost model, so
+        # the per-stage block count (and with it the layer total) is a
+        # constant of the instance rather than a per-call lookup.
+        self._blocks_per_stage = plan.blocks_per_stage(model)
+        self._effective_layers = plan.pp_stages * self._blocks_per_stage
+        # Dense per-context latency table backing the batch entry points:
+        # one float64 per context in [0, max_context], NaN until priced.
+        # Values are filled by the same grid interpolation as
+        # ``block_latency_ns`` so table reads are bit-identical to the
+        # scalar path.
+        self._table_ns = np.full(model.max_context + 1, np.nan)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ block level
 
@@ -79,17 +94,121 @@ class IterationCostModel:
         fraction = (context - lower) / (upper - lower)
         return low_ns + (high_ns - low_ns) * fraction
 
+    # ------------------------------------------------------------------ batch level
+
+    def _fill_table(self, contexts: np.ndarray) -> None:
+        """Price the given (unique, clipped) contexts into the dense table.
+
+        Simulates exactly the grid points the scalar path would touch: the
+        lower endpoint always, the upper endpoint only for contexts that do
+        not sit on the grid — so warming the table never triggers block
+        simulations ``block_latency_ns`` itself would have skipped.
+        """
+        step = self.context_step
+        lower = np.maximum((contexts // step) * step, 1)
+        off_grid = contexts != lower
+        upper = np.minimum(lower + step, self.model.max_context)
+        with self._lock:
+            for point in np.unique(
+                np.concatenate([lower, upper[off_grid]])
+            ).tolist():
+                self._grid_latency_ns(int(point))
+            grid = self._grid_ns
+            low = np.array([grid[p] for p in lower.tolist()])
+            high = low.copy()
+            high[off_grid] = [grid[p] for p in upper[off_grid].tolist()]
+            fraction = np.zeros(len(contexts))
+            fraction[off_grid] = (
+                (contexts[off_grid] - lower[off_grid])
+                / (upper[off_grid] - lower[off_grid])
+            )
+            self._table_ns[contexts] = low + (high - low) * fraction
+
+    def _table_latencies(self, contexts: np.ndarray) -> np.ndarray:
+        """Per-block latencies for an int array of *clipped* contexts."""
+        latencies = self._table_ns[contexts]
+        missing = np.isnan(latencies)
+        if missing.any():
+            self._fill_table(np.unique(contexts[missing]))
+            latencies = self._table_ns[contexts]
+        return latencies
+
+    def block_latency_batch_ns(self, context_lengths: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_latency_ns` over an integer array."""
+        contexts = np.minimum(
+            np.maximum(np.asarray(context_lengths, dtype=np.int64), 1),
+            self.model.max_context,
+        )
+        return self._table_latencies(contexts)
+
+    def decode_iteration_batch_s(self, context_lengths: np.ndarray) -> float:
+        """Vectorized :meth:`decode_iteration_s`, bit-exact with the scalar.
+
+        The scalar path folds the per-request latencies left to right with
+        the builtin ``sum``; ``cumsum`` performs the same sequential fold,
+        so the mean (and with it the returned duration) matches bit for bit.
+        """
+        contexts = np.asarray(context_lengths, dtype=np.int64)
+        n = contexts.shape[0]
+        if n == 0:
+            return 0.0
+        latencies = self.block_latency_batch_ns(contexts)
+        total = float(latencies.cumsum()[-1])
+        return self._effective_layers * (total / n) * 1e-9
+
+    def decode_span_s(self, context_lengths: np.ndarray, steps: int) -> np.ndarray:
+        """Durations of ``steps`` consecutive decode iterations of one batch.
+
+        Iteration ``i`` prices every request at ``context + i`` (each decode
+        grows every context by exactly one token and the batch composition
+        is fixed across the span — the fast-forward window's precondition).
+        Row ``i`` of the result equals ``decode_iteration_s`` on those
+        contexts bit for bit.
+        """
+        contexts = np.asarray(context_lengths, dtype=np.int64)
+        n = contexts.shape[0]
+        if n == 0 or steps <= 0:
+            return np.zeros(max(steps, 0))
+        span = np.minimum(
+            np.maximum(
+                contexts[None, :] + np.arange(steps, dtype=np.int64)[:, None], 1
+            ),
+            self.model.max_context,
+        )
+        latencies = self._table_latencies(span)
+        totals = latencies.cumsum(axis=1)[:, -1]
+        return self._effective_layers * (totals / n) * 1e-9
+
+    def prefill_chunk_batch_s(
+        self,
+        num_tokens: np.ndarray,
+        context_lengths: np.ndarray,
+    ) -> float:
+        """Sequentially-summed :meth:`prefill_chunk_s` over parallel arrays.
+
+        Returns the left-to-right fold the engine's chunk loop would
+        accumulate (``0.0 + chunk_0 + chunk_1 + ...``), bit-exact with the
+        scalar path.
+        """
+        tokens = np.asarray(num_tokens, dtype=np.int64)
+        if tokens.size == 0:
+            return 0.0
+        contexts = np.asarray(context_lengths, dtype=np.int64)
+        latencies = self.block_latency_batch_ns(contexts)
+        per_chunk = tokens * (self._blocks_per_stage * latencies * 1e-9)
+        per_chunk = np.where(tokens > 0, per_chunk, 0.0)
+        return float(per_chunk.cumsum()[-1])
+
     # ------------------------------------------------------------------ iteration level
 
     @property
     def effective_layers(self) -> int:
         """Blocks a token traverses, rounded to whole pipeline stages."""
-        return self.plan.pp_stages * self.plan.blocks_per_stage(self.model)
+        return self._effective_layers
 
     def stage_latency_s(self, context_length: int) -> float:
         """Duration of one pipeline-stage beat at ``context_length``."""
-        blocks = self.plan.blocks_per_stage(self.model)
-        return blocks * self.block_latency_ns(context_length) * 1e-9
+        return self._blocks_per_stage * self.block_latency_ns(context_length) * 1e-9
 
     def decode_iteration_s(self, context_lengths: Sequence[int]) -> float:
         """Wall-clock time to advance every running request by one token.

@@ -45,17 +45,21 @@ class LatencyStats:
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
-        values = list(samples)
-        if not values:
+        # One list→array conversion feeds every statistic (np.percentile
+        # would otherwise convert again); the mean stays a sequential
+        # left fold (cumsum) so it matches the former builtin-sum value
+        # bit for bit on every sample order.
+        values = np.asarray(samples, dtype=np.float64)
+        if values.size == 0:
             return cls()
         p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
         return cls(
-            count=len(values),
-            mean_s=sum(values) / len(values),
+            count=int(values.size),
+            mean_s=float(values.cumsum()[-1]) / values.size,
             p50_s=float(p50),
             p90_s=float(p90),
             p99_s=float(p99),
-            max_s=max(values),
+            max_s=float(values.max()),
         )
 
 

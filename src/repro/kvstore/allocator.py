@@ -96,6 +96,30 @@ class KvAllocator:
         self._blocks[owner] += max(needed, 0)
         return True
 
+    def grow_many(self, owners, targets, needs) -> bool:
+        """Batch :meth:`grow`: extend every owner in one pool transaction.
+
+        ``needs[i]`` is the number of *new* blocks owner ``i`` must acquire
+        to cover ``targets[i]`` tokens; the caller has already derived it
+        from the owners' resident block counts (the serving engine's
+        fast-forward window computes all three arrays vectorized).
+        All-or-nothing: False (side-effect free) when the pool cannot
+        supply the total.
+        """
+        total = 0
+        for need in needs:
+            if need > 0:
+                total += need
+        if total and not self.pool.allocate(total):
+            return False
+        tokens_map = self._tokens
+        blocks_map = self._blocks
+        for owner, tokens, need in zip(owners, targets, needs):
+            tokens_map[owner] = tokens
+            if need > 0:
+                blocks_map[owner] += need
+        return True
+
     def release(self, owner: Hashable) -> int:
         """Free ``owner``'s blocks; returns the token count it covered.
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.models.config import ModelConfig
@@ -17,6 +18,18 @@ __all__ = [
 
 #: Bytes of a BF16 element, used for embedding-vector transfer sizes.
 _BYTES_PER_ELEMENT = 2
+
+
+@lru_cache(maxsize=512)
+def _blocks_per_stage(num_layers: int, pp_stages: int) -> int:
+    """Ceil-divided blocks per pipeline stage, memoized across plans.
+
+    ``ParallelismPlan.blocks_per_stage`` sits on the serving engine's
+    per-request, per-iteration path (via ``stage_latency_s``); keying the
+    cache on the two scalars keeps it shared across equal plans without
+    holding references to ``ModelConfig`` instances.
+    """
+    return -(-num_layers // pp_stages)
 
 
 @dataclass(frozen=True)
@@ -76,7 +89,7 @@ class ParallelismPlan:
 
     def blocks_per_stage(self, model: ModelConfig) -> int:
         """Transformer blocks executed sequentially within one pipeline stage."""
-        return -(-model.num_layers // self.pp_stages)
+        return _blocks_per_stage(model.num_layers, self.pp_stages)
 
     def blocks_per_device(self, model: ModelConfig) -> int:
         """Blocks whose weights (or weight shards) live on one device."""

@@ -71,7 +71,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.iteration import IterationCostModel
 from repro.core.results import ServingResult
@@ -83,7 +86,7 @@ from repro.mapping.parallelism import ParallelismPlan
 from repro.mapping.placement import validate_capacity
 from repro.models.memory import ModelMemoryProfile
 from repro.serving.metrics import aggregate_serving_result
-from repro.serving.request import RequestState, ServingRequest
+from repro.serving.request import RequestColumns, RequestState, ServingRequest
 from repro.workloads.queries import Query
 
 __all__ = ["ADMISSION_MODES", "EngineRun", "EngineState", "KvMigration",
@@ -165,6 +168,12 @@ class EngineState:
     #: Every request ever fed to this state, in feed order
     #: (``requests[i].request_id == i``).
     requests: List[ServingRequest] = field(default_factory=list)
+    #: Struct-of-arrays store behind the requests' hot fields; the
+    #: vectorized advance paths gather and scatter whole batches here.
+    columns: RequestColumns = field(default_factory=RequestColumns)
+    #: Times ``extend`` had to fall back to a full re-sort of ``pending``
+    #: (out-of-order feed); stays zero for arrival-ordered segment feeds.
+    pending_resorts: int = 0
     pending: Deque[ServingRequest] = field(default_factory=deque)
     waiting: Deque[ServingRequest] = field(default_factory=deque)
     preempted: Deque[ServingRequest] = field(default_factory=deque)
@@ -292,6 +301,14 @@ class ServingEngine:
         and re-admits just the staged blocks), instead of its whole
         allocation.  ``None`` (default) keeps the legacy full eviction;
         requires ``preemption_restore="swap"``.
+    vectorize:
+        ``True`` (default): price mixed batches with the cost model's
+        vectorized entry points and fast-forward uneventful all-decode
+        stretches in closed form.  ``False`` forces the scalar
+        per-request, per-iteration loop.  Both paths are bit-exact with
+        each other (the vectorized folds reproduce the scalar float
+        arithmetic operation for operation); the knob exists for A/B
+        speed measurement and as an escape hatch.
     """
 
     def __init__(
@@ -309,6 +326,7 @@ class ServingEngine:
         preemption_policy: str = "lru",
         preemption_restore: str = "swap",
         preemption_partial_blocks: Optional[int] = None,
+        vectorize: bool = True,
     ) -> None:
         if max_batch_size is not None and max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -344,6 +362,7 @@ class ServingEngine:
         self.preemption_policy = preemption_policy
         self.preemption_restore = preemption_restore
         self.preemption_partial_blocks = preemption_partial_blocks
+        self.vectorize = vectorize
         self._profile = ModelMemoryProfile(self.model)
         # _setup results keyed by the servable context length (the only
         # trace-dependent input) plus the engine knobs that feed _setup:
@@ -369,9 +388,10 @@ class ServingEngine:
         """
         kv_budget = (self.memory_capacity_bytes
                      - self._profile.parameter_bytes * dp_replicas)
-        servable = [q.total_context for q in trace
-                    if self._is_servable(q, kv_budget)]
-        return max(servable) if servable else self.model.max_context
+        totals = np.fromiter((q.total_context for q in trace),
+                             dtype=np.int64, count=len(trace))
+        servable = totals[self._servable_mask(totals, kv_budget)]
+        return int(servable.max()) if servable.size else self.model.max_context
 
     def _is_servable(self, query: Query, kv_budget: int) -> bool:
         """Whether admission could ever accept ``query`` under ``kv_budget``."""
@@ -384,6 +404,26 @@ class ServingEngine:
             pool = self._make_pool(kv_budget)
             return pool.blocks_for(query.total_context) <= pool.num_blocks
         return self._kv_reservation_bytes(query.total_context) <= kv_budget
+
+    def _servable_mask(self, total_contexts: np.ndarray, kv_budget: int) -> np.ndarray:
+        """Vectorized :meth:`_is_servable` over an array of total contexts.
+
+        One block pool (paged) or one reservation formula (reserve) prices
+        the whole batch, instead of a per-query pool construction.
+        """
+        mask = total_contexts <= self.model.max_context
+        if kv_budget <= 0:
+            # Weights alone overflow; run() raises the precise error.
+            return mask
+        if self.admission == "paged":
+            pool = self._make_pool(kv_budget)
+            blocks = -(-total_contexts // pool.block_tokens)
+            return mask & (blocks <= pool.num_blocks)
+        # Same operation order as _kv_reservation_bytes: the exact integer
+        # byte count first, then one float scale and truncation.
+        per_query = total_contexts * self._profile.kv_cache_bytes_per_token()
+        reservations = np.trunc(per_query * self.system.config.kv_occupancy)
+        return mask & (reservations <= kv_budget)
 
     def _setup(self, trace: Sequence[Query]):
         """Shared run/estimate setup: (plan, iteration cost model, slots).
@@ -582,13 +622,23 @@ class ServingEngine:
         error (its cost would extrapolate past the validated plan), raised
         rather than silently mispriced.
         """
-        new = [ServingRequest(len(state.requests) + i, q)
+        new = [ServingRequest(len(state.requests) + i, q, columns=state.columns)
                for i, q in enumerate(queries)]
         state.requests.extend(new)
-        for request in sorted(new, key=lambda r: r.arrival_time_s):
+        if not new:
+            return new
+        servable = self._servable_mask(
+            np.fromiter((q.total_context for q in queries),
+                        dtype=np.int64, count=len(new)),
+            state.kv_budget,
+        )
+        batch = sorted(zip(new, servable.tolist()),
+                       key=lambda pair: pair[0].arrival_time_s)
+        accepted: List[ServingRequest] = []
+        for request, ok in batch:
             # A request whose KV cache alone can never fit (or whose context
             # exceeds the model) is refused outright rather than queued.
-            if not self._is_servable(request.query, state.kv_budget):
+            if not ok:
                 request.state = RequestState.REJECTED
                 continue
             if request.query.total_context > state.planned_context:
@@ -600,13 +650,21 @@ class ServingEngine:
             if not state.paged:
                 request.kv_reserved_bytes = \
                     self._kv_reservation_bytes(request.query.total_context)
-            state.pending.append(request)
-        # Later segments usually append strictly later arrivals; restore the
-        # sorted order the admission scan relies on when they do not.
-        arrivals = [r.arrival_time_s for r in state.pending]
-        if any(a > b for a, b in zip(arrivals, arrivals[1:])):
-            state.pending = deque(
-                sorted(state.pending, key=lambda r: r.arrival_time_s))
+            accepted.append(request)
+        # ``pending`` is kept arrival-sorted as an invariant (it is consumed
+        # from the left and extended with sorted batches), so only the batch
+        # boundary needs checking: later segments usually append strictly
+        # later arrivals, and the O(n log n) re-sort runs — and is counted —
+        # only for a genuinely out-of-order feed.
+        pending = state.pending
+        if accepted:
+            in_order = (not pending
+                        or accepted[0].arrival_time_s >= pending[-1].arrival_time_s)
+            pending.extend(accepted)
+            if not in_order:
+                state.pending = deque(
+                    sorted(pending, key=lambda r: r.arrival_time_s))
+                state.pending_resorts += 1
         return new
 
     def snapshot(self, state: EngineState) -> EngineRun:
@@ -649,11 +707,21 @@ class ServingEngine:
         queue_depth_timeline = state.queue_depth_timeline
         preemption_log = state.preemption_log
         clock = state.clock
+        cols = state.columns
+        vectorize = self.vectorize
+        prefill_chunk_tokens = self.prefill_chunk_tokens
+        interleave_prefill = self.interleave_prefill
+        # Row indices of ``running`` in the columnar store, rebuilt lazily:
+        # every site that mutates ``running`` flips the dirty flag.
+        rows_cache: Optional[np.ndarray] = None
+        rows_dirty = True
 
         # ------------------------------------------------ paged-mode helpers
 
         def preempt(victim: ServingRequest) -> None:
             """Evict ``victim``: free its blocks, set up its restore path."""
+            nonlocal rows_dirty
+            rows_dirty = True
             if victim.restore_remaining > 0:
                 # Re-evicted mid-rebuild: the aborted rebuild was stall
                 # time, and the unexecuted tail of the earlier recompute
@@ -715,6 +783,7 @@ class ServingEngine:
             blocks and its stall clock keeps running from the original
             eviction — instead of deadlocking the survivor's growth.
             """
+            nonlocal rows_dirty
             staged = allocator.evict_blocks(victim.request_id, num_blocks)
             victim.swapped_kv_blocks += staged
             victim.partial_evictions += 1
@@ -735,6 +804,7 @@ class ServingEngine:
                 victim.swap_bytes = bytes_out
                 victim.swap_done_s = clock + out_s
                 running.remove(victim)
+                rows_dirty = True
                 preempted.append(victim)
             else:
                 victim.swap_bytes += bytes_out
@@ -824,6 +894,7 @@ class ServingEngine:
             while pending and pending[0].arrival_time_s <= clock:
                 waiting.append(pending.popleft())
 
+            n_running_top = len(running)
             if paged:
                 # Preempted requests resume first (eviction-order-first) so
                 # fresh admissions cannot starve a victim's restore.  A
@@ -888,6 +959,10 @@ class ServingEngine:
                     reserved_bytes += request.kv_reserved_bytes
                     running.append(request)
                 peak_memory = max(peak_memory, weight_bytes + reserved_bytes)
+            if len(running) != n_running_top:
+                # Admission only appends, so a length change is the exact
+                # signal that the cached row gather went stale.
+                rows_dirty = True
 
             sample = (clock, len(waiting) + len(preempted), len(running))
             # An unsegmented run never repeats a sample (the clock strictly
@@ -928,30 +1003,248 @@ class ServingEngine:
             # stall is bounded by the chunk at the price of stretching the
             # co-scheduled decode iteration.  Recompute restores share the
             # prefill chunk budget: rebuilding a victim's KV is prompt work.
-            chunk_budget = self.prefill_chunk_tokens
             prefill_work: List[tuple] = []
-            for request in running:
-                if chunk_budget <= 0:
-                    break
-                if request.restore_ready_s > clock:
-                    continue  # swap-in still in flight
-                # A rebuild (lost prefix or whole context) streams before
-                # any still-pending prompt tail.
-                remaining = (request.restore_remaining
-                             if request.restore_remaining > 0
-                             else request.prefill_remaining)
-                if remaining <= 0:
-                    continue
-                tokens = min(remaining, chunk_budget)
-                prefill_work.append((request, tokens))
-                chunk_budget -= tokens
-            if prefill_work and not self.interleave_prefill:
-                decode_batch: List[ServingRequest] = []
+            all_decode_ready = False
+            rows: Optional[np.ndarray] = None
+            if vectorize:
+                # One gather per column replaces the per-request property
+                # walk of the scalar construction below; the resulting
+                # prefill_work/decode_batch lists are identical.
+                if rows_dirty:
+                    rows_cache = np.fromiter((r._row for r in running),
+                                             dtype=np.intp,
+                                             count=len(running))
+                    rows_dirty = False
+                rows = rows_cache
+                pre = cols.prefill_remaining[rows]
+                res = cols.restore_remaining[rows]
+                ready = cols.restore_ready_s[rows] <= clock
+                decode_ready = ready & (pre == 0) & (res == 0)
+                all_decode_ready = bool(decode_ready.all())
+                if all_decode_ready:
+                    decode_batch = list(running)
+                else:
+                    needy = np.flatnonzero(ready & ((pre > 0) | (res > 0)))
+                    chunk_budget = prefill_chunk_tokens
+                    if needy.size:
+                        pre_list = pre.tolist()
+                        res_list = res.tolist()
+                        for index in needy.tolist():
+                            if chunk_budget <= 0:
+                                break
+                            remaining = (res_list[index]
+                                         if res_list[index] > 0
+                                         else pre_list[index])
+                            tokens = min(remaining, chunk_budget)
+                            prefill_work.append((running[index], tokens))
+                            chunk_budget -= tokens
+                    if prefill_work and not interleave_prefill:
+                        decode_batch = []
+                    else:
+                        decode_batch = [
+                            running[i]
+                            for i in np.flatnonzero(decode_ready).tolist()
+                        ]
             else:
-                decode_batch = [r for r in running
-                                if r.prefill_remaining == 0
-                                and r.restore_remaining == 0
-                                and r.restore_ready_s <= clock]
+                chunk_budget = prefill_chunk_tokens
+                for request in running:
+                    if chunk_budget <= 0:
+                        break
+                    if request.restore_ready_s > clock:
+                        continue  # swap-in still in flight
+                    # A rebuild (lost prefix or whole context) streams before
+                    # any still-pending prompt tail.
+                    remaining = (request.restore_remaining
+                                 if request.restore_remaining > 0
+                                 else request.prefill_remaining)
+                    if remaining <= 0:
+                        continue
+                    tokens = min(remaining, chunk_budget)
+                    prefill_work.append((request, tokens))
+                    chunk_budget -= tokens
+                if prefill_work and not interleave_prefill:
+                    decode_batch: List[ServingRequest] = []
+                else:
+                    decode_batch = [r for r in running
+                                    if r.prefill_remaining == 0
+                                    and r.restore_remaining == 0
+                                    and r.restore_ready_s <= clock]
+
+            # ------------------------------------- event-horizon fast-forward
+            # When every running request is decode-ready the engine is in
+            # its dominant large-trace regime: iterations that do nothing
+            # but grow each context by one token.  Advance as many of them
+            # as provably hold no event — a completion, a block exhaustion,
+            # an admission-changing arrival, or the segment bound — in one
+            # closed-form step whose float arithmetic replays the scalar
+            # loop operation for operation (see decode_span_s).
+            if all_decode_ready:
+                gen = cols.tokens_generated[rows]
+                ctx0 = cols.prompt_tokens[rows] + gen
+                remaining_tokens = cols.decode_tokens[rows] - gen
+                # No request may complete mid-window (its slot would free),
+                # so the first completion bounds it; the span-matrix cap
+                # only splits a longer window, which prices identically.
+                horizon = int(remaining_tokens.min())
+                k = min(horizon, 4096)
+                kv0 = held = None
+                if paged:
+                    kv0 = cols.kv_tokens[rows]
+                    block_tokens = allocator.pool.block_tokens
+                    held = -(-kv0 // block_tokens)
+                    free_blocks = allocator.pool.free_blocks
+
+                    def block_demand(steps: int) -> int:
+                        """Blocks the whole batch must acquire to decode
+                        ``steps`` iterations (growth targets are monotone,
+                        so only the final target matters)."""
+                        target = np.maximum(ctx0 + (steps - 1), kv0)
+                        need = -(-target // block_tokens) - held
+                        return int(np.maximum(need, 0).sum())
+
+                    if block_demand(k) > free_blocks:
+                        # Largest step count the free pool still covers;
+                        # zero sends this iteration to the scalar path,
+                        # whose growth loop evicts a victim.
+                        low = 1 if block_demand(1) <= free_blocks else 0
+                        high = k
+                        while low and high - low > 1:
+                            mid = (low + high) // 2
+                            if block_demand(mid) <= free_blocks:
+                                low = mid
+                            else:
+                                high = mid
+                        k = low
+                if k > 0:
+                    # An iteration runs only while its loop-top clock stays
+                    # under the segment bound — and under the next arrival
+                    # when admission could accept it.  With a full batch, a
+                    # non-empty waiting/preempted queue, or (FCFS) a blocked
+                    # head, admission stays blocked for the whole window
+                    # (reservations are constant and free blocks only
+                    # shrink), so arrivals merely cross into the backlog.
+                    bound = until_s
+                    admission_open = (len(running) < slots
+                                      and not waiting and not preempted)
+                    if admission_open and pending:
+                        arrival = pending[0].arrival_time_s
+                        bound = (arrival if bound is None
+                                 else min(bound, arrival))
+                    if bound is not None and k > 1:
+                        # Estimate how many iterations fit under the bound
+                        # from the first iteration's span and shrink the
+                        # span matrix before pricing it; an off estimate
+                        # merely splits the window across loop trips, which
+                        # prices identically (the fold resumes from the
+                        # same float clock).
+                        span0 = float(cost.decode_span_s(ctx0, 1)[0])
+                        if span0 > 0.0:
+                            k_cap = int((bound - clock) / span0) + 2
+                            if k_cap < k:
+                                k = max(k_cap, 1)
+                    span = cost.decode_span_s(ctx0, k)
+                    # clocks[j] is the clock after j window iterations; the
+                    # fold seeds the running clock so each entry equals the
+                    # scalar loop's sequence of += operations exactly.
+                    clocks = np.empty(k + 1)
+                    clocks[0] = clock
+                    clocks[1:] = span
+                    clocks = clocks.cumsum()
+                    k_eff = k
+                    if bound is not None:
+                        k_eff = min(k_eff, int(np.searchsorted(
+                            clocks[:k], bound, side="left")))
+                else:
+                    k_eff = 0
+                if k_eff > 0:
+                    clock_end = float(clocks[k_eff])
+                    if paged:
+                        targets = np.maximum(ctx0 + (k_eff - 1), kv0)
+                        needs = -(-targets // block_tokens) - held
+                        if not allocator.grow_many(
+                                [r.request_id for r in running],
+                                targets.tolist(), needs.tolist()):
+                            raise RuntimeError(
+                                "fast-forward window overdrew the block "
+                                "pool; this is a bug")
+                        cols.kv_tokens[rows] = targets
+                        peak_memory = max(
+                            peak_memory,
+                            weight_bytes
+                            + int(allocator.allocated_bytes * kv_scale))
+                    if k_eff > 1:
+                        # Queue-depth samples of the in-window loop tops;
+                        # crossed arrivals count as queued exactly as the
+                        # scalar tops would have counted them (they join
+                        # ``waiting`` at the next real loop top).
+                        last_top = clocks[k_eff - 1]
+                        crossed: List[float] = []
+                        for request in pending:
+                            if request.arrival_time_s <= last_top:
+                                crossed.append(request.arrival_time_s)
+                            else:
+                                break
+                        queued_base = len(waiting) + len(preempted)
+                        n_running = len(running)
+                        tops = clocks[1:k_eff]
+                        if crossed:
+                            queued = (queued_base + np.searchsorted(
+                                np.asarray(crossed), tops,
+                                side="right")).tolist()
+                        else:
+                            queued = [queued_base] * (k_eff - 1)
+                        if float(span[:k_eff - 1].min()) > 0.0:
+                            # Strictly increasing tops: no two consecutive
+                            # samples can repeat, and the first differs
+                            # from the pre-window sample by its later
+                            # clock, so the dedup guard cannot fire —
+                            # extend at C speed.
+                            queue_depth_timeline.extend(
+                                zip(tops.tolist(), queued,
+                                    repeat(n_running)))
+                        else:  # zero-span iteration: keep the exact guard
+                            for index, top in enumerate(tops.tolist()):
+                                sample = (top, queued[index], n_running)
+                                if (not queue_depth_timeline
+                                        or queue_depth_timeline[-1] != sample):
+                                    queue_depth_timeline.append(sample)
+                    # Every request's first in-window gap runs from its own
+                    # last token; the later gaps are the shared clock deltas.
+                    first_gap = (clocks[1]
+                                 - cols.last_token_time_s[rows]).tolist()
+                    shared_tail = (clocks[2:k_eff + 1]
+                                   - clocks[1:k_eff]).tolist()
+                    for request, gap in zip(running, first_gap):
+                        samples = request.tbt_samples_s
+                        samples.append(gap)
+                        samples.extend(shared_tail)
+                    cols.tokens_generated[rows] = gen + k_eff
+                    cols.last_token_time_s[rows] = clock_end
+                    decode_fold = np.empty(k_eff + 1)
+                    decode_fold[0] = decode_time_s
+                    decode_fold[1:] = span[:k_eff]
+                    decode_time_s = float(decode_fold.cumsum()[-1])
+                    decode_step_tokens += len(running) * k_eff
+                    clock = clock_end
+                    if k_eff == horizon:
+                        done_list = (remaining_tokens == k_eff).tolist()
+                        for index, request in enumerate(running):
+                            if not done_list[index]:
+                                continue
+                            request.state = RequestState.FINISHED
+                            request.finish_time_s = clock
+                            if paged:
+                                allocator.release(request.request_id)
+                                request.kv_tokens = 0
+                            else:
+                                reserved_bytes -= request.kv_reserved_bytes
+                        running[:] = [r for i, r in enumerate(running)
+                                      if not done_list[i]]
+                        rows_dirty = True
+                    continue
+                # k == 0: the very next decode step needs an eviction; let
+                # the scalar growth loop below handle it.
+
             if paged and decode_batch:
                 decode_batch = grow_or_preempt(decode_batch)
                 peak_memory = max(
@@ -985,17 +1278,38 @@ class ServingEngine:
                 clock = min(horizon)
                 continue
 
-            prefill_s = 0.0
+            chunk_sizes: List[int] = []
+            chunk_midpoints: List[int] = []
             for request, tokens in prefill_work:
                 if request.restore_remaining > 0:
                     done = request.restore_total - request.restore_remaining
                 else:
                     done = request.query.prompt_tokens - request.prefill_remaining
-                midpoint = max(done + tokens // 2, 1)
-                prefill_s += cost.prefill_chunk_s(tokens, midpoint)
-            decode_s = cost.decode_iteration_s(
-                [r.context_length for r in decode_batch]
-            )
+                chunk_sizes.append(tokens)
+                chunk_midpoints.append(max(done + tokens // 2, 1))
+            # The batch entry points replay the scalar folds bit for bit;
+            # below a handful of items the scalar loop is simply faster.
+            if vectorize and len(prefill_work) >= 8:
+                prefill_s = cost.prefill_chunk_batch_s(
+                    np.asarray(chunk_sizes, dtype=np.int64),
+                    np.asarray(chunk_midpoints, dtype=np.int64))
+            else:
+                prefill_s = 0.0
+                for tokens, midpoint in zip(chunk_sizes, chunk_midpoints):
+                    prefill_s += cost.prefill_chunk_s(tokens, midpoint)
+            batch_rows: Optional[np.ndarray] = None
+            if vectorize and len(decode_batch) >= 8:
+                batch_rows = np.fromiter((r._row for r in decode_batch),
+                                         dtype=np.intp,
+                                         count=len(decode_batch))
+                decode_s = cost.decode_iteration_batch_s(
+                    cols.prompt_tokens[batch_rows]
+                    - cols.prefill_remaining[batch_rows]
+                    + cols.tokens_generated[batch_rows])
+            else:
+                decode_s = cost.decode_iteration_s(
+                    [r.context_length for r in decode_batch]
+                )
             clock += prefill_s + decode_s
             prefill_time_s += prefill_s
             if decode_batch:
@@ -1003,6 +1317,7 @@ class ServingEngine:
                 decode_step_tokens += len(decode_batch)
 
             # ---------------------------------------------- apply the iteration
+            prefill_completed: List[ServingRequest] = []
             for request, tokens in prefill_work:
                 if request.restore_remaining > 0:
                     # KV rebuilt, nothing emitted: the request already owns
@@ -1024,15 +1339,36 @@ class ServingEngine:
                     request.first_token_time_s = clock
                     request.last_token_time_s = clock
                     request.tokens_generated = 1
-            for request in decode_batch:
-                request.tokens_generated += 1
+                    prefill_completed.append(request)
+            if batch_rows is not None:
+                cols.tokens_generated[batch_rows] += 1
                 # Time between tokens, including any prefill stalls since
-                # this request's previous token.
-                request.tbt_samples_s.append(clock - request.last_token_time_s)
-                request.last_token_time_s = clock
+                # each request's previous token.
+                gaps = (clock - cols.last_token_time_s[batch_rows]).tolist()
+                for request, gap in zip(decode_batch, gaps):
+                    request.tbt_samples_s.append(gap)
+                cols.last_token_time_s[batch_rows] = clock
+            else:
+                for request in decode_batch:
+                    request.tokens_generated += 1
+                    # Time between tokens, including any prefill stalls since
+                    # this request's previous token.
+                    request.tbt_samples_s.append(clock - request.last_token_time_s)
+                    request.last_token_time_s = clock
 
-            finished = [r for r in running
-                        if r.tokens_generated >= r.query.decode_tokens]
+            # Only a request whose token count changed this iteration can
+            # newly satisfy the finish condition, so the decode batch plus
+            # the just-completed prefills cover every candidate.
+            if batch_rows is not None:
+                finished = [decode_batch[i] for i in np.flatnonzero(
+                    cols.tokens_generated[batch_rows]
+                    >= cols.decode_tokens[batch_rows]).tolist()]
+            else:
+                finished = [r for r in decode_batch
+                            if r.tokens_generated >= r.query.decode_tokens]
+            for request in prefill_completed:
+                if request.tokens_generated >= request.query.decode_tokens:
+                    finished.append(request)
             for request in finished:
                 request.state = RequestState.FINISHED
                 request.finish_time_s = clock
@@ -1045,6 +1381,7 @@ class ServingEngine:
                 # In place: the state (and the helper closures) share this list.
                 running[:] = [r for r in running
                               if r.state is not RequestState.FINISHED]
+                rows_dirty = True
 
         state.clock = clock
         state.reserved_bytes = reserved_bytes
@@ -1156,7 +1493,8 @@ class ServingEngine:
         latency and SLA classification stay anchored to the original
         arrival time, which travels inside ``moved.query``.
         """
-        request = ServingRequest(len(state.requests), moved.query)
+        request = ServingRequest(len(state.requests), moved.query,
+                                 columns=state.columns)
         state.requests.append(request)
         request.tokens_generated = moved.tokens_generated
         request.prefill_remaining = moved.prefill_remaining
@@ -1222,7 +1560,11 @@ class ServingEngine:
         # Estimate from the queries admission could actually accept, with the
         # same predicate (and weight-feasibility error) run() applies.
         kv_budget = self._kv_budget_bytes(plan)
-        servable = [q for q in queries if self._is_servable(q, kv_budget)]
+        mask = self._servable_mask(
+            np.fromiter((q.total_context for q in queries),
+                        dtype=np.int64, count=len(queries)),
+            kv_budget)
+        servable = [q for q, ok in zip(queries, mask.tolist()) if ok]
         if servable:
             queries = servable
         mean_prompt = sum(q.prompt_tokens for q in queries) / len(queries)

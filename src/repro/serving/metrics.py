@@ -8,6 +8,7 @@ drains.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Optional, Sequence, Tuple
 
 from repro.core.results import LatencyStats, ServingResult, percentile
@@ -148,7 +149,9 @@ def aggregate_serving_result(
     latencies = [r.latency_s for r in completed if r.latency_s is not None]
     decodes = [r.latency_s - r.ttft_s for r in completed
                if r.latency_s is not None and r.ttft_s is not None]
-    tbts = [sample for r in completed for sample in r.tbt_samples_s]
+    # One C-level concatenation; the tbt lists dominate sample volume on
+    # long-generation traces (one sample per generated token).
+    tbts = list(chain.from_iterable(r.tbt_samples_s for r in completed))
 
     within_sla = completed
     if sla_latency_s is not None:

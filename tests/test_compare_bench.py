@@ -51,6 +51,19 @@ class TestMetricExtraction:
         # Counters without a marker stay untracked.
         assert not compare_bench.is_tracked_metric("num_rebalances", 2)
 
+    def test_simulator_speed_metrics_are_tracked(self):
+        # benchmarks/test_sim_speed.py attaches these; higher is better.
+        assert compare_bench.is_tracked_metric(
+            "sim_requests_per_s[single_replica]", 5000.0)
+        assert compare_bench.is_tracked_metric(
+            "sim_requests_per_s[closed_loop]", 40.0)
+        assert not compare_bench.is_inverse_metric(
+            "sim_requests_per_s[single_replica]")
+        # The scalar-path speedup ratio is informational, not gated.
+        assert not compare_bench.is_tracked_metric(
+            "sim_speedup_vs_scalar", 20.0)
+        assert not compare_bench.is_tracked_metric("sim_trace_requests", 10000)
+
     def test_stall_metrics_are_inverse(self):
         assert compare_bench.is_inverse_metric("migration_stall_s")
         assert not compare_bench.is_inverse_metric("migrated_kv_bytes")
