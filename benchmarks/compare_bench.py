@@ -39,9 +39,10 @@ from typing import Dict, Iterable, List, Optional, Tuple
 METRIC_MARKERS = ("goodput", "throughput", "migrated", "restored",
                   "requests_per_s")
 
-#: ... and these mark metrics where *higher is worse* (stall seconds): the
-#: gate fails when they grow past the bar instead of when they shrink.
-INVERSE_METRIC_MARKERS = ("stall",)
+#: ... and these mark metrics where *higher is worse* (stall seconds,
+#: telemetry overhead fractions): the gate fails when they grow past the
+#: bar instead of when they shrink.
+INVERSE_METRIC_MARKERS = ("stall", "overhead")
 
 
 def is_inverse_metric(key: str) -> bool:

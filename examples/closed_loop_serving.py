@@ -21,17 +21,35 @@ migration economics (requests moved, KV bytes, progress preserved).
 Run with::
 
     python examples/closed_loop_serving.py
+
+Pass ``--trace PREFIX`` to record the closed-loop run with the unified
+telemetry layer and write ``PREFIX.perfetto.json`` (open in
+chrome://tracing or https://ui.perfetto.dev — replicas appear as
+processes, requests as tracks, with preemption instants and rebalance
+decisions on the control track) plus ``PREFIX.jsonl`` for
+``python -m repro.telemetry PREFIX.jsonl``.
 """
 
+import argparse
+
 from repro.evaluation import closed_loop_study, format_table
+from repro.telemetry import TraceRecorder, write_jsonl, write_perfetto
 
 POOL_DEVICES = 12
 QUERIES_PER_TENANT = 40
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", metavar="PREFIX", default=None,
+                        help="record the closed-loop run and write "
+                             "PREFIX.perfetto.json + PREFIX.jsonl")
+    cli = parser.parse_args()
+
+    recorder = TraceRecorder() if cli.trace else None
     study = closed_loop_study(num_devices=POOL_DEVICES,
-                              queries_per_tenant=QUERIES_PER_TENANT)
+                              queries_per_tenant=QUERIES_PER_TENANT,
+                              telemetry=recorder)
     print(format_table(
         study["rows"],
         f"Closed-loop vs static placement ({POOL_DEVICES} devices, "
@@ -54,6 +72,14 @@ def main() -> None:
         bar = "#" * min(int(backlog), 60)
         print(f"  t={start_s:7.1f}s  goodput {goodput:8.1f} tok/s  "
               f"backlog {backlog:6.1f} {bar}")
+
+    if recorder is not None:
+        recorder.finalize()
+        events = write_perfetto(recorder, f"{cli.trace}.perfetto.json")
+        lines = write_jsonl(recorder, f"{cli.trace}.jsonl")
+        print(f"\ntrace: {events} Perfetto events -> {cli.trace}.perfetto.json"
+              f" (open in chrome://tracing), {lines} records -> "
+              f"{cli.trace}.jsonl (inspect with python -m repro.telemetry)")
 
 
 if __name__ == "__main__":

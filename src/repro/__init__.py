@@ -27,7 +27,12 @@ Inference".  It provides:
   (``repro.cluster``), and
 * the evaluation harness regenerating the paper's tables and figures
   (``repro.evaluation``), including serving-mode QoS and multi-tenant
-  studies.
+  studies, and
+* a unified telemetry layer — request-lifecycle tracing, a metrics
+  registry, and Chrome/Perfetto trace export across the serving stack
+  (``repro.telemetry``; pass ``telemetry=TraceRecorder()`` to
+  ``ServingEngine.simulate`` or ``ClusterEngine.run``, then inspect the
+  trace with ``python -m repro.telemetry``).
 
 Quickstart (static batch, the paper's evaluation shape)::
 
@@ -86,6 +91,7 @@ from repro.mapping.parallelism import (
     TensorParallel,
 )
 from repro.baselines.gpu import GPUSystem, GPUConfig, A100_80GB
+from repro.telemetry import TraceRecorder, write_jsonl, write_perfetto
 
 __all__ = [
     "ModelConfig",
@@ -116,6 +122,9 @@ __all__ = [
     "GPUSystem",
     "GPUConfig",
     "A100_80GB",
+    "TraceRecorder",
+    "write_jsonl",
+    "write_perfetto",
 ]
 
 __version__ = "1.0.0"

@@ -64,6 +64,7 @@ from repro.serving.metrics import (
     window_mean_queue_depth,
 )
 from repro.serving.request import RequestState, ServingRequest
+from repro.telemetry.recorder import ScopedRecorder, TraceRecorder
 from repro.workloads.queries import Query
 
 __all__ = [
@@ -318,6 +319,8 @@ class _ReplicaRuntime:
     state: EngineState
     #: ``(tenant name, trace index)`` per fed request, indexed by request id.
     feed: List[Tuple[str, int]] = field(default_factory=list)
+    #: Telemetry scope this replica's engine records into (``None`` = off).
+    scope: Optional[ScopedRecorder] = None
     #: Router-facing sustained token rate (EWMA of measured, seeded from the
     #: capability estimate).
     tokens_per_s: float = 1e-9
@@ -343,13 +346,30 @@ class ClusterControlLoop:
     directly.
     """
 
-    def __init__(self, cluster, config: ControlConfig) -> None:
+    def __init__(self, cluster, config: ControlConfig, *,
+                 telemetry: Optional[TraceRecorder] = None) -> None:
         # ``cluster`` is a repro.cluster.engine.ClusterEngine; not type-hinted
         # to keep the import acyclic (engine imports this module).
         self.cluster = cluster
         self.config = config
+        self.telemetry = telemetry
+        #: Control-plane scope; :meth:`run` creates it when tracing is on.
+        self._control_rec: Optional[ScopedRecorder] = None
+        #: Serial per scope base name: a rebuilt replica reuses its
+        #: predecessor's id, so its scope needs a distinguishing suffix.
+        self._scope_serial: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ plumbing
+
+    def _replica_scope(self, spec: ReplicaSpec) -> Optional[ScopedRecorder]:
+        """A fresh, uniquely-named telemetry scope for one (re)built replica."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return None
+        base = f"replica-{spec.replica_id}"
+        serial = self._scope_serial.get(base, 0)
+        self._scope_serial[base] = serial + 1
+        return telemetry.scope(base if serial == 0 else f"{base}.r{serial}")
 
     def _new_runtime(self, spec: ReplicaSpec, *, start_s: float = 0.0,
                      stall_s: float = 0.0) -> _ReplicaRuntime:
@@ -358,14 +378,18 @@ class ClusterControlLoop:
         by_name = {t.name: t for t in cluster.tenants}
         planning = [q for name in spec.tenant_names
                     for q in by_name[name].trace]
+        scope = self._replica_scope(spec)
         state = engine.begin(
             [], sla_latency_s=cluster._replica_sla_s(spec),
-            planning_trace=planning)
+            planning_trace=planning, telemetry=scope)
         state.clock = start_s + stall_s
+        if scope is not None:
+            scope.now_s = state.clock
         return _ReplicaRuntime(
             spec=spec,
             engine=engine,
             state=state,
+            scope=scope,
             tokens_per_s=cluster._group_tokens_per_s(
                 spec.tenant_names, spec.num_devices),
             stall_until_s=start_s + stall_s,
@@ -427,6 +451,11 @@ class ClusterControlLoop:
             link=cluster.config.link,
         )
 
+        telemetry = self.telemetry
+        control_rec = (telemetry.scope("control")
+                       if telemetry is not None else None)
+        self._control_rec = control_rec
+
         placement = placer.place(tenants, pool_devices)
         live: Dict[int, _ReplicaRuntime] = {
             spec.replica_id: self._new_runtime(spec)
@@ -475,6 +504,7 @@ class ClusterControlLoop:
                     state=router,
                     feedback=feedback if config.routing_feedback else None,
                     window_start_s=epoch * config.epoch_s,
+                    recorder=control_rec,
                 )
                 self._apply_plan(plan, [(q, n) for q, n, _ in tail],
                                  [i for _, _, i in tail], live,
@@ -507,6 +537,7 @@ class ClusterControlLoop:
                 stream=window, state=router,
                 feedback=feedback if config.routing_feedback else None,
                 window_start_s=start_s,
+                recorder=control_rec,
             )
             self._apply_plan(plan, window, window_indices, live,
                              final_attempt, cap_rejected)
@@ -546,6 +577,11 @@ class ClusterControlLoop:
                               - request.tokens_generated, 0))
             epoch_rows.append((start_s, epoch_goodput / config.epoch_s,
                                epoch_backlog))
+            if control_rec is not None:
+                control_rec.span(
+                    "cluster.epoch", start_s, end_s, epoch=epoch,
+                    goodput_tokens_per_s=epoch_goodput / config.epoch_s,
+                    backlog=epoch_backlog)
 
             # ------------------------------------------------- maybe re-place
             work_left = (position < len(items)
@@ -560,6 +596,13 @@ class ClusterControlLoop:
                 decision = rebalancer.decide(tenants, pool_devices,
                                              placement, demand)
                 if decision is not None:
+                    if control_rec is not None:
+                        control_rec.event(
+                            "cluster.rebalance", end_s, epoch=epoch,
+                            projected_gain_tokens=decision.projected_gain_tokens,
+                            migration_cost_tokens=decision.migration_cost_tokens,
+                            stall_s=decision.stall_s,
+                            rebuilt=decision.rebuilt_replica_ids)
                     placement = decision.placement
                     live = self._apply_rebalance(
                         decision, live, archived, router, final_attempt,
@@ -584,6 +627,19 @@ class ClusterControlLoop:
                     estimated_tokens_per_s=runtime.tokens_per_s,
                     extra_delay_s=max(0.0, runtime.stall_until_s - end_s),
                 )
+                if control_rec is not None:
+                    observed = feedback[replica_id]
+                    control_rec.event(
+                        "cluster.feedback", end_s,
+                        replica=runtime.scope.name,
+                        queued=observed.queued, running=observed.running,
+                        outstanding_tokens=observed.outstanding_tokens,
+                        tokens_per_s=runtime.tokens_per_s)
+            if telemetry is not None:
+                self._record_epoch_metrics(
+                    telemetry, live, archived, end_s,
+                    epoch_goodput / config.epoch_s, epoch_backlog,
+                    num_rebalances, migration_stall_s, migration_stats)
             epoch += 1
 
         return self._aggregate(placement, runtimes(), final_attempt,
@@ -592,6 +648,45 @@ class ClusterControlLoop:
                                migration_stats)
 
     # ------------------------------------------------------------------ pieces
+
+    def _record_epoch_metrics(
+        self,
+        telemetry: TraceRecorder,
+        live: Dict[int, _ReplicaRuntime],
+        archived: List[_ReplicaRuntime],
+        end_s: float,
+        goodput_tokens_per_s: float,
+        backlog: float,
+        num_rebalances: int,
+        migration_stall_s: float,
+        stats: _MigrationStats,
+    ) -> None:
+        """Fold this epoch's measured signals into the metrics registry and
+        snapshot it — one :class:`MetricsSnapshot` per epoch on the result's
+        ``metrics_timeline``."""
+        metrics = telemetry.metrics
+        metrics.set_gauge("cluster.goodput_tokens_per_s", goodput_tokens_per_s)
+        metrics.set_gauge("cluster.backlog", backlog)
+        metrics.set_gauge("cluster.migration_stall_s", migration_stall_s)
+        metrics.set_counter("cluster.rebalances", num_rebalances)
+        metrics.set_counter("cluster.migrated_requests", stats.num_requests)
+        metrics.set_counter("kv.migrated_bytes", stats.kv_bytes)
+        pools = [rt.state.allocator.pool for rt in live.values()
+                 if rt.state.allocator is not None]
+        if pools:
+            metrics.set_gauge(
+                "kv.pool_occupancy",
+                sum(pool.utilization for pool in pools) / len(pools))
+        everyone = list(live.values()) + archived
+        metrics.set_counter(
+            "serving.preemptions",
+            sum(len(rt.scope.preemption_view()) for rt in everyone
+                if rt.scope is not None))
+        metrics.set_counter(
+            "serving.finished",
+            sum(1 for rt in everyone for r in rt.state.requests
+                if r.state is RequestState.FINISHED))
+        metrics.snapshot(end_s)
 
     def _service_estimator(self, live: Dict[int, _ReplicaRuntime]):
         def estimate(spec: ReplicaSpec, query: Query) -> float:
@@ -667,6 +762,7 @@ class ClusterControlLoop:
         # disruption lands in the measured latencies.
         live_migration = self.config.migration == "live"
         link = self.cluster.config.link
+        control_rec = self._control_rec
         for signature_matches in pool.values():
             for _, runtime in signature_matches:
                 archived.append(runtime)
@@ -681,6 +777,17 @@ class ClusterControlLoop:
                         landed = target.engine.migrate_in(
                             target.state, moved, now_s=now_s)
                         target.feed.append((owner, index))
+                        if control_rec is not None:
+                            control_rec.event(
+                                "cluster.migrate", now_s, request.request_id,
+                                mode="live",
+                                source_scope=runtime.scope.name,
+                                source_request=request.request_id,
+                                dest_scope=target.scope.name,
+                                dest_request=request_id,
+                                accepted=(landed.state
+                                          is not RequestState.REJECTED),
+                                kv_bytes=moved.swap_bytes)
                         if landed.state is not RequestState.REJECTED:
                             stats.num_requests += 1
                             stats.kv_bytes += moved.swap_bytes
@@ -703,6 +810,14 @@ class ClusterControlLoop:
                                 remaining / target.tokens_per_s)
                     else:
                         self._feed(target, owner, index, request.query)
+                        if control_rec is not None:
+                            control_rec.event(
+                                "cluster.migrate", now_s, request.request_id,
+                                mode="restart",
+                                source_scope=runtime.scope.name,
+                                source_request=request.request_id,
+                                dest_scope=target.scope.name,
+                                dest_request=request_id)
                         router.ready_s[target.spec.replica_id] += (
                             request.query.total_context / target.tokens_per_s)
                     final_attempt[(owner, index)] = (target, request_id)
@@ -823,4 +938,6 @@ class ClusterControlLoop:
             migrated_kv_bytes=migration_stats.kv_bytes,
             kv_migration_time_s=migration_stats.kv_time_s,
             restored_progress_tokens=migration_stats.restored_tokens,
+            metrics_timeline=(self.telemetry.metrics.timeline_tuple()
+                              if self.telemetry is not None else ()),
         )

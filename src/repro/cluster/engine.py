@@ -41,6 +41,7 @@ from repro.serving.metrics import (
     merge_queue_depth_timelines,
 )
 from repro.serving.request import RequestState, ServingRequest
+from repro.telemetry.recorder import TraceRecorder
 from repro.workloads.queries import Query
 
 __all__ = ["ClusterEngine"]
@@ -195,6 +196,7 @@ class ClusterEngine:
         epoch_s: Optional[float] = None,
         migration: Optional[str] = None,
         control: Optional["ControlConfig"] = None,
+        telemetry: Optional[TraceRecorder] = None,
     ) -> ClusterResult:
         """Place, route and serve every tenant; return the cluster outcome.
 
@@ -214,6 +216,12 @@ class ClusterEngine:
         happens to a dismantled replica's in-flight requests (``"live"``,
         the default, swaps their KV through host memory so they resume at
         their original progress; ``"restart"`` re-runs them from scratch).
+
+        ``telemetry`` (a :class:`repro.telemetry.TraceRecorder`) records the
+        run's full event stream: every replica's engine writes into its own
+        scope (``replica-<id>``), the router and control loop into a
+        ``control`` scope.  Recording never changes the simulated outcome —
+        both paths stay bit-exact with ``telemetry=None``.
         """
         from repro.cluster.control import REBALANCE_MODES, ClusterControlLoop, ControlConfig
 
@@ -245,7 +253,8 @@ class ClusterEngine:
                 if migration is not None:
                     kwargs["migration"] = migration
                 control = ControlConfig(**kwargs)
-            return ClusterControlLoop(self, control).run(placement_policy)
+            return ClusterControlLoop(self, control,
+                                      telemetry=telemetry).run(placement_policy)
 
         placer = (self.placer if placement_policy is None
                   else self._make_placer(placement_policy))
@@ -258,14 +267,20 @@ class ClusterEngine:
         def service_estimator(spec: ReplicaSpec, query: Query) -> float:
             return query.total_context / by_id[spec.replica_id].tokens_per_s
 
-        routing = self.scheduler.route(self.tenants, placement, service_estimator)
+        router_rec = (telemetry.scope("control")
+                      if telemetry is not None else None)
+        routing = self.scheduler.route(self.tenants, placement,
+                                       service_estimator, recorder=router_rec)
 
         runs: Dict[int, EngineRun] = {}
         for replica in replicas:
             trace = routing.trace_for(replica.spec.replica_id)
             if trace:
                 runs[replica.spec.replica_id] = replica.engine.simulate(
-                    trace, sla_latency_s=self._replica_sla_s(replica.spec))
+                    trace, sla_latency_s=self._replica_sla_s(replica.spec),
+                    telemetry=(telemetry.scope(
+                        f"replica-{replica.spec.replica_id}")
+                        if telemetry is not None else None))
 
         return self._aggregate(placement, routing, runs, by_id)
 

@@ -31,11 +31,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.placement import ClusterPlacement, ReplicaSpec
 from repro.cluster.tenant import TenantSpec
 from repro.workloads.queries import Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.recorder import ScopedRecorder
 
 __all__ = [
     "ROUTING_POLICIES",
@@ -147,6 +150,8 @@ class ClusterScheduler:
         tenants: Sequence[TenantSpec],
         placement: ClusterPlacement,
         service_estimator: ServiceEstimator,
+        *,
+        recorder: Optional["ScopedRecorder"] = None,
     ) -> RoutingPlan:
         """Assign every request of every tenant to one replica (or reject).
 
@@ -158,7 +163,8 @@ class ClusterScheduler:
             key=lambda item: item[0].arrival_time_s,
         )
         return self.route_window(tenants, placement, service_estimator,
-                                 stream=stream, state=RouterState())
+                                 stream=stream, state=RouterState(),
+                                 recorder=recorder)
 
     def route_window(
         self,
@@ -170,6 +176,7 @@ class ClusterScheduler:
         state: RouterState,
         feedback: Optional[Dict[int, ReplicaFeedback]] = None,
         window_start_s: float = 0.0,
+        recorder: Optional["ScopedRecorder"] = None,
     ) -> RoutingPlan:
         """Route one window of the arrival stream, carrying router state.
 
@@ -178,7 +185,9 @@ class ClusterScheduler:
         round-robin cursors from previous windows.  When ``feedback`` is
         given, each covered replica's predicted drain time is re-anchored to
         its *measured* backlog before routing — the closed-loop correction —
-        instead of whatever the open-loop model had accumulated.
+        instead of whatever the open-loop model had accumulated.  A
+        ``recorder`` (``repro.telemetry.ScopedRecorder``) gets one
+        ``cluster.route_window`` summary event per non-empty window.
         """
         plan = RoutingPlan(policy=self.policy)
         for replica in placement.replicas:
@@ -233,6 +242,15 @@ class ClusterScheduler:
             plan.assignments[replica.replica_id].append((name, query))
             plan.accounting[name].routed += 1
             plan.accounting[name].routed_tokens += query.total_context
+        if recorder is not None and stream:
+            accounts = plan.accounting.values()
+            recorder.event(
+                "cluster.route_window", window_start_s,
+                policy=self.policy,
+                offered=sum(a.offered for a in accounts),
+                routed=sum(a.routed for a in accounts),
+                rejected=sum(a.rejected for a in accounts),
+                routed_tokens=sum(a.routed_tokens for a in accounts))
         return plan
 
     # ------------------------------------------------------------------ policies

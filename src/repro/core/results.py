@@ -7,6 +7,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.telemetry.metrics import MetricsRegistry, MetricsSnapshot
+
 __all__ = [
     "LatencyBreakdown",
     "InferenceResult",
@@ -345,6 +347,48 @@ class ServingResult:
             weighted += queued * (t_next - t)
         return weighted / span
 
+    # ------------------------------------------------------------------ telemetry
+
+    @property
+    def metrics(self) -> MetricsSnapshot:
+        """This run's scattered counters behind one namespace.
+
+        One :class:`~repro.telemetry.MetricsSnapshot` (``serving.*`` /
+        ``kv.*`` names) so dashboards and the BENCH harness read every run
+        the same way regardless of which subsystem produced the number.
+        """
+        registry = MetricsRegistry()
+        registry.set_counter("serving.requests", self.num_requests)
+        registry.set_counter("serving.completed", self.num_completed)
+        registry.set_counter("serving.rejected", self.num_rejected)
+        registry.set_counter("serving.preemptions", self.num_preemptions)
+        registry.set_counter("serving.partial_evictions",
+                             self.num_partial_evictions)
+        registry.set_counter("serving.swap_outs", self.num_swap_outs)
+        registry.set_counter("serving.swap_ins", self.num_swap_ins)
+        registry.set_counter("serving.recompute_tokens", self.recompute_tokens)
+        registry.set_counter("serving.migrated_in", self.num_migrated_in)
+        registry.set_counter("serving.prompt_tokens", self.total_prompt_tokens)
+        registry.set_counter("serving.decode_tokens", self.total_decode_tokens)
+        registry.set_gauge("serving.makespan_s", self.makespan_s)
+        registry.set_gauge("serving.throughput_tokens_per_s",
+                           self.throughput_tokens_per_s)
+        registry.set_gauge("serving.goodput_tokens_per_s",
+                           self.goodput_tokens_per_s)
+        registry.set_gauge("serving.preemption_stall_s",
+                           self.preemption_stall_time_s)
+        registry.set_gauge("serving.swap_time_s", self.swap_time_s)
+        registry.set_gauge("serving.peak_queue_depth",
+                           float(self.peak_queue_depth))
+        registry.set_counter("kv.migrated_bytes", self.migrated_kv_bytes)
+        registry.set_gauge("kv.peak_memory_bytes",
+                           float(self.peak_memory_bytes))
+        if self.memory_capacity_bytes:
+            registry.set_gauge(
+                "kv.pool_occupancy",
+                self.peak_memory_bytes / self.memory_capacity_bytes)
+        return registry.snapshot(self.makespan_s, record=False)
+
 
 @dataclass(frozen=True)
 class ClusterResult:
@@ -407,6 +451,10 @@ class ClusterResult:
     #: Prefill + decode progress tokens live migration preserved that a
     #: restart-on-migrate would have recomputed from scratch.
     restored_progress_tokens: int = 0
+    #: One :class:`~repro.telemetry.MetricsSnapshot` per control epoch when
+    #: the run was traced (``telemetry=`` on :meth:`ClusterEngine.run`);
+    #: empty for untraced and open-loop runs.
+    metrics_timeline: Tuple[MetricsSnapshot, ...] = ()
 
     def __post_init__(self) -> None:
         if self.pool_devices <= 0:
@@ -530,3 +578,39 @@ class ClusterResult:
     def total_partial_evictions(self) -> int:
         """Pool-wide block-granular evictions, across all tenants."""
         return sum(r.num_partial_evictions for r in self.tenant_results.values())
+
+    # ------------------------------------------------------------------ telemetry
+
+    @property
+    def metrics(self) -> MetricsSnapshot:
+        """Pool-level counters behind one namespace (``cluster.*`` plus the
+        tenants' summed ``serving.*``), mirroring
+        :attr:`ServingResult.metrics`."""
+        tenants = self.tenant_results.values()
+        registry = MetricsRegistry()
+        registry.set_counter("serving.requests",
+                             sum(r.num_requests for r in tenants))
+        registry.set_counter("serving.completed",
+                             sum(r.num_completed for r in tenants))
+        registry.set_counter("serving.rejected",
+                             sum(r.num_rejected for r in tenants))
+        registry.set_counter("serving.preemptions", self.total_preemptions)
+        registry.set_counter("serving.partial_evictions",
+                             self.total_partial_evictions)
+        registry.set_gauge("serving.swap_time_s", self.total_swap_time_s)
+        registry.set_gauge("serving.preemption_stall_s",
+                           self.total_preemption_stall_s)
+        registry.set_counter("cluster.rebalances", self.num_rebalances)
+        registry.set_counter("cluster.migrated_requests",
+                             self.num_migrated_requests)
+        registry.set_counter("kv.migrated_bytes", self.migrated_kv_bytes)
+        registry.set_gauge("cluster.migration_stall_s", self.migration_stall_s)
+        registry.set_gauge("cluster.kv_migration_time_s",
+                           self.kv_migration_time_s)
+        registry.set_gauge("cluster.goodput_tokens_per_s",
+                           self.aggregate_goodput_tokens_per_s)
+        registry.set_gauge("cluster.throughput_tokens_per_s",
+                           self.aggregate_throughput_tokens_per_s)
+        registry.set_gauge("cluster.pool_utilization", self.pool_utilization)
+        registry.set_gauge("cluster.fairness_jain", self.jain_fairness_index)
+        return registry.snapshot(self.makespan_s, record=False)

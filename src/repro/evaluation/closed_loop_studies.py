@@ -36,6 +36,7 @@ from repro.core.results import ClusterResult
 from repro.core.system import CentSystem
 from repro.models.config import LLAMA2_7B, ModelConfig
 from repro.serving.engine import ServingEngine
+from repro.telemetry.recorder import TraceRecorder
 from repro.workloads.queries import bursty_arrivals, sharegpt_like_queries, with_arrivals
 
 __all__ = ["closed_loop_study", "migration_study"]
@@ -115,6 +116,7 @@ def closed_loop_study(
     context_samples: int = 3,
     context_step: int = 512,
     control: Optional[ControlConfig] = None,
+    telemetry: Optional[TraceRecorder] = None,
 ) -> Dict[str, object]:
     """Compare static ``sla_aware`` placement against the closed loop.
 
@@ -131,7 +133,9 @@ def closed_loop_study(
 
     Returns per-mode rows, the closed-loop goodput gain, and
     ``static_bit_exact`` — whether two open-loop runs of the mix agree
-    exactly (the PR-2 path regression check).
+    exactly (the PR-2 path regression check).  A ``telemetry`` recorder,
+    when given, traces the closed-loop run (the static runs stay
+    untraced); recording never changes the simulated outcome.
     """
     config, tenants, rate_qps, sla_s, epoch_s = _calibrated_bursty_mix(
         model, num_devices, queries_per_tenant, overload, burstiness,
@@ -149,7 +153,8 @@ def closed_loop_study(
 
     static = engine.run(placement_policy="sla_aware")
     static_again = engine.run(placement_policy="sla_aware", rebalance="off")
-    closed = engine.run(placement_policy="sla_aware", control=control)
+    closed = engine.run(placement_policy="sla_aware", control=control,
+                        telemetry=telemetry)
 
     def row(mode: str, result: ClusterResult) -> Dict[str, object]:
         fractions = result.tenant_goodput_fractions

@@ -10,13 +10,25 @@ prefix blocks to host memory (the owner stays *partially resident* — its
 remaining blocks keep their device residency), and :meth:`readmit` brings
 the staged blocks back all-or-nothing, so a failed readmission under pool
 pressure never strands a half-granted allocation.
+
+With a :class:`~repro.telemetry.ScopedRecorder` attached the allocator
+emits ``kv.*`` events for its *bounded* operations — allocation grants,
+releases, block-granular evictions and readmissions — stamped with the
+engine clock the owner mirrors into ``recorder.now_s``.  Per-step growth
+(:meth:`grow` / :meth:`grow_many`) is deliberately silent: those run once
+per decode token (and once per fast-forwarded window on the vectorized
+path), so recording them would both flood the trace and break the
+scalar/vectorized stream-equivalence contract.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import TYPE_CHECKING, Dict, Hashable, Optional
 
 from repro.kvstore.block_pool import BlockPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.recorder import ScopedRecorder
 
 __all__ = ["KvAllocator"]
 
@@ -24,8 +36,12 @@ __all__ = ["KvAllocator"]
 class KvAllocator:
     """Tracks each owner's token count and block count against one pool."""
 
-    def __init__(self, pool: BlockPool) -> None:
+    def __init__(self, pool: BlockPool, *,
+                 recorder: Optional["ScopedRecorder"] = None) -> None:
         self.pool = pool
+        #: Optional telemetry sink (``repro.telemetry.ScopedRecorder``);
+        #: ``None`` keeps every operation emission-free.
+        self.recorder = recorder
         self._tokens: Dict[Hashable, int] = {}
         self._blocks: Dict[Hashable, int] = {}
         #: Blocks each owner currently has staged in host memory.
@@ -72,6 +88,11 @@ class KvAllocator:
             return False
         self._tokens[owner] = tokens
         self._blocks[owner] = blocks
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.event("kv.alloc", recorder.now_s, owner,
+                           tokens=tokens, blocks=blocks,
+                           free_blocks=self.pool.free_blocks)
         return True
 
     def grow(self, owner: Hashable, tokens: int) -> bool:
@@ -133,6 +154,12 @@ class KvAllocator:
         swapped = self._swapped.pop(owner, 0)
         if swapped:
             self.pool.drop_swapped(swapped)
+        recorder = self.recorder
+        if recorder is not None and (blocks or swapped):
+            recorder.event("kv.release", recorder.now_s, owner,
+                           tokens=tokens, blocks=blocks,
+                           dropped_staged=swapped,
+                           free_blocks=self.pool.free_blocks)
         return tokens
 
     # ------------------------------------------------------------------ swap
@@ -154,6 +181,12 @@ class KvAllocator:
             self.pool.swap_out(staged)
             self._blocks[owner] -= staged
             self._swapped[owner] = self._swapped.get(owner, 0) + staged
+            recorder = self.recorder
+            if recorder is not None:
+                recorder.event("kv.evict", recorder.now_s, owner,
+                               staged_blocks=staged,
+                               resident_blocks=self._blocks[owner],
+                               free_blocks=self.pool.free_blocks)
         return staged
 
     def readmit(self, owner: Hashable) -> bool:
@@ -172,4 +205,9 @@ class KvAllocator:
             return False
         self._blocks[owner] += staged
         del self._swapped[owner]
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.event("kv.readmit", recorder.now_s, owner,
+                           blocks=staged,
+                           free_blocks=self.pool.free_blocks)
         return True

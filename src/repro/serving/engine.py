@@ -87,10 +87,11 @@ from repro.mapping.placement import validate_capacity
 from repro.models.memory import ModelMemoryProfile
 from repro.serving.metrics import aggregate_serving_result
 from repro.serving.request import RequestColumns, RequestState, ServingRequest
+from repro.telemetry.recorder import ScopedRecorder, TraceRecorder
 from repro.workloads.queries import Query
 
-__all__ = ["ADMISSION_MODES", "EngineRun", "EngineState", "KvMigration",
-           "ServingEngine", "evict_to_bound"]
+__all__ = ["ADMISSION_MODES", "EngineMeasurements", "EngineRun", "EngineState",
+           "KvMigration", "ServingEngine", "evict_to_bound"]
 
 #: Supported admission modes: full-context reservation vs paged blocks.
 ADMISSION_MODES = ("reserve", "paged")
@@ -108,7 +109,50 @@ def evict_to_bound(cache: Dict, bound: int) -> None:
 
 
 @dataclass
-class EngineRun:
+class EngineMeasurements:
+    """Measurement channels shared by :class:`EngineRun` / :class:`EngineState`.
+
+    One definition of the queue-depth timeline and the preemption log for
+    both the live state and the snapshot it exports (they previously
+    duplicated the field pair).  The storage switches with tracing:
+
+    * **Tracing off** (``recorder is None``): plain lists, bit-exact with
+      every pre-telemetry release — ``queue_samples`` holds the
+      ``(time_s, queued, running)`` samples, ``evictions`` the
+      ``(time_s, request_id)`` eviction log.
+    * **Tracing on**: the same facts live once in the attached
+      :class:`~repro.telemetry.recorder.ScopedRecorder` — the queue signal
+      is recorded straight into ``recorder.queue_signal`` and the
+      preemption log is a derived view over its ``serving.preempt``
+      events.  The ``queue_depth_timeline`` / ``preemption_log``
+      properties read identically either way.
+    """
+
+    #: Event sink when tracing is on; ``None`` (the default) disables
+    #: telemetry with zero per-iteration overhead.
+    recorder: Optional["ScopedRecorder"] = field(
+        default=None, kw_only=True, repr=False, compare=False)
+    #: Per-iteration ``(time_s, queued, running)`` samples; ``queued``
+    #: counts arrived-but-not-running requests (waiting plus preempted).
+    queue_samples: List[Tuple[float, int, int]] = field(
+        default_factory=list, kw_only=True)
+    #: ``(time_s, request_id)`` per eviction, in victim order (paged mode).
+    evictions: List[Tuple[float, int]] = field(
+        default_factory=list, kw_only=True)
+
+    @property
+    def queue_depth_timeline(self) -> List[Tuple[float, int, int]]:
+        recorder = self.recorder
+        return self.queue_samples if recorder is None else recorder.queue_signal
+
+    @property
+    def preemption_log(self) -> List[Tuple[float, int]]:
+        recorder = self.recorder
+        return self.evictions if recorder is None else recorder.preemption_view()
+
+
+@dataclass
+class EngineRun(EngineMeasurements):
     """Raw outcome of one event-driven run, before aggregation.
 
     :meth:`ServingEngine.simulate` returns this instead of a folded
@@ -127,15 +171,10 @@ class EngineRun:
     decode_step_tokens: int
     peak_memory_bytes: int
     memory_capacity_bytes: int
-    #: Per-iteration ``(time_s, queued, running)`` samples; ``queued``
-    #: counts arrived-but-not-running requests (waiting plus preempted).
-    queue_depth_timeline: List[Tuple[float, int, int]] = field(default_factory=list)
-    #: ``(time_s, request_id)`` per eviction, in victim order (paged mode).
-    preemption_log: List[Tuple[float, int]] = field(default_factory=list)
 
 
 @dataclass
-class EngineState:
+class EngineState(EngineMeasurements):
     """Resumable event-loop state of one serving run.
 
     Produced by :meth:`ServingEngine.begin`, advanced (possibly in several
@@ -184,8 +223,6 @@ class EngineState:
     prefill_time_s: float = 0.0
     decode_time_s: float = 0.0
     decode_step_tokens: int = 0
-    queue_depth_timeline: List[Tuple[float, int, int]] = field(default_factory=list)
-    preemption_log: List[Tuple[float, int]] = field(default_factory=list)
 
     @property
     def drained(self) -> bool:
@@ -506,11 +543,13 @@ class ServingEngine:
         trace: Sequence[Query],
         *,
         sla_latency_s: Optional[float] = None,
+        telemetry: Optional[TraceRecorder] = None,
     ) -> ServingResult:
         """Serve ``trace`` to completion and return measured statistics."""
         if sla_latency_s is not None and sla_latency_s <= 0:
             raise ValueError("the SLA latency bound must be positive")
-        run = self.simulate(trace, sla_latency_s=sla_latency_s)
+        run = self.simulate(trace, sla_latency_s=sla_latency_s,
+                            telemetry=telemetry)
         return aggregate_serving_result(
             run.requests,
             model_name=self.model.name,
@@ -530,6 +569,7 @@ class ServingEngine:
         trace: Sequence[Query],
         *,
         sla_latency_s: Optional[float] = None,
+        telemetry: Optional[TraceRecorder] = None,
     ) -> EngineRun:
         """Run the event loop over ``trace`` and return per-request outcomes.
 
@@ -538,11 +578,14 @@ class ServingEngine:
         trace per replica and re-attributes requests to tenants).
         ``sla_latency_s`` only informs the ``sla_deadline`` preemption
         policy's notion of slack; it never gates admission.
+        ``telemetry`` attaches a :class:`~repro.telemetry.TraceRecorder`
+        (or one of its scopes) that the run emits lifecycle events into.
 
         Equivalent to :meth:`begin` plus one unbounded :meth:`advance`;
         callers that need epoch segmentation use those directly.
         """
-        return self.advance(self.begin(trace, sla_latency_s=sla_latency_s))
+        return self.advance(self.begin(trace, sla_latency_s=sla_latency_s,
+                                       telemetry=telemetry))
 
     # ---------------------------------------------------------- segmented runs
 
@@ -552,6 +595,7 @@ class ServingEngine:
         *,
         sla_latency_s: Optional[float] = None,
         planning_trace: Optional[Sequence[Query]] = None,
+        telemetry: Optional["TraceRecorder | ScopedRecorder"] = None,
     ) -> EngineState:
         """Set up a resumable run and enqueue ``trace`` (which may be empty).
 
@@ -561,6 +605,13 @@ class ServingEngine:
         actually-routed arrivals epoch by epoch through :meth:`extend`.
         When omitted, the plan comes from ``trace`` itself (the
         :meth:`simulate` path).
+
+        ``telemetry`` enables tracing for this state: pass a whole
+        :class:`~repro.telemetry.TraceRecorder` (the run records into a
+        fresh ``engine`` scope) or a specific
+        :class:`~repro.telemetry.ScopedRecorder` (the cluster controller
+        names one scope per replica).  The recorder belongs to the *state*,
+        never the engine, so cluster-shared engines stay reentrant.
         """
         queries = list(trace)
         planning = list(planning_trace) if planning_trace is not None else queries
@@ -569,10 +620,16 @@ class ServingEngine:
         weight_bytes = self.memory_capacity_bytes - kv_budget
         paged = self.admission == "paged"
 
+        recorder: Optional[ScopedRecorder] = None
+        if telemetry is not None:
+            recorder = (telemetry if isinstance(telemetry, ScopedRecorder)
+                        else telemetry.scope("engine"))
+
         allocator: Optional[KvAllocator] = None
         policy: Optional[PreemptionPolicy] = None
         if paged:
-            allocator = KvAllocator(self._make_pool(kv_budget))
+            allocator = KvAllocator(self._make_pool(kv_budget),
+                                    recorder=recorder)
             policy = PreemptionPolicy(
                 self.preemption_policy,
                 restore=self.preemption_restore,
@@ -601,6 +658,7 @@ class ServingEngine:
             # Weights are resident for the whole run (feasibility checked
             # above), even if every request ends up rejected.
             peak_memory=weight_bytes,
+            recorder=recorder,
         )
         self.extend(state, queries)
         return state
@@ -635,12 +693,19 @@ class ServingEngine:
         batch = sorted(zip(new, servable.tolist()),
                        key=lambda pair: pair[0].arrival_time_s)
         accepted: List[ServingRequest] = []
+        rec = state.recorder
         for request, ok in batch:
             # A request whose KV cache alone can never fit (or whose context
             # exceeds the model) is refused outright rather than queued.
             if not ok:
                 request.state = RequestState.REJECTED
+                if rec is not None:
+                    rec.event("request.rejected", request.arrival_time_s,
+                              request.request_id)
                 continue
+            if rec is not None:
+                rec.event("request.queued", request.arrival_time_s,
+                          request.request_id, **request.trace_args())
             if request.query.total_context > state.planned_context:
                 raise ValueError(
                     f"query context {request.query.total_context} exceeds the "
@@ -678,8 +743,9 @@ class ServingEngine:
             decode_step_tokens=state.decode_step_tokens,
             peak_memory_bytes=state.peak_memory,
             memory_capacity_bytes=self.memory_capacity_bytes,
-            queue_depth_timeline=state.queue_depth_timeline,
-            preemption_log=state.preemption_log,
+            recorder=state.recorder,
+            queue_samples=state.queue_samples,
+            evictions=state.evictions,
         )
 
     def advance(self, state: EngineState, until_s: Optional[float] = None) -> EngineRun:
@@ -704,8 +770,11 @@ class ServingEngine:
         running = state.running
         bytes_per_token = state.bytes_per_token
         kv_scale = state.kv_scale
+        # With tracing on the timeline resolves to the recorder's queue
+        # signal; either way the loop below appends to a plain list.
+        rec = state.recorder
         queue_depth_timeline = state.queue_depth_timeline
-        preemption_log = state.preemption_log
+        evictions = state.evictions
         clock = state.clock
         cols = state.columns
         vectorize = self.vectorize
@@ -717,6 +786,18 @@ class ServingEngine:
         rows_dirty = True
 
         # ------------------------------------------------ paged-mode helpers
+
+        def log_preemption(victim: ServingRequest, kind: str,
+                           **details) -> None:
+            """Record one eviction exactly once: a plain ``evictions`` entry
+            when tracing is off, a typed ``serving.preempt`` event (from
+            which ``preemption_log`` is derived) when it is on."""
+            if rec is None:
+                evictions.append((clock, victim.request_id))
+            else:
+                rec.event(
+                    "serving.preempt", clock, victim.request_id,
+                    kind=kind, **details)
 
         def preempt(victim: ServingRequest) -> None:
             """Evict ``victim``: free its blocks, set up its restore path."""
@@ -767,7 +848,8 @@ class ServingEngine:
                 victim.resume_kv_tokens = context
             running.remove(victim)
             preempted.append(victim)
-            preemption_log.append((clock, victim.request_id))
+            log_preemption(victim, "full", restore=policy.restore,
+                           kv_tokens=tokens_with_kv, context=context)
 
         def stage_out(victim: ServingRequest, num_blocks: int, *,
                       park: bool) -> None:
@@ -810,10 +892,12 @@ class ServingEngine:
                 victim.swap_bytes += bytes_out
                 # The fresh transfer queues behind any still-draining one.
                 victim.swap_done_s = max(victim.swap_done_s, clock) + out_s
-            preemption_log.append((clock, victim.request_id))
+            log_preemption(victim, "partial", staged_blocks=staged,
+                           park=park)
 
         def resume(request: ServingRequest) -> None:
             """Bring a preempted request back; blocks are already allocated."""
+            via = request.restore_via
             request.kv_tokens = request.resume_kv_tokens
             request.stall_s += clock - request.preempt_time_s
             if request.restore_via == "swap":
@@ -833,6 +917,10 @@ class ServingEngine:
                 request.restore_started_s = clock
             rebuilding = request.prefill_remaining > 0 or request.restore_remaining > 0
             request.state = RequestState.PREFILL if rebuilding else RequestState.DECODE
+            if rec is not None:
+                rec.event("request.resume", clock, request.request_id,
+                          via=via, ready_s=request.restore_ready_s,
+                          rebuild_tokens=request.restore_remaining)
 
         def grow_or_preempt(candidates: List[ServingRequest]) -> List[ServingRequest]:
             """Grow each decodable request's KV to its context, evicting on
@@ -894,6 +982,11 @@ class ServingEngine:
             while pending and pending[0].arrival_time_s <= clock:
                 waiting.append(pending.popleft())
 
+            if rec is not None:
+                # Passive emitters (the KV allocator) stamp their events
+                # with the engine clock; refresh it once per loop top.
+                rec.now_s = clock
+
             n_running_top = len(running)
             if paged:
                 # Preempted requests resume first (eviction-order-first) so
@@ -929,6 +1022,10 @@ class ServingEngine:
                     request.kv_tokens = request.query.prompt_tokens
                     request.state = RequestState.PREFILL
                     request.admitted_time_s = clock
+                    if rec is not None:
+                        rec.event("request.admitted", clock,
+                                  request.request_id,
+                                  kv_tokens=request.kv_tokens)
                     running.append(request)
                 peak_memory = max(
                     peak_memory,
@@ -957,6 +1054,10 @@ class ServingEngine:
                     request.state = RequestState.PREFILL
                     request.admitted_time_s = clock
                     reserved_bytes += request.kv_reserved_bytes
+                    if rec is not None:
+                        rec.event("request.admitted", clock,
+                                  request.request_id,
+                                  kv_reserved_bytes=request.kv_reserved_bytes)
                     running.append(request)
                 peak_memory = max(peak_memory, weight_bytes + reserved_bytes)
             if len(running) != n_running_top:
@@ -1225,6 +1326,15 @@ class ServingEngine:
                     decode_fold[1:] = span[:k_eff]
                     decode_time_s = float(decode_fold.cumsum()[-1])
                     decode_step_tokens += len(running) * k_eff
+                    if rec is not None:
+                        # One span for the whole window, never per-token
+                        # events: the scalar loop merges the identical
+                        # iterations one step at a time into the same span.
+                        rec.window_step(
+                            "decode",
+                            (tuple(r.request_id for r in running), ()),
+                            clock, clock_end, k_eff, 0)
+                        rec.now_s = clock_end
                     clock = clock_end
                     if k_eff == horizon:
                         done_list = (remaining_tokens == k_eff).tolist()
@@ -1233,6 +1343,10 @@ class ServingEngine:
                                 continue
                             request.state = RequestState.FINISHED
                             request.finish_time_s = clock
+                            if rec is not None:
+                                rec.event("request.finished", clock,
+                                          request.request_id,
+                                          tokens=request.tokens_generated)
                             if paged:
                                 allocator.release(request.request_id)
                                 request.kv_tokens = 0
@@ -1310,11 +1424,21 @@ class ServingEngine:
                 decode_s = cost.decode_iteration_s(
                     [r.context_length for r in decode_batch]
                 )
+            iteration_start_s = clock
             clock += prefill_s + decode_s
             prefill_time_s += prefill_s
             if decode_batch:
                 decode_time_s += decode_s
                 decode_step_tokens += len(decode_batch)
+            if rec is not None:
+                decode_ids = tuple(r.request_id for r in decode_batch)
+                prefill_ids = tuple(r.request_id for r, _ in prefill_work)
+                kind = ("mixed" if decode_ids and prefill_ids
+                        else "decode" if decode_ids else "prefill")
+                rec.window_step(kind, (decode_ids, prefill_ids),
+                                iteration_start_s, clock, 1,
+                                sum(chunk_sizes) if prefill_ids else 0)
+                rec.now_s = clock
 
             # ---------------------------------------------- apply the iteration
             prefill_completed: List[ServingRequest] = []
@@ -1339,6 +1463,9 @@ class ServingEngine:
                     request.first_token_time_s = clock
                     request.last_token_time_s = clock
                     request.tokens_generated = 1
+                    if rec is not None:
+                        rec.event("request.first_token", clock,
+                                  request.request_id)
                     prefill_completed.append(request)
             if batch_rows is not None:
                 cols.tokens_generated[batch_rows] += 1
@@ -1372,6 +1499,9 @@ class ServingEngine:
             for request in finished:
                 request.state = RequestState.FINISHED
                 request.finish_time_s = clock
+                if rec is not None:
+                    rec.event("request.finished", clock, request.request_id,
+                              tokens=request.tokens_generated)
                 if paged:
                     allocator.release(request.request_id)
                     request.kv_tokens = 0
@@ -1462,6 +1592,13 @@ class ServingEngine:
             migrated_count=request.migrated_count,
             migrated_kv_bytes=request.migrated_kv_bytes,
         )
+        rec = state.recorder
+        if rec is not None:
+            rec.event("request.migrate_out", now_s, request.request_id,
+                      kv_bytes=total_bytes, swap_out_s=out_s,
+                      host_ready_s=host_ready_s,
+                      tokens_generated=request.tokens_generated)
+            rec.now_s = now_s
         # Strip the request from the (frozen) source state: free its blocks
         # or reservation and drop it from whichever queue still holds it.
         if state.paged:
@@ -1511,8 +1648,12 @@ class ServingEngine:
         request.partial_evictions = moved.partial_evictions
         request.migrated_count = moved.migrated_count + 1
         request.migrated_kv_bytes = moved.migrated_kv_bytes + moved.swap_bytes
+        rec = state.recorder
         if not self._is_servable(moved.query, state.kv_budget):
             request.state = RequestState.REJECTED
+            if rec is not None:
+                rec.event("request.migrate_in", now_s, request.request_id,
+                          accepted=False)
             return request
         if moved.query.total_context > state.planned_context:
             raise ValueError(
@@ -1535,6 +1676,11 @@ class ServingEngine:
             request.kv_reserved_bytes = \
                 self._kv_reservation_bytes(moved.query.total_context)
         state.preempted.append(request)
+        if rec is not None:
+            rec.event("request.migrate_in", now_s, request.request_id,
+                      accepted=True, kv_bytes=moved.swap_bytes,
+                      tokens_generated=moved.tokens_generated,
+                      host_ready_s=moved.host_ready_s)
         return request
 
     # ------------------------------------------------------------------ sizing

@@ -296,6 +296,14 @@ class ServingRequest:
     def is_running(self) -> bool:
         return self.state in (RequestState.PREFILL, RequestState.DECODE)
 
+    # ------------------------------------------------------------------ telemetry
+
+    def trace_args(self) -> dict:
+        """Static args attached to this request's ``request.queued`` trace
+        event (the sizes every lifecycle consumer wants next to the id)."""
+        return {"prompt_tokens": self.query.prompt_tokens,
+                "decode_tokens": self.query.decode_tokens}
+
     # ------------------------------------------------------------------ metrics
 
     @property

@@ -1,0 +1,47 @@
+"""Unified telemetry: request-lifecycle tracing, metrics, trace export.
+
+Quickstart::
+
+    from repro.telemetry import TraceRecorder, write_perfetto, write_jsonl
+
+    recorder = TraceRecorder()
+    run = engine.simulate(trace, sla_latency_s=30.0, telemetry=recorder)
+    write_perfetto(recorder, "trace.json")    # chrome://tracing / Perfetto
+    write_jsonl(recorder, "trace.jsonl")      # python -m repro.telemetry
+
+The same ``telemetry=`` keyword threads through
+:meth:`ClusterEngine.run`, where every replica (and the control plane)
+records into its own scope — replicas render as processes in the
+Perfetto UI, requests as tracks.
+"""
+
+from repro.telemetry.export import (
+    perfetto_trace,
+    read_jsonl,
+    write_jsonl,
+    write_perfetto,
+)
+from repro.telemetry.metrics import MetricsRegistry, MetricsSnapshot
+from repro.telemetry.recorder import ScopedRecorder, TraceEvent, TraceRecorder
+from repro.telemetry.summary import (
+    epoch_audit,
+    overview,
+    preemption_chains,
+    request_timeline,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ScopedRecorder",
+    "TraceEvent",
+    "TraceRecorder",
+    "epoch_audit",
+    "overview",
+    "perfetto_trace",
+    "preemption_chains",
+    "read_jsonl",
+    "request_timeline",
+    "write_jsonl",
+    "write_perfetto",
+]

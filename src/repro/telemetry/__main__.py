@@ -1,0 +1,67 @@
+"""``python -m repro.telemetry`` — summarize a saved JSONL trace.
+
+Examples::
+
+    python -m repro.telemetry trace.jsonl                 # overview + audits
+    python -m repro.telemetry trace.jsonl --request 17    # one lifecycle
+    python -m repro.telemetry trace.jsonl --epochs        # decision audit
+    python -m repro.telemetry trace.jsonl --preemptions   # preempt chains
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.telemetry.export import read_jsonl
+from repro.telemetry.summary import (
+    epoch_audit,
+    overview,
+    preemption_chains,
+    request_timeline,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarize a telemetry JSONL trace "
+                    "(written by repro.telemetry.export.write_jsonl).")
+    parser.add_argument("trace", help="path to the JSONL event log")
+    parser.add_argument("--request", type=int, default=None, metavar="ID",
+                        help="print one request's lifecycle timeline "
+                             "(follows live migrations across replicas)")
+    parser.add_argument("--scope", default=None,
+                        help="scope (replica) the --request id belongs to; "
+                             "defaults to the first scope that saw it")
+    parser.add_argument("--epochs", action="store_true",
+                        help="print only the epoch decision audit")
+    parser.add_argument("--preemptions", action="store_true",
+                        help="print only the preemption chains")
+    args = parser.parse_args(argv)
+
+    events = read_jsonl(args.trace)
+    sections = []
+    if args.request is not None:
+        sections.append(request_timeline(events, args.request,
+                                         scope=args.scope))
+    if args.epochs:
+        sections.append(epoch_audit(events))
+    if args.preemptions:
+        sections.append(preemption_chains(events))
+    if not sections:
+        sections = [overview(events), "", epoch_audit(events), "",
+                    preemption_chains(events)]
+    try:
+        print("\n".join(sections))
+    except BrokenPipeError:
+        # Piping into e.g. ``head`` closes stdout early; exit quietly like
+        # other line-oriented tools instead of tracebacking.
+        import os
+        import sys
+        sys.stderr.close()
+        os._exit(0)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

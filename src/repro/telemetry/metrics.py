@@ -1,0 +1,120 @@
+"""Unified metrics namespace: counters, gauges and histograms.
+
+Every scattered counter the stack accumulated over six PRs —
+``num_preemptions`` here, ``migration_stall_s`` there — reads out through
+one flat dotted namespace:
+
+* ``serving.*``  — request lifecycle counters of one engine run
+  (``serving.preemptions``, ``serving.swap_time_s``, …)
+* ``kv.*``       — KV pool footprint (``kv.pool_occupancy``,
+  ``kv.peak_memory_bytes``, …)
+* ``cluster.*``  — control-plane totals (``cluster.rebalances``,
+  ``cluster.migration_stall_s``, …)
+
+:class:`MetricsRegistry` is deliberately dumb storage: counters are
+monotonic floats, gauges are last-write-wins, histograms keep raw samples
+(the simulator's epoch counts are small) and summarize on snapshot.  The
+closed-loop controller snapshots the registry at every epoch boundary;
+the snapshots ride on :class:`~repro.core.results.ClusterResult` as
+``metrics_timeline``, and both result types expose their final counters
+through a ``metrics`` property built on the same names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["MetricsRegistry", "MetricsSnapshot"]
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time read of every metric in the registry."""
+
+    ts_s: float
+    values: Mapping[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.values)
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+
+class MetricsRegistry:
+    """Counters / gauges / histograms behind one dotted namespace."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+        #: Epoch-boundary snapshots, appended by :meth:`snapshot`.
+        self.timeline: List[MetricsSnapshot] = []
+
+    # ------------------------------------------------------------------ write
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` (monotonic; negative amounts raise)."""
+        if amount < 0:
+            raise ValueError(f"counter {name!r} cannot decrease by {amount}")
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Set counter ``name`` to an externally-accumulated total.
+
+        For subsystems that already fold their own sums (the engine's
+        per-request counters): the registry still enforces monotonicity.
+        """
+        if value < self._counters.get(name, 0.0):
+            raise ValueError(
+                f"counter {name!r} cannot decrease to {value} "
+                f"(currently {self._counters[name]})")
+        self._counters[name] = float(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to histogram ``name``."""
+        self._histograms.setdefault(name, []).append(float(value))
+
+    # ------------------------------------------------------------------ read
+
+    def value(self, name: str) -> float:
+        if name in self._counters:
+            return self._counters[name]
+        if name in self._gauges:
+            return self._gauges[name]
+        raise KeyError(name)
+
+    def snapshot(self, ts_s: float, *, record: bool = True) -> MetricsSnapshot:
+        """Freeze every metric; histograms summarize to
+        ``name.count/mean/p50/p95/max``.  Appended to :attr:`timeline`
+        unless ``record=False``."""
+        values: Dict[str, float] = {}
+        values.update(self._counters)
+        values.update(self._gauges)
+        for name, samples in self._histograms.items():
+            ordered = sorted(samples)
+            count = len(ordered)
+            values[f"{name}.count"] = float(count)
+            values[f"{name}.mean"] = (sum(ordered) / count) if count else 0.0
+            values[f"{name}.p50"] = _percentile(ordered, 0.50)
+            values[f"{name}.p95"] = _percentile(ordered, 0.95)
+            values[f"{name}.max"] = ordered[-1] if ordered else 0.0
+        frozen = MetricsSnapshot(ts_s=ts_s, values=values)
+        if record:
+            self.timeline.append(frozen)
+        return frozen
+
+    def timeline_tuple(self) -> Tuple[MetricsSnapshot, ...]:
+        return tuple(self.timeline)
