@@ -16,6 +16,10 @@ numbers:
   running the same trace with a live recorder,
   ``(traced - untraced) / untraced``.  The ``overhead`` marker makes it a
   lower-is-better gated metric: tracing-on cost may not silently grow.
+* ``attribution_s`` — post-hoc analysis cost: one conservation-verified
+  :func:`repro.telemetry.attribute_run` pass over the traced run.
+  Reported for visibility (it runs after the simulation, so it can never
+  slow the simulator itself).
 
 Tracing-on stays bounded because the hot loops coalesce: decode windows
 are one span (never per-token events) and the event-horizon fast-forward
@@ -25,6 +29,7 @@ emits a single merged window per closed-form jump.
 import time
 
 from repro import CentConfig, CentSystem, LLAMA2_7B, TraceRecorder
+from repro.telemetry import attribute_run
 from repro.serving.engine import ServingEngine
 from repro.workloads.queries import (
     poisson_arrivals,
@@ -72,14 +77,26 @@ def test_telemetry_overhead(benchmark, once, capsys):
     requests_per_s = OVERHEAD_REQUESTS / off_s
     overhead_frac = (on_s - off_s) / off_s
 
+    # Post-hoc analysis cost: attribution runs on the finished EngineRun,
+    # strictly outside the simulation loop (it cannot slow the simulator),
+    # but its cost should stay visible as the request count grows.
+    start = time.perf_counter()
+    attribution = attribute_run(traced)
+    attribution_s = time.perf_counter() - start
+    assert attribution.num_finished + attribution.num_rejected \
+        + attribution.num_unfinished == OVERHEAD_REQUESTS
+
     benchmark.extra_info["sim_requests_per_s[tracing_off]"] = requests_per_s
     benchmark.extra_info["telemetry_overhead_frac[tracing_on]"] = overhead_frac
     benchmark.extra_info["telemetry_trace_events"] = events
+    benchmark.extra_info["attribution_s"] = attribution_s
     with capsys.disabled():
         print()
         print(f"telemetry overhead: {requests_per_s:,.0f} simulated "
               f"requests/s untraced ({off_s:.2f}s wall); tracing on adds "
-              f"{overhead_frac:+.1%} ({on_s:.2f}s, {events:,} events)")
+              f"{overhead_frac:+.1%} ({on_s:.2f}s, {events:,} events); "
+              f"attribution of {attribution.num_finished:,} requests in "
+              f"{attribution_s * 1e3:.1f}ms")
 
     # Both runs simulate the same outcome — recording never changes it.
     untraced = engine.simulate(trace, sla_latency_s=600.0)

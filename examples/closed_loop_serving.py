@@ -27,13 +27,16 @@ telemetry layer and write ``PREFIX.perfetto.json`` (open in
 chrome://tracing or https://ui.perfetto.dev — replicas appear as
 processes, requests as tracks, with preemption instants and rebalance
 decisions on the control track) plus ``PREFIX.jsonl`` for
-``python -m repro.telemetry PREFIX.jsonl``.
+``python -m repro.telemetry PREFIX.jsonl``.  Pass ``--report PREFIX``
+(implies tracing) to additionally render ``PREFIX.report.html`` — the
+self-contained attribution / utilization / SLO report.
 """
 
 import argparse
 
 from repro.evaluation import closed_loop_study, format_table
-from repro.telemetry import TraceRecorder, write_jsonl, write_perfetto
+from repro.telemetry import TraceRecorder, write_jsonl, write_perfetto, write_report
+from repro.telemetry.export import iter_scope_events
 
 POOL_DEVICES = 12
 QUERIES_PER_TENANT = 40
@@ -44,9 +47,12 @@ def main() -> None:
     parser.add_argument("--trace", metavar="PREFIX", default=None,
                         help="record the closed-loop run and write "
                              "PREFIX.perfetto.json + PREFIX.jsonl")
+    parser.add_argument("--report", metavar="PREFIX", default=None,
+                        help="also write PREFIX.report.html (attribution + "
+                             "utilization + SLO alerts); implies tracing")
     cli = parser.parse_args()
 
-    recorder = TraceRecorder() if cli.trace else None
+    recorder = TraceRecorder() if (cli.trace or cli.report) else None
     study = closed_loop_study(num_devices=POOL_DEVICES,
                               queries_per_tenant=QUERIES_PER_TENANT,
                               telemetry=recorder)
@@ -73,13 +79,28 @@ def main() -> None:
         print(f"  t={start_s:7.1f}s  goodput {goodput:8.1f} tok/s  "
               f"backlog {backlog:6.1f} {bar}")
 
+    closed = study["closed_result"]
+    if closed.alert_log:
+        print(f"\nSLO alerts ({len(closed.alert_log)} fired, "
+              f"{len(closed.alert_log.active)} active at end of run):")
+        print(closed.alert_log.describe())
+    elif recorder is not None:
+        print("\nSLO alerts: none fired (stock rules)")
+
     if recorder is not None:
         recorder.finalize()
-        events = write_perfetto(recorder, f"{cli.trace}.perfetto.json")
-        lines = write_jsonl(recorder, f"{cli.trace}.jsonl")
-        print(f"\ntrace: {events} Perfetto events -> {cli.trace}.perfetto.json"
-              f" (open in chrome://tracing), {lines} records -> "
-              f"{cli.trace}.jsonl (inspect with python -m repro.telemetry)")
+        if cli.trace:
+            events = write_perfetto(recorder, f"{cli.trace}.perfetto.json")
+            lines = write_jsonl(recorder, f"{cli.trace}.jsonl")
+            print(f"\ntrace: {events} Perfetto events -> "
+                  f"{cli.trace}.perfetto.json (open in chrome://tracing), "
+                  f"{lines} records -> {cli.trace}.jsonl "
+                  f"(inspect with python -m repro.telemetry)")
+        if cli.report:
+            path = write_report(f"{cli.report}.report.html",
+                                iter_scope_events(recorder), result=closed,
+                                title="closed_loop_serving")
+            print(f"HTML report -> {path}")
 
 
 if __name__ == "__main__":

@@ -37,12 +37,15 @@ from repro.models.config import ModelConfig
 from repro.models.memory import ModelMemoryProfile
 from repro.telemetry import (
     TraceRecorder,
+    attribution_table,
     epoch_audit,
     overview,
     preemption_chains,
     request_timeline,
+    utilization_summary,
     write_jsonl,
     write_perfetto,
+    write_report,
 )
 from repro.telemetry.export import iter_scope_events
 from repro.workloads.queries import (
@@ -125,13 +128,30 @@ def main() -> None:
     else:
         print("no live migrations this run — re-tune the burst phase shift")
 
+    print(banner("where did the time go (attribution)"))
+    print(attribution_table(events, top=10))
+
+    print(banner("utilization accounting"))
+    print(utilization_summary(events))
+
+    print(banner("SLO alert log"))
+    if result.alert_log:
+        print(f"{len(result.alert_log)} alerts "
+              f"({len(result.alert_log.active)} still active at end of run):")
+        print(result.alert_log.describe())
+    else:
+        print("no alerts fired — the stock rules found this run healthy")
+
     perfetto = write_perfetto(recorder, f"{cli.out}.perfetto.json")
     lines = write_jsonl(recorder, f"{cli.out}.jsonl")
+    report = write_report(f"{cli.out}.report.html", events, result=result,
+                          title="trace_explorer")
     print(banner("exports"))
     print(f"{perfetto} Perfetto events -> {cli.out}.perfetto.json "
           f"(open in chrome://tracing or https://ui.perfetto.dev)")
     print(f"{lines} records -> {cli.out}.jsonl "
           f"(inspect with python -m repro.telemetry {cli.out}.jsonl)")
+    print(f"HTML report -> {report}")
 
 
 if __name__ == "__main__":

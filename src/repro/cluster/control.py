@@ -64,7 +64,9 @@ from repro.serving.metrics import (
     window_mean_queue_depth,
 )
 from repro.serving.request import RequestState, ServingRequest
+from repro.telemetry.metrics import _percentile
 from repro.telemetry.recorder import ScopedRecorder, TraceRecorder
+from repro.telemetry.slo import AlertLog, SloMonitor, default_rules
 from repro.workloads.queries import Query
 
 __all__ = [
@@ -347,12 +349,21 @@ class ClusterControlLoop:
     """
 
     def __init__(self, cluster, config: ControlConfig, *,
-                 telemetry: Optional[TraceRecorder] = None) -> None:
+                 telemetry: Optional[TraceRecorder] = None,
+                 slo_monitor: Optional[SloMonitor] = None) -> None:
         # ``cluster`` is a repro.cluster.engine.ClusterEngine; not type-hinted
         # to keep the import acyclic (engine imports this module).
         self.cluster = cluster
         self.config = config
         self.telemetry = telemetry
+        # SLO rules read the per-epoch snapshots, so a monitor only makes
+        # sense on a traced run; arm the stock rules by default there (the
+        # TTFT rule targets the tightest tenant SLO in the pool).
+        if slo_monitor is None and telemetry is not None:
+            slo_monitor = SloMonitor(default_rules(
+                ttft_slo_s=min((t.latency_slo_s for t in cluster.tenants),
+                               default=None)))
+        self.slo_monitor = slo_monitor
         #: Control-plane scope; :meth:`run` creates it when tracing is on.
         self._control_rec: Optional[ScopedRecorder] = None
         #: Serial per scope base name: a rebuilt replica reuses its
@@ -480,6 +491,10 @@ class ClusterControlLoop:
 
         feedback: Optional[Dict[int, ReplicaFeedback]] = None
         epoch = 0
+        #: EWMA of the offered arrival rate (queries/s per epoch window) —
+        #: the observe-only demand forecast surfaced as the
+        #: ``cluster.predicted_rate_qps`` gauge.
+        predicted_qps = 0.0
         last_rebalance_epoch = -config.min_epochs_between - 1
         num_rebalances = 0
         migration_stall_s = 0.0
@@ -635,11 +650,15 @@ class ClusterControlLoop:
                         queued=observed.queued, running=observed.running,
                         outstanding_tokens=observed.outstanding_tokens,
                         tokens_per_s=runtime.tokens_per_s)
+            predicted_qps = (
+                config.feedback_alpha * (len(window) / config.epoch_s)
+                + (1.0 - config.feedback_alpha) * predicted_qps)
             if telemetry is not None:
                 self._record_epoch_metrics(
                     telemetry, live, archived, end_s,
                     epoch_goodput / config.epoch_s, epoch_backlog,
-                    num_rebalances, migration_stall_s, migration_stats)
+                    num_rebalances, migration_stall_s, migration_stats,
+                    predicted_qps)
             epoch += 1
 
         return self._aggregate(placement, runtimes(), final_attempt,
@@ -660,13 +679,15 @@ class ClusterControlLoop:
         num_rebalances: int,
         migration_stall_s: float,
         stats: _MigrationStats,
+        predicted_rate_qps: float,
     ) -> None:
         """Fold this epoch's measured signals into the metrics registry and
         snapshot it — one :class:`MetricsSnapshot` per epoch on the result's
-        ``metrics_timeline``."""
+        ``metrics_timeline``, fed to the SLO monitor as it lands."""
         metrics = telemetry.metrics
         metrics.set_gauge("cluster.goodput_tokens_per_s", goodput_tokens_per_s)
         metrics.set_gauge("cluster.backlog", backlog)
+        metrics.set_gauge("cluster.predicted_rate_qps", predicted_rate_qps)
         metrics.set_gauge("cluster.migration_stall_s", migration_stall_s)
         metrics.set_counter("cluster.rebalances", num_rebalances)
         metrics.set_counter("cluster.migrated_requests", stats.num_requests)
@@ -686,7 +707,16 @@ class ClusterControlLoop:
             "serving.finished",
             sum(1 for rt in everyone for r in rt.state.requests
                 if r.state is RequestState.FINISHED))
-        metrics.snapshot(end_s)
+        ttfts = sorted(
+            request.ttft_s
+            for rt in everyone for request in rt.state.requests
+            if request.first_token_time_s is not None)
+        if ttfts:
+            metrics.set_gauge("serving.ttft_p99_s",
+                              _percentile(ttfts, 0.99))
+        snapshot = metrics.snapshot(end_s)
+        if self.slo_monitor is not None:
+            self.slo_monitor.observe(snapshot)
 
     def _service_estimator(self, live: Dict[int, _ReplicaRuntime]):
         def estimate(spec: ReplicaSpec, query: Query) -> float:
@@ -940,4 +970,6 @@ class ClusterControlLoop:
             restored_progress_tokens=migration_stats.restored_tokens,
             metrics_timeline=(self.telemetry.metrics.timeline_tuple()
                               if self.telemetry is not None else ()),
+            alert_log=(self.slo_monitor.alert_log
+                       if self.slo_monitor is not None else AlertLog()),
         )

@@ -197,6 +197,7 @@ class ClusterEngine:
         migration: Optional[str] = None,
         control: Optional["ControlConfig"] = None,
         telemetry: Optional[TraceRecorder] = None,
+        slo_monitor: Optional["SloMonitor"] = None,
     ) -> ClusterResult:
         """Place, route and serve every tenant; return the cluster outcome.
 
@@ -222,6 +223,12 @@ class ClusterEngine:
         scope (``replica-<id>``), the router and control loop into a
         ``control`` scope.  Recording never changes the simulated outcome —
         both paths stay bit-exact with ``telemetry=None``.
+
+        ``slo_monitor`` (a :class:`repro.telemetry.SloMonitor`) overrides
+        the stock SLO rule set a traced closed-loop run arms by default;
+        the monitor observes each epoch's metrics snapshot and its
+        :class:`~repro.telemetry.slo.AlertLog` lands on the result.  Pure
+        observation either way — alerts never change the run.
         """
         from repro.cluster.control import REBALANCE_MODES, ClusterControlLoop, ControlConfig
 
@@ -245,6 +252,11 @@ class ClusterEngine:
                 "migration only applies to closed-loop runs; set "
                 "rebalance='epoch' (or pass a control config)"
             )
+        if slo_monitor is not None and control is None and rebalance == "off":
+            raise ValueError(
+                "slo_monitor needs the per-epoch metrics timeline; set "
+                "rebalance='epoch' (or pass a control config)"
+            )
         if control is not None or rebalance != "off":
             if control is None:
                 kwargs = {"rebalance": rebalance}
@@ -253,8 +265,9 @@ class ClusterEngine:
                 if migration is not None:
                     kwargs["migration"] = migration
                 control = ControlConfig(**kwargs)
-            return ClusterControlLoop(self, control,
-                                      telemetry=telemetry).run(placement_policy)
+            return ClusterControlLoop(
+                self, control, telemetry=telemetry,
+                slo_monitor=slo_monitor).run(placement_policy)
 
         placer = (self.placer if placement_policy is None
                   else self._make_placer(placement_policy))

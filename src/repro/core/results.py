@@ -8,6 +8,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.telemetry.metrics import MetricsRegistry, MetricsSnapshot
+from repro.telemetry.slo import AlertLog
 
 __all__ = [
     "LatencyBreakdown",
@@ -455,6 +456,10 @@ class ClusterResult:
     #: the run was traced (``telemetry=`` on :meth:`ClusterEngine.run`);
     #: empty for untraced and open-loop runs.
     metrics_timeline: Tuple[MetricsSnapshot, ...] = ()
+    #: Alerts the :class:`~repro.telemetry.slo.SloMonitor` raised while the
+    #: run was traced; empty (and no rules evaluated) for untraced and
+    #: open-loop runs.
+    alert_log: AlertLog = AlertLog()
 
     def __post_init__(self) -> None:
         if self.pool_devices <= 0:

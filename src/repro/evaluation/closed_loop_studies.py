@@ -195,6 +195,9 @@ def closed_loop_study(
         "migrated_kv_bytes": closed.migrated_kv_bytes,
         "kv_migration_time_s": closed.kv_migration_time_s,
         "restored_progress_tokens": closed.restored_progress_tokens,
+        # The full closed-loop result, for consumers that want more than
+        # the flattened keys above (alert log, metrics timeline, reports).
+        "closed_result": closed,
     }
 
 

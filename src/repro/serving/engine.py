@@ -282,6 +282,7 @@ class KvMigration:
     swap_time_s: float
     recompute_tokens: int
     stall_s: float
+    prefill_stall_s: float
     partial_evictions: int
     migrated_count: int
     migrated_kv_bytes: int
@@ -630,6 +631,13 @@ class ServingEngine:
         if paged:
             allocator = KvAllocator(self._make_pool(kv_budget),
                                     recorder=recorder)
+            if recorder is not None:
+                # Static pool geometry, once per run: post-hoc consumers
+                # (the attribution layer's occupancy timeline) turn the
+                # kv.* events' free_blocks into fractions with it.
+                recorder.event("kv.pool", recorder.now_s,
+                               total_blocks=allocator.pool.num_blocks,
+                               block_bytes=allocator.pool.block_bytes)
             policy = PreemptionPolicy(
                 self.preemption_policy,
                 restore=self.preemption_restore,
@@ -807,7 +815,10 @@ class ServingEngine:
                 # Re-evicted mid-rebuild: the aborted rebuild was stall
                 # time, and the unexecuted tail of the earlier recompute
                 # charge never ran — refund it before re-charging below.
-                victim.stall_s += clock - victim.restore_started_s
+                aborted_s = clock - victim.restore_started_s
+                victim.stall_s += aborted_s
+                if victim.first_token_time_s is None:
+                    victim.prefill_stall_s += aborted_s
                 victim.recompute_tokens -= victim.restore_remaining
                 victim.restore_remaining = 0
                 victim.restore_total = 0
@@ -899,7 +910,11 @@ class ServingEngine:
             """Bring a preempted request back; blocks are already allocated."""
             via = request.restore_via
             request.kv_tokens = request.resume_kv_tokens
-            request.stall_s += clock - request.preempt_time_s
+            before_first = request.first_token_time_s is None
+            parked_s = clock - request.preempt_time_s
+            request.stall_s += parked_s
+            if before_first:
+                request.prefill_stall_s += parked_s
             if request.restore_via == "swap":
                 in_s = kv_swap_time_s(request.swap_bytes, self.system.config.link,
                                       pp_stages=plan.pp_stages)
@@ -908,6 +923,8 @@ class ServingEngine:
                 # Swap-in serialises behind any still-draining swap-out.
                 request.restore_ready_s = max(clock, request.swap_done_s) + in_s
                 request.stall_s += request.restore_ready_s - clock
+                if before_first:
+                    request.prefill_stall_s += request.restore_ready_s - clock
             request.restore_via = ""
             request.migration_pending = False
             if request.restore_remaining > 0:
@@ -1454,7 +1471,10 @@ class ServingEngine:
                         # off-device time already accrued at resume (a
                         # prefill victim's prompt tail then continues as
                         # ordinary, non-stall prefill work).
-                        request.stall_s += clock - request.restore_started_s
+                        rebuild_s = clock - request.restore_started_s
+                        request.stall_s += rebuild_s
+                        if request.first_token_time_s is None:
+                            request.prefill_stall_s += rebuild_s
                     continue
                 request.prefill_remaining -= tokens
                 if request.prefill_remaining == 0:
@@ -1588,6 +1608,10 @@ class ServingEngine:
             stall_s=request.stall_s + (
                 max(now_s - request.preempt_time_s, 0.0)
                 if request.state is RequestState.PREEMPTED else 0.0),
+            prefill_stall_s=request.prefill_stall_s + (
+                max(now_s - request.preempt_time_s, 0.0)
+                if (request.state is RequestState.PREEMPTED
+                    and request.first_token_time_s is None) else 0.0),
             partial_evictions=request.partial_evictions,
             migrated_count=request.migrated_count,
             migrated_kv_bytes=request.migrated_kv_bytes,
@@ -1645,6 +1669,7 @@ class ServingEngine:
         request.swap_time_s = moved.swap_time_s
         request.recompute_tokens = moved.recompute_tokens
         request.stall_s = moved.stall_s
+        request.prefill_stall_s = moved.prefill_stall_s
         request.partial_evictions = moved.partial_evictions
         request.migrated_count = moved.migrated_count + 1
         request.migrated_kv_bytes = moved.migrated_kv_bytes + moved.swap_bytes

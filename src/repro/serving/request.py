@@ -198,6 +198,11 @@ class ServingRequest:
         "swap_time_s",
         "recompute_tokens",
         "stall_s",
+        #: Share of ``stall_s`` accrued before the first token was emitted
+        #: (a preempted prefill victim's off-device and rebuild time); the
+        #: attribution layer splits the stall across the prefill/decode
+        #: phases with it.
+        "prefill_stall_s",
         #: Block-granular evictions among ``preempted_count``.
         "partial_evictions",
         #: Times this request was live-migrated between engines, and the KV
@@ -243,6 +248,7 @@ class ServingRequest:
         self.swap_time_s = 0.0
         self.recompute_tokens = 0
         self.stall_s = 0.0
+        self.prefill_stall_s = 0.0
         self.partial_evictions = 0
         self.migrated_count = 0
         self.migrated_kv_bytes = 0

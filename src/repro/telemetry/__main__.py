@@ -6,19 +6,40 @@ Examples::
     python -m repro.telemetry trace.jsonl --request 17    # one lifecycle
     python -m repro.telemetry trace.jsonl --epochs        # decision audit
     python -m repro.telemetry trace.jsonl --preemptions   # preempt chains
+    python -m repro.telemetry trace.jsonl --attribution   # latency breakdown
+    python -m repro.telemetry trace.jsonl --utilization   # busy/idle + KV
+    python -m repro.telemetry trace.jsonl --slo           # replay SLO rules
+    python -m repro.telemetry trace.jsonl --report out.html
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.telemetry.attribution import attribution_table, utilization_summary
 from repro.telemetry.export import read_jsonl
+from repro.telemetry.report import write_report
+from repro.telemetry.slo import SloMonitor, default_rules, snapshots_from_trace
 from repro.telemetry.summary import (
     epoch_audit,
     overview,
     preemption_chains,
     request_timeline,
 )
+
+
+def slo_replay(events, *, ttft_slo_s=None) -> str:
+    """Replay the stock SLO rules over a saved trace's pseudo-snapshots."""
+    snapshots = snapshots_from_trace(events)
+    if not snapshots:
+        return ("no cluster.epoch spans in this trace — SLO replay needs a "
+                "closed-loop run")
+    monitor = SloMonitor(default_rules(ttft_slo_s=ttft_slo_s))
+    log = monitor.observe_timeline(snapshots)
+    lines = [f"replayed {len(monitor.rules)} rules over "
+             f"{len(snapshots)} epoch snapshots:"]
+    lines.append(log.describe())
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -37,6 +58,21 @@ def main(argv=None) -> int:
                         help="print only the epoch decision audit")
     parser.add_argument("--preemptions", action="store_true",
                         help="print only the preemption chains")
+    parser.add_argument("--attribution", action="store_true",
+                        help="per-request latency breakdown "
+                             "(queued/prefill/decode walls, slowest first)")
+    parser.add_argument("--utilization", action="store_true",
+                        help="per-scope busy/idle accounting, KV-pool "
+                             "occupancy and CXL-link traffic")
+    parser.add_argument("--slo", action="store_true",
+                        help="replay the stock SLO rules over the trace's "
+                             "epoch snapshots and print the alert log")
+    parser.add_argument("--ttft-slo", type=float, default=None, metavar="S",
+                        help="arm the TTFT-p99 rule of --slo against this "
+                             "target (seconds)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the self-contained HTML report "
+                             "(attribution + utilization + SLO + timeline)")
     args = parser.parse_args(argv)
 
     events = read_jsonl(args.trace)
@@ -48,6 +84,15 @@ def main(argv=None) -> int:
         sections.append(epoch_audit(events))
     if args.preemptions:
         sections.append(preemption_chains(events))
+    if args.attribution:
+        sections.append(attribution_table(events))
+    if args.utilization:
+        sections.append(utilization_summary(events))
+    if args.slo:
+        sections.append(slo_replay(events, ttft_slo_s=args.ttft_slo))
+    if args.report is not None:
+        sections.append(
+            f"wrote {write_report(args.report, events, title=args.trace)}")
     if not sections:
         sections = [overview(events), "", epoch_audit(events), "",
                     preemption_chains(events)]

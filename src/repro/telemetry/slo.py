@@ -1,0 +1,399 @@
+"""SLO health monitoring over the per-epoch metrics timeline.
+
+End-of-run goodput tells you *whether* a run met its objectives;
+operators (and the ROADMAP's future predictive autoscaler) need to know
+*when* it stopped meeting them.  :class:`SloMonitor` evaluates a set of
+:class:`SloRule` objects against each :class:`MetricsSnapshot` the
+closed-loop control plane records at its epoch boundaries, and produces
+a typed :class:`AlertLog` that lands on
+:attr:`~repro.core.results.ClusterResult.alert_log`.
+
+Rules are deliberately boring — windowed burn rate plus hysteresis, the
+shape every production alerting stack converges on:
+
+* **burn rate**: a rule fires only when at least ``breach_fraction`` of
+  the last ``window`` snapshots breach the threshold, so a single noisy
+  epoch never pages;
+* **guard metric**: a rule can require a second metric to be unhealthy
+  too (goodput of an *idle* pool is legitimately zero — the collapse
+  rule only arms while backlog shows unserved demand);
+* **hysteresis**: an active alert clears only when the value recovers
+  past ``threshold`` by ``clear_margin`` (relative), so a value
+  oscillating around the threshold yields one alert, not a flap storm;
+* **rate rules**: ``rate=True`` evaluates the per-second derivative of
+  a monotonic counter between consecutive snapshots (preemptions per
+  second, not preemptions ever).
+
+The monitor is pure observation: it never changes routing, placement or
+admission.  A controller that *wants* to react subscribes via
+``on_alert`` (called once per newly fired alert) — the groundwork for
+the ROADMAP's predictive-autoscaling item.
+
+:func:`snapshots_from_trace` rebuilds pseudo-snapshots from a saved
+JSONL trace (the ``cluster.epoch`` spans plus preemption and first-token
+events), so ``python -m repro.telemetry trace.jsonl --slo`` can replay
+the rules over any recorded run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.telemetry.metrics import MetricsSnapshot, _percentile
+
+__all__ = [
+    "Alert",
+    "AlertLog",
+    "SloMonitor",
+    "SloRule",
+    "default_rules",
+    "snapshots_from_trace",
+]
+
+#: Comparison direction of a rule: the value *breaches* when it is on
+#: this side of the threshold.
+_OPS = (">", "<")
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One windowed health rule over a metrics-timeline series.
+
+    The rule breaches a snapshot when ``metric``'s value (or its
+    per-second rate, with ``rate=True``) compares ``op`` against
+    ``threshold`` — but only while the optional guard metric is also on
+    the unhealthy side of its own threshold.  It *fires* when at least
+    ``breach_fraction`` of the last ``window`` snapshots breached, and
+    an active alert *clears* when the value recovers past the threshold
+    by the relative ``clear_margin`` (or the guard disarms).
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    #: Snapshots in the burn-rate window (the rule cannot fire before the
+    #: window has filled once).
+    window: int = 3
+    #: Fraction of the window that must breach for the rule to fire.
+    breach_fraction: float = 1.0
+    #: Evaluate the per-second derivative of a monotonic counter instead
+    #: of the raw value.
+    rate: bool = False
+    #: Optional second condition that must hold for a breach to count.
+    guard_metric: Optional[str] = None
+    guard_op: str = ">"
+    guard_threshold: float = 0.0
+    #: Relative hysteresis: a ``>`` rule clears at
+    #: ``threshold * (1 - clear_margin)``, a ``<`` rule at
+    #: ``threshold * (1 + clear_margin)``.
+    clear_margin: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS or self.guard_op not in _OPS:
+            raise ValueError(f"rule ops must be one of {_OPS}")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if not 0 < self.breach_fraction <= 1:
+            raise ValueError("breach_fraction must be in (0, 1]")
+        if self.clear_margin < 0:
+            raise ValueError("clear_margin must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    def breaches(self, value: float) -> bool:
+        return value > self.threshold if self.op == ">" \
+            else value < self.threshold
+
+    def recovers(self, value: float) -> bool:
+        """True when ``value`` is healthy *with* the hysteresis margin."""
+        if self.op == ">":
+            return value <= self.threshold * (1.0 - self.clear_margin)
+        return value >= self.threshold * (1.0 + self.clear_margin)
+
+    def guard_armed(self, snapshot: MetricsSnapshot) -> bool:
+        if self.guard_metric is None:
+            return True
+        guard = snapshot.values.get(self.guard_metric)
+        if guard is None:
+            return False
+        return guard > self.guard_threshold if self.guard_op == ">" \
+            else guard < self.guard_threshold
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One firing of an :class:`SloRule` (cleared or still active)."""
+
+    rule: str
+    metric: str
+    fired_ts_s: float
+    #: Metric value (or rate) at the firing snapshot.
+    value: float
+    threshold: float
+    op: str
+    #: ``None`` while the alert is still active at end of run.
+    cleared_ts_s: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_ts_s is None
+
+    def describe(self) -> str:
+        state = ("active" if self.active
+                 else f"cleared at {self.cleared_ts_s:.3f}s")
+        return (f"[{self.rule}] {self.metric} = {self.value:.4g} "
+                f"{self.op} {self.threshold:.4g} "
+                f"at {self.fired_ts_s:.3f}s ({state})")
+
+
+@dataclass(frozen=True)
+class AlertLog:
+    """Every alert a monitor raised over one run, in firing order."""
+
+    alerts: Tuple[Alert, ...] = ()
+
+    def __iter__(self):
+        return iter(self.alerts)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def __bool__(self) -> bool:
+        return bool(self.alerts)
+
+    @property
+    def active(self) -> Tuple[Alert, ...]:
+        """Alerts never cleared before the run ended."""
+        return tuple(alert for alert in self.alerts if alert.active)
+
+    def for_rule(self, name: str) -> Tuple[Alert, ...]:
+        return tuple(alert for alert in self.alerts if alert.rule == name)
+
+    def fired(self, name: str) -> bool:
+        return any(alert.rule == name for alert in self.alerts)
+
+    def describe(self) -> str:
+        if not self.alerts:
+            return "no alerts fired"
+        return "\n".join(alert.describe() for alert in self.alerts)
+
+
+def default_rules(
+    *,
+    ttft_slo_s: Optional[float] = None,
+    goodput_floor_tokens_per_s: float = 1.0,
+    backlog_limit: float = 32.0,
+    preemptions_per_s: float = 50.0,
+) -> Tuple[SloRule, ...]:
+    """The stock rule set the control loop arms when tracing is on.
+
+    * ``goodput-collapse`` — goodput under ``goodput_floor_tokens_per_s``
+      for a full window *while backlog shows unserved demand* (the guard
+      keeps an idle pool silent).
+    * ``queue-depth-spike`` — mean measured backlog above
+      ``backlog_limit`` for most of a window.
+    * ``preemption-storm`` — preemption *rate* above
+      ``preemptions_per_s`` (derivative of the monotonic
+      ``serving.preemptions`` counter).
+    * ``ttft-p99-breach`` — observed TTFT p99 above ``ttft_slo_s``
+      (omitted when no SLO target is known).
+    """
+    rules = [
+        SloRule(name="goodput-collapse",
+                metric="cluster.goodput_tokens_per_s",
+                threshold=goodput_floor_tokens_per_s, op="<",
+                window=3, breach_fraction=1.0,
+                guard_metric="cluster.backlog",
+                guard_threshold=max(backlog_limit / 2.0, 1.0),
+                clear_margin=1.0),
+        SloRule(name="queue-depth-spike",
+                metric="cluster.backlog",
+                threshold=backlog_limit, op=">",
+                window=4, breach_fraction=0.75,
+                clear_margin=0.5),
+        SloRule(name="preemption-storm",
+                metric="serving.preemptions",
+                threshold=preemptions_per_s, op=">", rate=True,
+                window=3, breach_fraction=2 / 3,
+                clear_margin=0.5),
+    ]
+    if ttft_slo_s is not None:
+        rules.append(
+            SloRule(name="ttft-p99-breach",
+                    metric="serving.ttft_p99_s",
+                    threshold=ttft_slo_s, op=">",
+                    window=3, breach_fraction=1.0,
+                    clear_margin=0.25))
+    return tuple(rules)
+
+
+class SloMonitor:
+    """Evaluates :class:`SloRule` burn rates over a snapshot stream.
+
+    Feed it :meth:`observe` once per epoch snapshot (the cluster control
+    loop does this automatically when telemetry is attached); read
+    :attr:`alert_log` at any time.  ``on_alert`` is called once per
+    newly *fired* alert — observation only, the monitor never mutates
+    the run.
+    """
+
+    def __init__(self, rules: Optional[Sequence[SloRule]] = None, *,
+                 on_alert: Optional[Callable[[Alert], None]] = None) -> None:
+        self.rules: Tuple[SloRule, ...] = tuple(
+            default_rules() if rules is None else rules)
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.on_alert = on_alert
+        self._history: Dict[str, Deque[bool]] = {
+            rule.name: deque(maxlen=rule.window) for rule in self.rules}
+        #: Rule name -> index of its open alert in ``_alerts``.
+        self._active: Dict[str, int] = {}
+        #: Rule name -> most recent breaching value (what the alert cites:
+        #: with ``breach_fraction < 1`` the firing snapshot itself may be
+        #: healthy).
+        self._last_breach: Dict[str, float] = {}
+        self._alerts: List[Alert] = []
+        self._prev: Optional[MetricsSnapshot] = None
+
+    # ------------------------------------------------------------------
+
+    def _rule_value(self, rule: SloRule,
+                    snapshot: MetricsSnapshot) -> Optional[float]:
+        value = snapshot.values.get(rule.metric)
+        if value is None:
+            return None
+        if not rule.rate:
+            return value
+        prev = self._prev
+        if prev is None:
+            return None
+        prev_value = prev.values.get(rule.metric)
+        dt = snapshot.ts_s - prev.ts_s
+        if prev_value is None or dt <= 0:
+            return None
+        return (value - prev_value) / dt
+
+    def observe(self, snapshot: MetricsSnapshot) -> List[Alert]:
+        """Evaluate every rule against one snapshot; return newly fired
+        alerts (already appended to the log and reported to ``on_alert``)."""
+        fired: List[Alert] = []
+        for rule in self.rules:
+            value = self._rule_value(rule, snapshot)
+            if value is None:
+                continue  # metric absent this epoch: window holds still
+            armed = rule.guard_armed(snapshot)
+            breach = armed and rule.breaches(value)
+            if breach:
+                self._last_breach[rule.name] = value
+            history = self._history[rule.name]
+            history.append(breach)
+            open_index = self._active.get(rule.name)
+            if open_index is None:
+                if (len(history) == rule.window
+                        and sum(history)
+                        >= rule.breach_fraction * rule.window):
+                    alert = Alert(rule=rule.name, metric=rule.metric,
+                                  fired_ts_s=snapshot.ts_s,
+                                  value=self._last_breach[rule.name],
+                                  threshold=rule.threshold, op=rule.op)
+                    self._active[rule.name] = len(self._alerts)
+                    self._alerts.append(alert)
+                    fired.append(alert)
+                    if self.on_alert is not None:
+                        self.on_alert(alert)
+            elif rule.recovers(value) or not armed:
+                # Hysteresis: clear only on a margin-deep recovery (or
+                # when the guard disarms — the precondition went away).
+                self._alerts[open_index] = replace(
+                    self._alerts[open_index], cleared_ts_s=snapshot.ts_s)
+                del self._active[rule.name]
+                history.clear()
+        self._prev = snapshot
+        return fired
+
+    def observe_timeline(
+            self, timeline: Iterable[MetricsSnapshot]) -> "AlertLog":
+        """Replay a whole metrics timeline; returns the final log."""
+        for snapshot in timeline:
+            self.observe(snapshot)
+        return self.alert_log
+
+    @property
+    def alert_log(self) -> AlertLog:
+        return AlertLog(alerts=tuple(self._alerts))
+
+
+# ---------------------------------------------------------------------------
+# replaying rules over a saved trace
+# ---------------------------------------------------------------------------
+
+
+def snapshots_from_trace(events: Iterable[Dict[str, Any]]) \
+        -> List[MetricsSnapshot]:
+    """Pseudo metrics timeline of a saved JSONL trace.
+
+    Rebuilds, per recorded ``cluster.epoch`` span, the subset of metrics
+    the stock rules consume: the span's own ``goodput_tokens_per_s`` and
+    ``backlog`` args, the cumulative ``serving.preemptions`` count, and
+    the running ``serving.ttft_p99_s`` over every first token observed
+    so far.  Traces without a control plane (single-engine runs) yield
+    an empty list.
+    """
+    epochs: List[Tuple[float, Dict[str, float]]] = []
+    preempt_ts: List[float] = []
+    queued_ts: Dict[Tuple[str, int], float] = {}
+    ttft_ts: List[Tuple[float, float]] = []  # (first_token_ts, ttft_s)
+    for event in events:
+        name = event["name"]
+        if name == "cluster.epoch":
+            args = event.get("args") or {}
+            end_s = event["ts_s"] + event.get("dur_s", 0.0)
+            epochs.append((end_s, {
+                "cluster.goodput_tokens_per_s":
+                    float(args.get("goodput_tokens_per_s", 0.0)),
+                "cluster.backlog": float(args.get("backlog", 0.0)),
+            }))
+        elif name == "serving.preempt":
+            preempt_ts.append(event["ts_s"])
+        elif name == "request.queued":
+            queued_ts.setdefault((event["scope"], event["request_id"]),
+                                 event["ts_s"])
+        elif name == "request.first_token":
+            key = (event["scope"], event["request_id"])
+            arrival = queued_ts.get(key)
+            if arrival is not None:
+                ttft_ts.append((event["ts_s"], event["ts_s"] - arrival))
+
+    preempt_ts.sort()
+    ttft_ts.sort()
+    snapshots: List[MetricsSnapshot] = []
+    preempt_i = ttft_i = 0
+    ttfts_sorted: List[float] = []
+    for end_s, values in sorted(epochs):
+        while preempt_i < len(preempt_ts) and preempt_ts[preempt_i] <= end_s:
+            preempt_i += 1
+        new_ttfts = []
+        while ttft_i < len(ttft_ts) and ttft_ts[ttft_i][0] <= end_s:
+            new_ttfts.append(ttft_ts[ttft_i][1])
+            ttft_i += 1
+        if new_ttfts:
+            ttfts_sorted = sorted(ttfts_sorted + new_ttfts)
+        values["serving.preemptions"] = float(preempt_i)
+        if ttfts_sorted:
+            values["serving.ttft_p99_s"] = _percentile(ttfts_sorted, 0.99)
+        snapshots.append(MetricsSnapshot(ts_s=end_s, values=values))
+    return snapshots
