@@ -35,9 +35,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 #: where *lower is worse*; everything else (labels, counters) is ignored.
 #: ``requests_per_s`` covers the simulator's own speed
 #: (``sim_requests_per_s``, benchmarks/test_sim_speed.py): simulator
-#: throughput gates like serving goodput does.
+#: throughput gates like serving goodput does.  ``hit_rate`` covers the
+#: prefix-cache lane (``prefix_hit_rate``,
+#: benchmarks/test_prefix_reuse_goodput.py): a shrinking share of shared-KV
+#: admissions regresses the prefix cache even when goodput holds.
 METRIC_MARKERS = ("goodput", "throughput", "migrated", "restored",
-                  "requests_per_s")
+                  "requests_per_s", "hit_rate")
 
 #: ... and these mark metrics where *higher is worse* (stall seconds,
 #: telemetry overhead fractions): the gate fails when they grow past the

@@ -228,6 +228,15 @@ class ServingResult:
     #: and the host-staged KV bytes that travelled with them.
     num_migrated_in: int = 0
     migrated_kv_bytes: int = 0
+    #: Shared-prefix KV cache accounting (``prefix_sharing`` in paged
+    #: mode): admissions of prefix-tagged requests, the subset that
+    #: attached to a resident chain, the prefix tokens whose prefill those
+    #: hits skipped, and the copy-on-write blocks taken of partial chain
+    #: tails.  All zero with sharing off or a prefix-free trace.
+    num_prefix_lookups: int = 0
+    num_prefix_hits: int = 0
+    prefix_hit_tokens: int = 0
+    num_cow_blocks: int = 0
     #: Per-iteration ``(time_s, queued, running)`` samples: ``queued`` are
     #: arrived requests not currently running (admission queue plus any
     #: preempted victims awaiting restore).  The measured backlog signal a
@@ -250,6 +259,11 @@ class ServingResult:
         if (self.num_partial_evictions < 0 or self.num_migrated_in < 0
                 or self.migrated_kv_bytes < 0):
             raise ValueError("migration counters must be non-negative")
+        if (self.num_prefix_lookups < 0 or self.num_prefix_hits < 0
+                or self.prefix_hit_tokens < 0 or self.num_cow_blocks < 0):
+            raise ValueError("prefix-cache counters must be non-negative")
+        if self.num_prefix_hits > self.num_prefix_lookups:
+            raise ValueError("prefix hits cannot exceed prefix lookups")
 
     # ------------------------------------------------------------------ throughput
 
@@ -319,6 +333,16 @@ class ServingResult:
             return 0.0
         return self.num_preemptions / self.num_completed
 
+    # ------------------------------------------------------------------ prefix cache
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-tagged admissions that reused a resident
+        chain (zero when the trace carries no prefixes)."""
+        if self.num_prefix_lookups == 0:
+            return 0.0
+        return self.num_prefix_hits / self.num_prefix_lookups
+
     # ------------------------------------------------------------------ backlog
 
     @property
@@ -381,6 +405,11 @@ class ServingResult:
         registry.set_gauge("serving.swap_time_s", self.swap_time_s)
         registry.set_gauge("serving.peak_queue_depth",
                            float(self.peak_queue_depth))
+        registry.set_counter("kv.prefix_lookups", self.num_prefix_lookups)
+        registry.set_counter("kv.prefix_hits", self.num_prefix_hits)
+        registry.set_counter("kv.prefix_hit_tokens", self.prefix_hit_tokens)
+        registry.set_counter("kv.cow_blocks", self.num_cow_blocks)
+        registry.set_gauge("serving.prefix_hit_rate", self.prefix_hit_rate)
         registry.set_counter("kv.migrated_bytes", self.migrated_kv_bytes)
         registry.set_gauge("kv.peak_memory_bytes",
                            float(self.peak_memory_bytes))

@@ -37,6 +37,7 @@ from repro.evaluation.serving_studies import (
 from repro.evaluation.cluster_studies import multi_tenant_policy_study
 from repro.evaluation.closed_loop_studies import closed_loop_study, migration_study
 from repro.evaluation.preemption_studies import overload_preemption_study
+from repro.evaluation.prefix_studies import prefix_reuse_study
 
 __all__ = [
     "format_table",
@@ -65,4 +66,5 @@ __all__ = [
     "closed_loop_study",
     "migration_study",
     "overload_preemption_study",
+    "prefix_reuse_study",
 ]

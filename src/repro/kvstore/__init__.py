@@ -15,6 +15,14 @@ engine's ``admission="paged"`` mode:
   preemption, and supports partial residency: ``evict_blocks`` stages an
   owner's coldest prefix blocks to host memory and ``readmit`` brings
   them back all-or-nothing;
+* :class:`PrefixChain` — a hash-identified shared prefix resident in the
+  pool with a refcount of its readers: requests with a matching prefix
+  hash *attach* (booking only their suffix blocks plus a copy-on-write
+  duplicate of a partial chain tail), a cache miss *promotes* its own
+  prefix blocks into a new chain after prefill, and unreferenced chains
+  stay cached — reclaimed coldest-first under pool pressure or by the
+  joint (request, chain) eviction ranking
+  (:meth:`PreemptionPolicy.select_eviction`);
 * :class:`PreemptionPolicy` — deterministic victim selection
   (``lru`` / ``priority`` / ``sla_deadline``) when the pool runs dry, with
   two restore paths: ``swap`` (KV bytes staged out and back over the CXL
@@ -30,7 +38,7 @@ package owns the bookkeeping and the policy decisions, so they can be unit
 tested without simulating a single transformer block.
 """
 
-from repro.kvstore.block_pool import BlockPool
+from repro.kvstore.block_pool import BlockPool, PrefixChain
 from repro.kvstore.allocator import KvAllocator
 from repro.kvstore.preemption import (
     PREEMPTION_POLICIES,
@@ -41,6 +49,7 @@ from repro.kvstore.preemption import (
 
 __all__ = [
     "BlockPool",
+    "PrefixChain",
     "KvAllocator",
     "PreemptionPolicy",
     "PREEMPTION_POLICIES",

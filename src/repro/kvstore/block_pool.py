@@ -13,11 +13,48 @@ them back all-or-nothing, and :meth:`drop_swapped` discards a host copy
 whose owner released (or migrated away).  The device-side invariant
 ``free_blocks + used_blocks == num_blocks`` holds through every operation;
 host-staged blocks live outside the device pool.
+
+**Shared-prefix chains** are the one place the pool does track identity: a
+:class:`PrefixChain` pins ``blocks_for(tokens)`` device blocks under a hash
+key (tenant system prompts, few-shot preambles) with a reference count of
+the allocations currently reading them.  A chain's blocks sit inside
+``used_blocks`` exactly once however many requests share them; an
+unreferenced chain stays cached — and evictable coldest-first — until pool
+pressure reclaims it (:meth:`prefix_evict`).
 """
 
 from __future__ import annotations
 
-__all__ = ["BlockPool"]
+from typing import Dict, Hashable, List, Optional
+
+__all__ = ["BlockPool", "PrefixChain"]
+
+
+class PrefixChain:
+    """One shared, hash-identified prefix resident in a :class:`BlockPool`.
+
+    ``refcount`` counts the allocations currently attached (reading the
+    chain's KV); it pins the chain — only a chain at refcount zero may be
+    evicted, so a hot shared prefix naturally outlives every per-request
+    eviction.  ``last_use_s`` is the engine-clock stamp of the most recent
+    attach/detach and ``seq`` the registration order, together the
+    deterministic coldest-first ranking key.
+    """
+
+    __slots__ = ("key", "tokens", "blocks", "refcount", "last_use_s", "seq")
+
+    def __init__(self, key: Hashable, tokens: int, blocks: int,
+                 last_use_s: float, seq: int) -> None:
+        self.key = key
+        self.tokens = tokens
+        self.blocks = blocks
+        self.refcount = 0
+        self.last_use_s = last_use_s
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PrefixChain(key={self.key!r}, tokens={self.tokens}, "
+                f"blocks={self.blocks}, refcount={self.refcount})")
 
 
 class BlockPool:
@@ -65,6 +102,9 @@ class BlockPool:
         #: Blocks staged in host memory that still belong to a live
         #: allocation (block-granular swap); not part of the device pool.
         self.swapped_blocks = 0
+        #: Resident shared-prefix chains, keyed by prefix hash.
+        self.prefix_chains: Dict[Hashable, PrefixChain] = {}
+        self._prefix_seq = 0
 
     # ------------------------------------------------------------------ sizing
 
@@ -160,3 +200,87 @@ class BlockPool:
                 f"{self.swapped_blocks} staged in host memory"
             )
         self.swapped_blocks -= num_blocks
+
+    # ------------------------------------------------------------------ prefix chains
+
+    @property
+    def prefix_blocks(self) -> int:
+        """Device blocks currently pinned under shared-prefix chains."""
+        return sum(chain.blocks for chain in self.prefix_chains.values())
+
+    def prefix_get(self, key: Hashable) -> Optional[PrefixChain]:
+        return self.prefix_chains.get(key)
+
+    def prefix_register(self, key: Hashable, tokens: int,
+                        now_s: float = 0.0) -> Optional[PrefixChain]:
+        """Cache ``tokens`` of prefix KV under ``key`` at refcount zero.
+
+        Takes ``blocks_for(tokens)`` device blocks for the shared copy;
+        returns None (side-effect free) if the pool cannot hold them or a
+        chain for ``key`` already exists.
+        """
+        if tokens <= 0:
+            raise ValueError(f"prefix tokens must be positive, got {tokens}")
+        if key in self.prefix_chains:
+            return None
+        blocks = self.blocks_for(tokens)
+        if not self.allocate(blocks):
+            return None
+        chain = PrefixChain(key, tokens, blocks, now_s, self._prefix_seq)
+        self._prefix_seq += 1
+        self.prefix_chains[key] = chain
+        return chain
+
+    def prefix_adopt(self, key: Hashable, tokens: int, blocks: int,
+                     now_s: float = 0.0) -> PrefixChain:
+        """Install a chain over ``blocks`` already-allocated device blocks.
+
+        The promote path: the blocks stay inside ``used_blocks`` (ownership
+        transfers from the promoting request's private allocation), so no
+        free-list traffic happens here.
+        """
+        if tokens <= 0:
+            raise ValueError(f"prefix tokens must be positive, got {tokens}")
+        if key in self.prefix_chains:
+            raise ValueError(f"prefix chain {key!r} already registered")
+        if blocks > self.used_blocks:
+            raise ValueError(
+                f"cannot adopt {blocks} blocks; only {self.used_blocks} in use"
+            )
+        chain = PrefixChain(key, tokens, blocks, now_s, self._prefix_seq)
+        self._prefix_seq += 1
+        self.prefix_chains[key] = chain
+        return chain
+
+    def prefix_attach(self, key: Hashable, now_s: float = 0.0) -> PrefixChain:
+        """Pin the chain for ``key`` on behalf of one more reader."""
+        chain = self.prefix_chains[key]
+        chain.refcount += 1
+        chain.last_use_s = now_s
+        return chain
+
+    def prefix_detach(self, key: Hashable, now_s: float = 0.0) -> PrefixChain:
+        """Drop one reader; the chain stays cached at refcount zero."""
+        chain = self.prefix_chains[key]
+        if chain.refcount <= 0:
+            raise ValueError(f"prefix chain {key!r} has no readers to detach")
+        chain.refcount -= 1
+        chain.last_use_s = now_s
+        return chain
+
+    def prefix_evict(self, key: Hashable) -> int:
+        """Reclaim an unreferenced chain's blocks; returns the count freed."""
+        chain = self.prefix_chains[key]
+        if chain.refcount > 0:
+            raise ValueError(
+                f"prefix chain {key!r} still has {chain.refcount} readers"
+            )
+        del self.prefix_chains[key]
+        self.release(chain.blocks)
+        return chain.blocks
+
+    def evictable_prefixes(self) -> List[PrefixChain]:
+        """Unreferenced chains, coldest first (deterministic tie-break)."""
+        idle = [c for c in self.prefix_chains.values() if c.refcount == 0]
+        idle.sort(key=lambda c: (c.last_use_s, c.seq))
+        return idle

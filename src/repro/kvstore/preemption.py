@@ -150,3 +150,29 @@ class PreemptionPolicy:
             def key(r):
                 return (clock - self._deadline_s(r), -r.request_id)
         return min(pool, key=key)
+
+    def select_eviction(self, candidates: Sequence, chains: Sequence,
+                        clock: float = 0.0):
+        """Rank requests and idle shared-prefix chains jointly.
+
+        ``chains`` is the pool's unreferenced (refcount-zero)
+        :class:`~repro.kvstore.block_pool.PrefixChain` candidates — a chain
+        some live request still reads is pinned and never offered, which is
+        what makes a hot shared prefix naturally the last thing evicted.
+        Returns ``("chain", chain)``, ``("request", victim)`` or
+        ``(None, None)``; eviction bites the coldest blocks pool-wide, so a
+        cached-but-idle prefix colder than every running request goes
+        before any request is preempted.  With no chains resident this
+        degrades to exactly :meth:`select_victim`.
+        """
+        victim = self.select_victim(candidates, clock)
+        coldest = None
+        for chain in chains:
+            if coldest is None or (chain.last_use_s, chain.seq) < \
+                    (coldest.last_use_s, coldest.seq):
+                coldest = chain
+        if coldest is None:
+            return ("request", victim) if victim is not None else (None, None)
+        if victim is None or coldest.last_use_s <= self._last_use_s(victim):
+            return ("chain", coldest)
+        return ("request", victim)

@@ -286,6 +286,14 @@ class KvMigration:
     partial_evictions: int
     migrated_count: int
     migrated_kv_bytes: int
+    #: Prefix-cache history travels too (the destination's result keeps
+    #: the whole journey's hit accounting); the chain itself stays on the
+    #: source pool — the destination receives the full context's KV and
+    #: holds it privately.
+    prefix_lookups: int = 0
+    prefix_hits: int = 0
+    prefix_hit_tokens: int = 0
+    cow_blocks: int = 0
 
 
 class ServingEngine:
@@ -339,6 +347,19 @@ class ServingEngine:
         and re-admits just the staged blocks), instead of its whole
         allocation.  ``None`` (default) keeps the legacy full eviction;
         requires ``preemption_restore="swap"``.
+    prefix_sharing:
+        Shared-prefix KV reuse in paged mode (``True`` by default).  A
+        query tagged with ``prefix_id``/``prefix_tokens`` whose prefix
+        chain is resident admits with only its suffix's blocks (plus one
+        copy-on-write duplicate of a partial chain tail) and skips the
+        shared prefix's prefill; a miss prefills normally and promotes its
+        prefix blocks into a chain for later arrivals.  Preempted
+        requests keep their chain pinned across the park, eviction ranks
+        idle chains jointly with requests (coldest blocks pool-wide go
+        first), and unreferenced chains are reclaimed under admission
+        pressure.  A trace without prefix tags — and any
+        ``prefix_sharing=False`` run — is served bit-exactly as before;
+        reserve mode ignores prefix tags entirely.
     vectorize:
         ``True`` (default): price mixed batches with the cost model's
         vectorized entry points and fast-forward uneventful all-decode
@@ -364,6 +385,7 @@ class ServingEngine:
         preemption_policy: str = "lru",
         preemption_restore: str = "swap",
         preemption_partial_blocks: Optional[int] = None,
+        prefix_sharing: bool = True,
         vectorize: bool = True,
     ) -> None:
         if max_batch_size is not None and max_batch_size <= 0:
@@ -400,6 +422,7 @@ class ServingEngine:
         self.preemption_policy = preemption_policy
         self.preemption_restore = preemption_restore
         self.preemption_partial_blocks = preemption_partial_blocks
+        self.prefix_sharing = prefix_sharing
         self.vectorize = vectorize
         self._profile = ModelMemoryProfile(self.model)
         # _setup results keyed by the servable context length (the only
@@ -788,6 +811,7 @@ class ServingEngine:
         vectorize = self.vectorize
         prefill_chunk_tokens = self.prefill_chunk_tokens
         interleave_prefill = self.interleave_prefill
+        prefix_sharing = self.prefix_sharing and paged
         # Row indices of ``running`` in the columnar store, rebuilt lazily:
         # every site that mutates ``running`` flips the dirty flag.
         rows_cache: Optional[np.ndarray] = None
@@ -824,7 +848,12 @@ class ServingEngine:
                 victim.restore_total = 0
             tokens_with_kv = victim.kv_tokens
             context = victim.context_length
-            allocator.release(victim.request_id)
+            # A shared-prefix reader keeps its chain pinned across the park
+            # (keep_prefix): its shared blocks never leave the device, so
+            # they neither travel on a swap nor rebuild on a recompute.
+            shared_tokens = (allocator.shared_tokens(victim.request_id)
+                             if prefix_sharing else 0)
+            allocator.release(victim.request_id, keep_prefix=True)
             victim.kv_tokens = 0
             victim.preempted_count += 1
             victim.preempt_time_s = clock
@@ -833,9 +862,10 @@ class ServingEngine:
             victim.restore_via = policy.restore
             if policy.restore == "swap":
                 # Only materialised KV travels; the prompt's still-unwritten
-                # tail of a prefilling victim does not.
+                # tail of a prefilling victim does not, nor do the chain's
+                # device-resident shared blocks.
                 victim.resume_kv_tokens = tokens_with_kv
-                victim.swap_bytes = context * bytes_per_token
+                victim.swap_bytes = max(context - shared_tokens, 0) * bytes_per_token
                 out_s = kv_swap_time_s(victim.swap_bytes, self.system.config.link,
                                        pp_stages=plan.pp_stages)
                 victim.num_swap_outs += 1
@@ -847,15 +877,17 @@ class ServingEngine:
                 # continue; the rebuild span counts as stall exactly like a
                 # decoding victim's.
                 prefix = victim.query.prompt_tokens - victim.prefill_remaining
-                victim.recompute_tokens += prefix
-                victim.restore_remaining = prefix
-                victim.restore_total = prefix
+                rebuild = max(prefix - shared_tokens, 0)
+                victim.recompute_tokens += rebuild
+                victim.restore_remaining = rebuild
+                victim.restore_total = rebuild
                 victim.resume_kv_tokens = victim.query.prompt_tokens
             else:
                 # Recompute a decoding victim by re-prefilling its context.
-                victim.recompute_tokens += context
-                victim.restore_remaining = context
-                victim.restore_total = context
+                rebuild = max(context - shared_tokens, 0)
+                victim.recompute_tokens += rebuild
+                victim.restore_remaining = rebuild
+                victim.restore_total = rebuild
                 victim.resume_kv_tokens = context
             running.remove(victim)
             preempted.append(victim)
@@ -952,8 +984,16 @@ class ServingEngine:
                 while not grown:
                     victims = [r for r in running
                                if r is not request and r.restore_ready_s <= clock]
-                    victim = policy.select_victim(victims, clock)
-                    if victim is not None:
+                    kind, victim = policy.select_eviction(
+                        victims,
+                        allocator.evictable_prefixes() if prefix_sharing else (),
+                        clock)
+                    if kind == "chain":
+                        # The coldest blocks pool-wide belong to an idle
+                        # (refcount-zero) shared prefix: reclaim it before
+                        # preempting any live request.
+                        allocator.evict_prefix(victim.key)
+                    elif victim is not None:
                         # Block-granular swap: stage only the victim's
                         # coldest prefix blocks when it holds more than
                         # that; a victim at or below the partial size is
@@ -984,6 +1024,36 @@ class ServingEngine:
                     request.kv_tokens = target
                     batch.append(request)
             return batch
+
+        def admit_head() -> bool:
+            """Allocate the waiting head's prompt blocks, prefix-aware.
+
+            A resident chain for the head's prefix hash admits it with only
+            the suffix's blocks and pre-completes the shared prefix's
+            prefill (at least one prompt token always remains, so the
+            first-token path is untouched); a miss allocates the full
+            prompt and marks the request to promote its prefix blocks into
+            a chain once its prefill completes.
+            """
+            head = waiting[0]
+            query = head.query
+            key = query.prefix_key if prefix_sharing else None
+            if key is None:
+                return allocator.allocate(head.request_id, query.prompt_tokens)
+            if not allocator.allocate(head.request_id, query.prompt_tokens,
+                                      prefix=key, now_s=clock):
+                return False
+            head.prefix_lookups += 1
+            if allocator.shared_key(head.request_id) is not None:
+                head.prefix_hits += 1
+                skip = min(query.prefix_tokens, query.prompt_tokens - 1)
+                head.prefix_hit_tokens += skip
+                head.prefill_remaining -= skip
+                if query.prefix_tokens % allocator.pool.block_tokens:
+                    head.cow_blocks += 1
+            else:
+                head.prefix_pending = True
+            return True
 
         # ------------------------------------------------------- event loop
 
@@ -1022,7 +1092,8 @@ class ServingEngine:
                         resumable = allocator.readmit(request.request_id)
                     else:
                         resumable = allocator.allocate(
-                            request.request_id, request.resume_kv_tokens)
+                            request.request_id, request.resume_kv_tokens,
+                            now_s=clock)
                     if not resumable:
                         index += 1
                         continue
@@ -1031,10 +1102,10 @@ class ServingEngine:
                     resume(request)
                     running.append(request)
                 # Paged admission: blocks for the *current* need (the
-                # prompt), not the full future context.
+                # prompt), not the full future context — and only the
+                # suffix's share of it on a prefix-cache hit.
                 while (not preempted and waiting and len(running) < slots
-                       and allocator.allocate(waiting[0].request_id,
-                                              waiting[0].query.prompt_tokens)):
+                       and admit_head()):
                     request = waiting.popleft()
                     request.kv_tokens = request.query.prompt_tokens
                     request.state = RequestState.PREFILL
@@ -1365,7 +1436,8 @@ class ServingEngine:
                                           request.request_id,
                                           tokens=request.tokens_generated)
                             if paged:
-                                allocator.release(request.request_id)
+                                allocator.release(request.request_id,
+                                                  now_s=clock)
                                 request.kv_tokens = 0
                             else:
                                 reserved_bytes -= request.kv_reserved_bytes
@@ -1486,6 +1558,17 @@ class ServingEngine:
                     if rec is not None:
                         rec.event("request.first_token", clock,
                                   request.request_id)
+                    if request.prefix_pending:
+                        # Cache-miss promotion: the prefix KV this request
+                        # just prefilled becomes the shared chain later
+                        # arrivals attach to (best-effort — skipped when
+                        # another request won the race or the pool cannot
+                        # spare the tail snapshot block).
+                        request.prefix_pending = False
+                        allocator.register_prefix(
+                            request.query.prefix_key,
+                            request.query.prefix_tokens,
+                            request.request_id, now_s=clock)
                     prefill_completed.append(request)
             if batch_rows is not None:
                 cols.tokens_generated[batch_rows] += 1
@@ -1523,7 +1606,7 @@ class ServingEngine:
                     rec.event("request.finished", clock, request.request_id,
                               tokens=request.tokens_generated)
                 if paged:
-                    allocator.release(request.request_id)
+                    allocator.release(request.request_id, now_s=clock)
                     request.kv_tokens = 0
                 else:
                     reserved_bytes -= request.kv_reserved_bytes
@@ -1615,6 +1698,10 @@ class ServingEngine:
             partial_evictions=request.partial_evictions,
             migrated_count=request.migrated_count,
             migrated_kv_bytes=request.migrated_kv_bytes,
+            prefix_lookups=request.prefix_lookups,
+            prefix_hits=request.prefix_hits,
+            prefix_hit_tokens=request.prefix_hit_tokens,
+            cow_blocks=request.cow_blocks,
         )
         rec = state.recorder
         if rec is not None:
@@ -1625,8 +1712,10 @@ class ServingEngine:
             rec.now_s = now_s
         # Strip the request from the (frozen) source state: free its blocks
         # or reservation and drop it from whichever queue still holds it.
+        # A full release also detaches any shared-prefix chain reference
+        # (the chain stays cached on the source pool).
         if state.paged:
-            state.allocator.release(request.request_id)
+            state.allocator.release(request.request_id, now_s=now_s)
         elif request in state.running:
             state.reserved_bytes -= request.kv_reserved_bytes
         for queue in (state.pending, state.waiting, state.preempted):
@@ -1673,6 +1762,10 @@ class ServingEngine:
         request.partial_evictions = moved.partial_evictions
         request.migrated_count = moved.migrated_count + 1
         request.migrated_kv_bytes = moved.migrated_kv_bytes + moved.swap_bytes
+        request.prefix_lookups = moved.prefix_lookups
+        request.prefix_hits = moved.prefix_hits
+        request.prefix_hit_tokens = moved.prefix_hit_tokens
+        request.cow_blocks = moved.cow_blocks
         rec = state.recorder
         if not self._is_servable(moved.query, state.kv_budget):
             request.state = RequestState.REJECTED

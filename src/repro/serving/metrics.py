@@ -188,6 +188,10 @@ def aggregate_serving_result(
         num_partial_evictions=sum(r.partial_evictions for r in requests),
         num_migrated_in=sum(r.migrated_count for r in requests),
         migrated_kv_bytes=sum(r.migrated_kv_bytes for r in requests),
+        num_prefix_lookups=sum(r.prefix_lookups for r in requests),
+        num_prefix_hits=sum(r.prefix_hits for r in requests),
+        prefix_hit_tokens=sum(r.prefix_hit_tokens for r in requests),
+        num_cow_blocks=sum(r.cow_blocks for r in requests),
         queue_depth_timeline=tuple(
             (float(t), int(q), int(n)) for t, q, n in queue_depth_timeline
         ),

@@ -209,6 +209,17 @@ class ServingRequest:
         #: bytes those moves streamed through host memory.
         "migrated_count",
         "migrated_kv_bytes",
+        #: Shared-prefix cache outcome at admission: a prefix-tagged request
+        #: records one lookup; a hit also records the prefix tokens whose
+        #: prefill it skipped and the copy-on-write block (if any) it took
+        #: of the chain's partial tail.
+        "prefix_lookups",
+        "prefix_hits",
+        "prefix_hit_tokens",
+        "cow_blocks",
+        #: True between a cache-miss admission and prefill completion, when
+        #: the engine promotes this request's prefix blocks into a chain.
+        "prefix_pending",
     )
 
     def __init__(
@@ -252,6 +263,11 @@ class ServingRequest:
         self.partial_evictions = 0
         self.migrated_count = 0
         self.migrated_kv_bytes = 0
+        self.prefix_lookups = 0
+        self.prefix_hits = 0
+        self.prefix_hit_tokens = 0
+        self.cow_blocks = 0
+        self.prefix_pending = False
 
     # ------------------------------------------------------------------ columnar views
 

@@ -12,6 +12,12 @@ For trace-driven serving, :func:`poisson_arrivals` and
 :func:`with_arrivals` attaches them to a trace, and
 :func:`evaluate_sla_from_serving` checks measured serving runs against a
 query-latency SLA.
+
+:func:`prefix_reuse_queries` generates multi-tenant traffic where queries
+share per-tenant prompt prefixes (Zipf tenant popularity, tunable reuse
+probability) — the workload shape behind the serving engine's
+shared-prefix KV reuse (``prefix_sharing``) and the
+``prefix_reuse_study`` sweep.
 """
 
 from repro.workloads.queries import (
@@ -19,6 +25,7 @@ from repro.workloads.queries import (
     bursty_arrivals,
     fixed_queries,
     poisson_arrivals,
+    prefix_reuse_queries,
     sharegpt_like_queries,
     validate_arrivals,
     with_arrivals,
@@ -30,6 +37,7 @@ __all__ = [
     "Query",
     "fixed_queries",
     "sharegpt_like_queries",
+    "prefix_reuse_queries",
     "poisson_arrivals",
     "bursty_arrivals",
     "validate_arrivals",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -12,6 +12,7 @@ __all__ = [
     "Query",
     "fixed_queries",
     "sharegpt_like_queries",
+    "prefix_reuse_queries",
     "poisson_arrivals",
     "bursty_arrivals",
     "validate_arrivals",
@@ -30,12 +31,21 @@ class Query:
     preemption policy (lower values are evicted first); the default gives
     every request equal standing, so traces that never set it behave as
     before.
+
+    ``prefix_id`` / ``prefix_tokens`` declare that the first
+    ``prefix_tokens`` of the prompt are content-identical across every
+    query carrying the same id (a tenant's system prompt, a shared few-shot
+    preamble).  A prefix-sharing engine keys its KV cache on the pair, so
+    the id must change whenever the underlying prefix text does.  Both
+    default off; a trace that never sets them is served exactly as before.
     """
 
     prompt_tokens: int
     decode_tokens: int
     arrival_time_s: float = 0.0
     priority: float = 1.0
+    prefix_id: Optional[str] = None
+    prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.decode_tokens <= 0:
@@ -46,10 +56,28 @@ class Query:
             raise ValueError(
                 f"priority must be finite and non-negative, got {self.priority!r}"
             )
+        if (self.prefix_id is None) != (self.prefix_tokens == 0):
+            raise ValueError(
+                "prefix_id and prefix_tokens must be set together "
+                f"(got prefix_id={self.prefix_id!r}, "
+                f"prefix_tokens={self.prefix_tokens})"
+            )
+        if self.prefix_tokens < 0 or self.prefix_tokens > self.prompt_tokens:
+            raise ValueError(
+                f"prefix_tokens must lie in [0, prompt_tokens], got "
+                f"{self.prefix_tokens} with prompt_tokens={self.prompt_tokens}"
+            )
 
     @property
     def total_context(self) -> int:
         return self.prompt_tokens + self.decode_tokens
+
+    @property
+    def prefix_key(self) -> Optional[tuple]:
+        """Hash key of the shared prefix, or None for a prefix-free query."""
+        if self.prefix_id is None:
+            return None
+        return (self.prefix_id, self.prefix_tokens)
 
 
 def fixed_queries(count: int, prompt_tokens: int = 512, decode_tokens: int = 3584) -> List[Query]:
@@ -92,6 +120,79 @@ def sharegpt_like_queries(
         prompt = int(min(prompt, max_context - 1))
         output = int(min(output, max_context - prompt))
         queries.append(Query(max(prompt, 1), max(output, 1)))
+    return queries
+
+
+def prefix_reuse_queries(
+    count: int,
+    num_tenants: int = 8,
+    reuse_fraction: float = 0.8,
+    mean_prefix_tokens: float = 256.0,
+    mean_suffix_tokens: float = 96.0,
+    mean_decode_tokens: float = 256.0,
+    sigma: float = 0.6,
+    tenant_skew: float = 1.2,
+    seed: int = 2025,
+    max_context: int = 4096,
+) -> List[Query]:
+    """A deterministic multi-tenant trace with shared-prefix reuse.
+
+    Each of ``num_tenants`` tenants owns one fixed prefix (its system
+    prompt / few-shot preamble) whose length is log-normal around
+    ``mean_prefix_tokens``; tenants are picked with Zipf-like popularity
+    (``weight ∝ 1 / rank^tenant_skew``), so a few hot tenants dominate —
+    the regime where prefix caching pays.  A query reuses its tenant's
+    prefix with probability ``reuse_fraction`` (tagging ``prefix_id`` /
+    ``prefix_tokens``, prompt = prefix + fresh suffix); otherwise it is an
+    untagged one-off prompt of suffix length.  Suffix and decode lengths
+    are log-normal, everything clipped into ``max_context``, and the trace
+    is deterministic under ``seed``.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if num_tenants <= 0:
+        raise ValueError(f"num_tenants must be positive, got {num_tenants}")
+    if not 0.0 <= reuse_fraction <= 1.0:
+        raise ValueError(
+            f"reuse_fraction must lie in [0, 1], got {reuse_fraction!r}"
+        )
+    if min(mean_prefix_tokens, mean_suffix_tokens, mean_decode_tokens) <= 0 \
+            or sigma <= 0:
+        raise ValueError("length statistics must be positive")
+    if tenant_skew < 0:
+        raise ValueError(f"tenant_skew must be non-negative, got {tenant_skew!r}")
+    rng = np.random.default_rng(seed)
+    mu_prefix = np.log(mean_prefix_tokens) - sigma**2 / 2.0
+    prefix_lengths = np.maximum(
+        rng.lognormal(mean=mu_prefix, sigma=sigma, size=num_tenants).astype(int),
+        8,
+    )
+    prefix_lengths = np.minimum(prefix_lengths, max(max_context // 2, 8))
+    weights = 1.0 / np.arange(1, num_tenants + 1) ** tenant_skew
+    weights /= weights.sum()
+    tenants = rng.choice(num_tenants, size=count, p=weights)
+    reuses = rng.random(count) < reuse_fraction
+
+    def lengths(mean: float) -> np.ndarray:
+        mu = np.log(mean) - sigma**2 / 2.0
+        values = rng.lognormal(mean=mu, sigma=sigma, size=count)
+        return np.maximum(values.astype(int), 1)
+
+    suffixes = lengths(mean_suffix_tokens)
+    outputs = lengths(mean_decode_tokens)
+    queries = []
+    for tenant, reuse, suffix, output in zip(tenants, reuses, suffixes, outputs):
+        if reuse:
+            prefix = int(prefix_lengths[tenant])
+            prompt = min(prefix + int(suffix), max_context - 1)
+            decode = max(min(int(output), max_context - prompt), 1)
+            queries.append(Query(prompt, decode,
+                                 prefix_id=f"tenant-{int(tenant)}",
+                                 prefix_tokens=min(prefix, prompt)))
+        else:
+            prompt = max(min(int(suffix), max_context - 1), 1)
+            decode = max(min(int(output), max_context - prompt), 1)
+            queries.append(Query(prompt, decode))
     return queries
 
 

@@ -64,6 +64,16 @@ class TestMetricExtraction:
             "sim_speedup_vs_scalar", 20.0)
         assert not compare_bench.is_tracked_metric("sim_trace_requests", 10000)
 
+    def test_prefix_cache_metrics_are_tracked(self):
+        # benchmarks/test_prefix_reuse_goodput.py attaches these; a falling
+        # hit rate regresses the prefix cache even when goodput holds.
+        assert compare_bench.is_tracked_metric("prefix_hit_rate", 0.83)
+        assert compare_bench.is_tracked_metric(
+            "prefix_goodput_tokens_per_s", 612.0)
+        assert not compare_bench.is_inverse_metric("prefix_hit_rate")
+        # The COW counter stays informational.
+        assert not compare_bench.is_tracked_metric("num_cow_blocks", 27)
+
     def test_stall_metrics_are_inverse(self):
         assert compare_bench.is_inverse_metric("migration_stall_s")
         assert not compare_bench.is_inverse_metric("migrated_kv_bytes")
@@ -164,6 +174,21 @@ class TestGate:
         assert compare_bench.main(["--baseline", str(base),
                                    "--current", str(broken)]) == 1
         fine = write(tmp_path, "BENCH_fine.json", kv_report(1200.0))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(fine)]) == 0
+
+    def test_prefix_hit_rate_drop_fails_the_gate(self, tmp_path):
+        def hit_report(rate):
+            return {"benchmarks": [{
+                "fullname": "benchmarks/test_prefix_reuse_goodput.py::test_x",
+                "extra_info": {"prefix_hit_rate": rate},
+            }]}
+        base = write(tmp_path, "BENCH_base.json", hit_report(0.80))
+        # The prefix cache silently missing would show as a collapse here.
+        broken = write(tmp_path, "BENCH_broken.json", hit_report(0.10))
+        assert compare_bench.main(["--baseline", str(base),
+                                   "--current", str(broken)]) == 1
+        fine = write(tmp_path, "BENCH_fine.json", hit_report(0.78))
         assert compare_bench.main(["--baseline", str(base),
                                    "--current", str(fine)]) == 0
 

@@ -228,6 +228,149 @@ def test_kv_blocks_conserved_across_preemption_and_swap(num_blocks, ops):
         assert pool.swapped_blocks == 0
 
 
+# ------------------------------------------------------- prefix chain conservation
+
+@st.composite
+def prefix_op_sequences(draw):
+    """Random lifecycles over shared prefix chains: fresh allocations,
+    cache-hit attaches, promote-on-prefill registrations, growth, swap,
+    preemption parking (release keeping the chain pin), pinned resumption,
+    chain eviction and cross-pool migration."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        kind = draw(st.sampled_from(
+            ["allocate", "attach", "grow", "evict", "readmit", "park",
+             "resume", "release", "register", "chain_evict", "migrate"]))
+        owner = draw(st.integers(min_value=0, max_value=4))
+        key = draw(st.integers(min_value=0, max_value=2))
+        tokens = draw(st.integers(min_value=1, max_value=200))
+        blocks = draw(st.integers(min_value=1, max_value=6))
+        ops.append((kind, owner, key, tokens, blocks))
+    return ops
+
+
+@given(st.integers(min_value=2, max_value=16), prefix_op_sequences())
+@settings(max_examples=200)
+def test_prefix_chain_blocks_and_refcounts_conserved(num_blocks, ops):
+    """Conservation with shared prefix chains, after every operation: each
+    pool's used blocks are exactly the owners' private resident blocks plus
+    the chains' shared blocks (nothing double-counted through a COW tail or
+    a promote), every chain's refcount equals its attached readers —
+    *including* parked preemption victims pinning their prefix — and each
+    fully-resident owner still logically covers ``blocks_for(tokens)``."""
+    from repro.kvstore import BlockPool, KvAllocator
+
+    pools = [BlockPool(budget_bytes=num_blocks * 16 * 10, bytes_per_token=10,
+                       block_tokens=16) for _ in range(2)]
+    allocators = [KvAllocator(pool) for pool in pools]
+    held: dict = {}     # owner -> (allocator index, tokens covered)
+    parked: dict = {}   # owner -> allocator index (released keep_prefix)
+    clock = 0.0
+    for kind, owner, key, tokens, blocks in ops:
+        clock += 1.0
+        side = key % 2
+        if kind == "allocate" and owner not in held and owner not in parked:
+            if allocators[side].allocate(owner, tokens, now_s=clock):
+                held[owner] = (side, tokens)
+        elif kind == "attach" and owner not in held and owner not in parked:
+            chain = pools[side].prefix_get(("p", key))
+            if chain is not None:
+                target = max(tokens, chain.tokens)
+                if allocators[side].allocate(owner, target, prefix=("p", key),
+                                             now_s=clock):
+                    held[owner] = (side, target)
+        elif kind == "grow" and owner in held:
+            where, current = held[owner]
+            target = max(current, tokens)
+            if allocators[where].grow(owner, target):
+                held[owner] = (where, target)
+        elif kind == "evict" and owner in held:
+            allocators[held[owner][0]].evict_blocks(owner, blocks)
+        elif kind == "readmit" and owner in held:
+            allocators[held[owner][0]].readmit(owner)
+        elif kind == "park" and owner in held:
+            where, _ = held.pop(owner)
+            allocators[where].release(owner, keep_prefix=True, now_s=clock)
+            if allocators[where].shared_key(owner) is not None:
+                parked[owner] = where       # the pin survives the release
+        elif kind == "resume" and owner in parked:
+            where = parked[owner]
+            chain_key = allocators[where].shared_key(owner)
+            target = max(tokens, pools[where].prefix_chains[chain_key].tokens)
+            if allocators[where].allocate(owner, target, now_s=clock):
+                del parked[owner]
+                held[owner] = (where, target)
+        elif kind == "release" and owner in held:
+            where, current = held.pop(owner)
+            assert allocators[where].release(owner, now_s=clock) == current
+        elif kind == "register" and owner in held:
+            where, current = held[owner]
+            allocators[where].register_prefix(("p", key), min(tokens, current),
+                                              owner, now_s=clock)
+        elif kind == "chain_evict":
+            evictable = allocators[side].evictable_prefixes()
+            if evictable:
+                allocators[side].evict_prefix(evictable[0].key)
+        elif kind == "migrate" and owner in held:
+            source, current = held[owner]
+            destination = 1 - source
+            # The live-migration shape: private allocation at the
+            # destination, full release (chain detach included) at the
+            # source; all-or-nothing on destination shortage.
+            if allocators[destination].allocate(owner, current, now_s=clock):
+                assert allocators[source].release(owner, now_s=clock) == current
+                held[owner] = (destination, current)
+
+        # ---- the conservation laws, after every single operation ----
+        for where, (pool, allocator) in enumerate(zip(pools, allocators)):
+            owners = [o for o, (s, _) in held.items() if s == where]
+            pinned = [o for o, s in parked.items() if s == where]
+            assert pool.free_blocks + pool.used_blocks == pool.num_blocks
+            assert pool.prefix_blocks == sum(
+                chain.blocks for chain in pool.prefix_chains.values())
+            assert pool.used_blocks == pool.prefix_blocks + sum(
+                allocator.holds_resident_blocks(o) for o in owners)
+            assert pool.swapped_blocks == sum(
+                allocator.holds_swapped_blocks(o) for o in owners)
+            for chain in pool.prefix_chains.values():
+                readers = [o for o in owners + pinned
+                           if allocator.shared_key(o) == chain.key]
+                assert chain.refcount == len(readers)
+                assert chain.refcount >= 0
+            for o in owners:
+                resident = allocator.holds_resident_blocks(o)
+                swapped = allocator.holds_swapped_blocks(o)
+                assert resident >= 0 and swapped >= 0
+                assert resident + swapped + allocator.shared_blocks(o) \
+                    == pool.blocks_for(held[o][1]) == allocator.holds_blocks(o)
+
+    # Drain: held owners release fully; parked owners resume (which may need
+    # several passes as departures free blocks) and release, detaching their
+    # pins; then every unreferenced chain is evicted.  A parked owner can
+    # stay wedged only when pinned chains hold the whole pool — its chain
+    # then legitimately survives.
+    for owner, (side, _) in list(held.items()):
+        allocators[side].release(owner)
+    progress = True
+    while progress and parked:
+        progress = False
+        for owner, side in list(parked.items()):
+            chain_key = allocators[side].shared_key(owner)
+            chain_tokens = pools[side].prefix_chains[chain_key].tokens
+            if allocators[side].allocate(owner, chain_tokens):
+                allocators[side].release(owner)
+                del parked[owner]
+                progress = True
+    for side, pool in enumerate(pools):
+        for chain in allocators[side].evictable_prefixes():
+            allocators[side].evict_prefix(chain.key)
+        assert pool.swapped_blocks == 0
+        assert pool.used_blocks == pool.prefix_blocks
+        assert pool.free_blocks == pool.num_blocks - pool.prefix_blocks
+        for chain in pool.prefix_chains.values():
+            assert chain.refcount > 0       # only wedged pins survive
+
+
 # --------------------------------------------------------------------------- serving invariants
 
 _SERVING_MODEL = ModelConfig(
