@@ -14,7 +14,7 @@ def test_fig19_scalability(benchmark, once, capsys):
     assert by_devices[128]["tokens_per_s"] > 3.0 * by_devices[16]["tokens_per_s"]
     # Throughput never decreases when devices are added.
     ordered = [row["tokens_per_s"] for row in sorted(rows, key=lambda r: r["devices"])]
-    for previous, current in zip(ordered, ordered[1:]):
+    for previous, current in zip(ordered, ordered[1:], strict=False):
         assert current >= previous * 0.99
     # Plateaus exist: at 44 devices the extra devices beyond 40 idle rather
     # than splitting a block across devices, so utilisation drops.

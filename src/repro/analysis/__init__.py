@@ -1,0 +1,36 @@
+"""repro-lint: AST-based invariant linter for the simulator stack.
+
+The simulator's headline guarantees — bit-exact scalar/vectorized and
+traced/untraced runs, deterministic replay, zero-cost telemetry when off —
+are properties of the *source code*: no wall-clock reads, guarded emission
+sites, canonical left-fold accumulation, closed slotted-class surfaces.
+This package makes them machine-checked instead of reviewer-checked:
+
+* ``python -m repro.analysis [--baseline FILE] [paths...]`` lints the tree
+  (default ``src/repro``) and exits non-zero on any unsuppressed finding;
+* ``--list-rules`` prints the rule catalog (also in CONTRIBUTING.md);
+* ``# repro-lint: ignore[rule-id]`` suppresses one finding inline, with a
+  justification comment;
+* ``--baseline`` tolerates a reviewed set of legacy findings while a sweep
+  is in flight (the goal state is an empty baseline).
+
+Dependency-free by design (stdlib ``ast`` only), so the lint gate runs
+anywhere the interpreter does.
+"""
+
+from repro.analysis.engine import LintResult, iter_source_files, lint_paths
+from repro.analysis.findings import Baseline, Finding, scan_suppressions
+from repro.analysis.registry import Module, Rule, register, rule_classes
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "Module",
+    "Rule",
+    "iter_source_files",
+    "lint_paths",
+    "register",
+    "rule_classes",
+    "scan_suppressions",
+]

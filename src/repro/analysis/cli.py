@@ -1,0 +1,127 @@
+"""``python -m repro.analysis`` — the repro-lint command line.
+
+Exit status 0 means the tree is clean: no unsuppressed, unbaselined
+findings and no parse errors.  Typical invocations::
+
+    python -m repro.analysis src/repro            # lint the package
+    python -m repro.analysis --list-rules         # rule catalog
+    python -m repro.analysis --baseline b.json src/repro
+    python -m repro.analysis --write-baseline b.json src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.findings import Baseline
+from repro.analysis.registry import rule_classes
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("repro-lint: AST-based invariant linter for the "
+                     "simulator (determinism, zero-overhead telemetry, "
+                     "bit-exactness rules)"))
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--baseline", type=Path, metavar="FILE",
+        help="JSON baseline of tolerated finding fingerprints")
+    parser.add_argument(
+        "--write-baseline", type=Path, metavar="FILE",
+        help="write current findings' fingerprints to FILE and exit 0")
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print findings only, no summary line")
+    return parser
+
+
+def _default_paths() -> List[Path]:
+    for candidate in (Path("src/repro"), Path("repro")):
+        if candidate.is_dir():
+            return [candidate]
+    return [Path(".")]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for cls in rule_classes():
+            scope = ", ".join(cls.scope) if cls.scope else "all files"
+            print(f"{cls.id}: {cls.summary}")
+            print(f"    scope: {scope}")
+            if cls.rationale:
+                print(f"    {cls.rationale}")
+        return 0
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"repro-lint: cannot read baseline: {error}",
+                  file=sys.stderr)
+            return 2
+
+    select = None
+    if args.select:
+        select = [rule.strip() for rule in args.select.split(",")
+                  if rule.strip()]
+        known = {cls.id for cls in rule_classes()}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(f"repro-lint: unknown rule(s) {', '.join(unknown)}; "
+                  f"known: {', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or _default_paths()
+    result = lint_paths(paths, baseline=baseline, select=select)
+
+    if args.write_baseline is not None:
+        Baseline().write(args.write_baseline,
+                         result.findings + result.baselined)
+        print(f"repro-lint: wrote {len(result.findings) + len(result.baselined)} "
+              f"fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    for error in result.errors:
+        print(f"error: {error}")
+    for finding in result.findings:
+        print(finding.render())
+        text = finding.source_line.strip()
+        if text:
+            print(f"    {text}")
+
+    if not args.quiet:
+        extras = []
+        if result.suppressed:
+            extras.append(f"{len(result.suppressed)} suppressed inline")
+        if result.baselined:
+            extras.append(f"{len(result.baselined)} baselined")
+        if result.stale_baseline:
+            extras.append(
+                f"{len(result.stale_baseline)} stale baseline entr"
+                f"{'y' if len(result.stale_baseline) == 1 else 'ies'} "
+                "(fixed or drifted — prune them)")
+        detail = f" ({'; '.join(extras)})" if extras else ""
+        status = "clean" if result.ok else (
+            f"{len(result.findings)} finding(s)"
+            + (f", {len(result.errors)} error(s)" if result.errors else ""))
+        print(f"repro-lint: {status} across {result.num_files} "
+              f"file(s){detail}")
+    return 0 if result.ok else 1

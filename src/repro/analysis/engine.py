@@ -1,0 +1,105 @@
+"""The lint engine: walk files, run rules in two passes, apply escapes.
+
+Pass 1 (``collect``) shows every module to every rule so cross-module
+state (the slots registry) is complete before pass 2 (``check``) emits
+findings.  Findings then flow through the inline-suppression table and
+the optional baseline; whatever survives fails the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.findings import Baseline, Finding, scan_suppressions
+from repro.analysis.registry import Module, Rule, rule_classes
+
+__all__ = ["LintResult", "lint_paths", "iter_source_files"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (fixed or drifted findings).
+    stale_baseline: List[str] = field(default_factory=list)
+    #: Files that failed to parse: (display path, error message).
+    errors: List[str] = field(default_factory=list)
+    num_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def iter_source_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Python files under ``paths`` (files kept, dirs walked), sorted."""
+    out: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.extend(p for p in sorted(path.rglob("*.py"))
+                       if "__pycache__" not in p.parts)
+        else:
+            out.append(path)
+    return out
+
+
+def _display(path: Path) -> str:
+    """Stable display path: relative to cwd when possible, posix."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(paths: Sequence[Path], *,
+               baseline: Optional[Baseline] = None,
+               select: Optional[Sequence[str]] = None) -> LintResult:
+    """Run all (or ``select``-ed) rules over ``paths``."""
+    rules: List[Rule] = [cls() for cls in rule_classes()
+                         if select is None or cls.id in select]
+    result = LintResult()
+
+    modules: List[Module] = []
+    for path in iter_source_files(paths):
+        display = _display(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            modules.append(Module(path, display, source))
+        except (OSError, SyntaxError, ValueError) as error:
+            result.errors.append(f"{display}: {error}")
+    result.num_files = len(modules)
+
+    for rule in rules:
+        for module in modules:
+            if rule.applies_to(module.display):
+                rule.collect(module)
+
+    raw: List[Finding] = []
+    for rule in rules:
+        for module in modules:
+            if rule.applies_to(module.display):
+                raw.extend(rule.check(module))
+
+    suppressions_by_module = {
+        module.display: scan_suppressions(module.source)
+        for module in modules
+    }
+    for finding in raw:
+        suppressed = suppressions_by_module.get(finding.path, {})
+        if finding.rule in suppressed.get(finding.line, ()):
+            result.suppressed.append(finding)
+        elif baseline is not None and baseline.matches(finding):
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    if baseline is not None:
+        result.stale_baseline = baseline.stale
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

@@ -1,0 +1,122 @@
+"""Findings, inline suppressions and the baseline ledger.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+``fingerprint`` deliberately ignores the line *number* (hashing the rule id,
+the file's display path and the stripped source text instead) so a baseline
+entry survives unrelated edits above the finding.
+
+Two escape hatches, with different lifetimes:
+
+* **Inline suppression** — ``# repro-lint: ignore[rule-id]`` on the flagged
+  statement's first line, or on a comment line directly above it.  Permanent
+  and reviewed: the pragma must carry a justification comment next to it.
+* **Baseline** — a JSON file of fingerprints passed via ``--baseline``.
+  Temporary: it lets the linter land before a large sweep finishes, and the
+  goal state (enforced by this repo's acceptance tests) is an *empty*
+  baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Set
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "scan_suppressions",
+]
+
+#: ``# repro-lint: ignore[rule-a]`` or ``ignore[rule-a, rule-b]``.
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_\-, ]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # display path (posix, relative when possible)
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+    #: Stripped source text of the flagged line (fingerprint input).
+    source_line: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1(
+            self.source_line.strip().encode("utf-8")).hexdigest()[:12]
+        return f"{self.rule}:{self.path}:{digest}"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} {self.message}")
+
+
+def scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    A pragma on a code line suppresses findings reported on that line; a
+    pragma on a standalone comment line suppresses findings on the next
+    line (so multi-clause statements can keep the justification above).
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        target = lineno + 1 if text.lstrip().startswith("#") else lineno
+        suppressed.setdefault(target, set()).update(rules)
+    return suppressed
+
+
+class Baseline:
+    """A set of tolerated finding fingerprints loaded from JSON.
+
+    File format: ``{"version": 1, "entries": ["<fingerprint>", ...]}``
+    (a bare JSON list is accepted too).  Matching is by fingerprint only;
+    entries never matched during a run are reported as *stale* so the
+    baseline can only shrink.
+    """
+
+    def __init__(self, entries: Iterable[str] = ()) -> None:
+        self.entries: Set[str] = set(entries)
+        self._matched: Set[str] = set()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if isinstance(data, dict):
+            entries = data.get("entries", [])
+        else:
+            entries = data
+        if not isinstance(entries, list) or not all(
+                isinstance(entry, str) for entry in entries):
+            raise ValueError(
+                f"baseline {path} must hold a JSON list of fingerprint "
+                "strings (optionally under an 'entries' key)")
+        return cls(entries)
+
+    def write(self, path: Path, findings: Iterable[Finding]) -> None:
+        payload = {"version": 1,
+                   "entries": sorted({f.fingerprint for f in findings})}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.fingerprint in self.entries:
+            self._matched.add(finding.fingerprint)
+            return True
+        return False
+
+    @property
+    def stale(self) -> List[str]:
+        """Entries that matched nothing this run (fixed or drifted)."""
+        return sorted(self.entries - self._matched)

@@ -1,0 +1,63 @@
+"""Import tracking and dotted-name resolution shared by the rules.
+
+Rules that ban calls by *module-qualified* name (``time.perf_counter``,
+``numpy.random.rand``) must see through local aliases: ``import numpy as
+np`` makes ``np.random.rand`` the banned call, and ``from time import
+perf_counter as clock`` makes a bare ``clock()`` one.  :class:`ImportMap`
+records a module's import statements; :func:`resolve` canonicalises any
+``Name``/``Attribute`` chain against it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["ImportMap", "dotted_name", "resolve"]
+
+
+class ImportMap:
+    """Alias -> canonical dotted prefix, from one module's imports."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve(node: ast.AST, imports: ImportMap) -> Optional[str]:
+    """Canonical module-qualified dotted name of an expression, if any.
+
+    ``np.random.rand`` with ``import numpy as np`` resolves to
+    ``numpy.random.rand``; a name that is not rooted in an import resolves
+    to itself (so local shadowing is treated literally, not guessed at).
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    canonical = imports.aliases.get(head, head)
+    return f"{canonical}.{rest}" if rest else canonical

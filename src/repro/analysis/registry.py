@@ -1,0 +1,108 @@
+"""The rule registry: how invariants become machine-checked.
+
+A rule is a class with an ``id``, a one-line ``summary``, an optional path
+``scope`` and a ``check`` method that yields :class:`~repro.analysis.
+findings.Finding` objects for one parsed module.  Rules needing
+cross-module knowledge (the slots registry) implement ``collect``, which
+the engine runs over *every* module before any ``check`` call.
+
+Registering is one decorator::
+
+    from repro.analysis.registry import Rule, register
+
+    @register
+    class MyRule(Rule):
+        id = "my-rule"
+        summary = "what invariant this protects"
+        scope = ("*serving*",)          # fnmatch globs; None = all files
+
+        def check(self, module):
+            yield self.finding(module, node, "message")
+
+Rules are instantiated fresh per lint run, so per-run state (registries,
+caches) lives safely on ``self``.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Module", "Rule", "register", "rule_classes"]
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+class Module:
+    """One parsed source file handed to the rules."""
+
+    def __init__(self, path, display: str, source: str) -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        self.tree = ast.parse(source, filename=display)
+        self.lines = source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class: one machine-checked source invariant."""
+
+    id: str = ""
+    summary: str = ""
+    #: Rationale shown by ``--list-rules`` (one short paragraph).
+    rationale: str = ""
+    #: fnmatch globs over the posix display path; None applies everywhere.
+    scope = None
+
+    def applies_to(self, display: str) -> bool:
+        if self.scope is None:
+            return True
+        return any(fnmatch.fnmatch(display, pattern)
+                   for pattern in self.scope)
+
+    def collect(self, module: Module) -> None:
+        """First pass over every module (cross-module state); optional."""
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST,
+                message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            path=module.display,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            source_line=module.line_text(lineno),
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def rule_classes() -> List[Type[Rule]]:
+    """All registered rules, id-sorted (imports the rule modules)."""
+    # Importing the package body registers every built-in rule exactly once.
+    import repro.analysis.rules  # noqa: F401  (import for side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def iter_registered() -> Iterator[Type[Rule]]:
+    yield from rule_classes()

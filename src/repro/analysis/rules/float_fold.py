@@ -1,0 +1,85 @@
+"""Rule ``float-fold``: conserved float totals use the canonical left fold.
+
+The attribution layer's conservation invariant (PR 8) holds because every
+total is produced by the *same* operation sequence: a left-to-right
+``acc += x`` fold (``segment_sum_s``), whose final segment is the fold's
+residual.  A total produced any other way — ``math.fsum`` (compensated),
+``numpy`` reductions (pairwise), or a casual ``sum(...)`` that someone
+later "optimises" — can differ in the last ulp and break bit-exact
+conservation between two spellings of the same quantity.
+
+In the conservation-critical modules (``telemetry/attribution.py``,
+``core/iteration.py``) bare ``sum()`` / ``math.fsum()`` / ``np.sum()``
+over float expressions is therefore banned: accumulate with an explicit
+left fold so the order of operations is visible and pinned.  Integer
+reductions are exempt when the element is obviously integral (an ``int``
+literal or an ``int(...)``/``len(...)`` cast) — integer addition is
+associative, so no fold discipline is needed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.names import ImportMap, resolve
+from repro.analysis.registry import Module, Rule, register
+
+_INT_CASTS = {"int", "len", "round", "ord"}
+
+
+def _obviously_integral(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in _INT_CASTS:
+        return True
+    return False
+
+
+def _int_exempt(call: ast.Call) -> bool:
+    """True when the summed elements are obviously integral."""
+    if not call.args:
+        return False
+    arg = call.args[0]
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return _obviously_integral(arg.elt)
+    if isinstance(arg, (ast.List, ast.Tuple)):
+        return bool(arg.elts) and all(_obviously_integral(elt)
+                                      for elt in arg.elts)
+    return False
+
+
+@register
+class FloatFoldRule(Rule):
+    id = "float-fold"
+    summary = ("bare sum()/fsum()/np.sum() in conservation-critical "
+               "modules")
+    rationale = (
+        "Bit-exact conservation requires one canonical operation order: "
+        "the explicit left-to-right fold (cf. segment_sum_s). fsum and "
+        "numpy reductions use different summation orders; even builtin "
+        "sum hides the order from review. Spell the fold out.")
+    scope = ("*telemetry/attribution.py", "*core/iteration.py")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve(node.func, imports)
+            if resolved == "sum":
+                if not _int_exempt(node):
+                    yield self.finding(
+                        module, node,
+                        "bare sum() over float expressions — accumulate "
+                        "with an explicit left-to-right fold (cf. "
+                        "segment_sum_s) so the operation order is pinned")
+            elif resolved in ("math.fsum", "numpy.sum"):
+                yield self.finding(
+                    module, node,
+                    f"{resolved}() does not reproduce the canonical left "
+                    "fold (compensated/pairwise summation); use the "
+                    "explicit fold")

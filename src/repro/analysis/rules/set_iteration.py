@@ -1,0 +1,102 @@
+"""Rule ``no-set-iteration``: hash-ordered iteration must not reach outcomes.
+
+Python set iteration order depends on insertion history and hash seeding.
+In engine/kvstore/cluster code, the order of a loop frequently decides who
+is admitted, evicted or routed first — iterating a set there turns a hash
+accident into a simulated outcome.  Wrap the set in ``sorted(...)`` (any
+deterministic key) before iterating; order-independent reductions
+(``sorted``/``min``/``max``/``sum``/``len``/``any``/``all``, membership
+tests) are untouched.
+
+Flagged: ``for x in <set>``, comprehension generators over ``<set>``, and
+``list``/``tuple``/``enumerate``/``iter`` of an obvious set — where
+``<set>`` is a set literal/comprehension, a ``set()``/``frozenset()``
+call, a set-algebra expression built from one, or a name assigned one of
+those anywhere in the module (names are tracked module-wide, which is
+deliberately conservative: a name that ever holds a set is treated as one
+at every loop).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, Rule, register
+
+_ORDERING_CALLS = {"list", "tuple", "enumerate", "iter"}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_obvious_set(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return (_is_obvious_set(node.left, set_names)
+                or _is_obvious_set(node.right, set_names))
+    return False
+
+
+def _set_typed_names(tree: ast.AST) -> Set[str]:
+    """Names bound to an obvious set anywhere in the module."""
+    names: Set[str] = set()
+    # Two passes so ``a = set(x); b = a | other`` marks ``b`` too.
+    for _ in range(2):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) \
+                    and _is_obvious_set(node.value, names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and isinstance(node.target, ast.Name) \
+                    and _is_obvious_set(node.value, names):
+                names.add(node.target.id)
+    return names
+
+
+@register
+class SetIterationRule(Rule):
+    id = "no-set-iteration"
+    summary = "iteration over sets in engine/kvstore/cluster/core code"
+    rationale = (
+        "Set iteration order is a hash accident. Where loop order decides "
+        "admission, eviction or routing, it must be made deterministic "
+        "with sorted(...) before the hash seed becomes a simulation input.")
+    scope = ("*serving*", "*kvstore*", "*cluster*", "*core*")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        set_names = _set_typed_names(module.tree)
+        flagged: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._flag(module, node.iter, set_names,
+                                      flagged)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    yield from self._flag(module, generator.iter,
+                                          set_names, flagged)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id in _ORDERING_CALLS and node.args:
+                yield from self._flag(module, node.args[0], set_names,
+                                      flagged)
+
+    def _flag(self, module: Module, iter_expr: ast.AST,
+              set_names: Set[str], flagged: Set[int]) -> Iterable[Finding]:
+        if not _is_obvious_set(iter_expr, set_names):
+            return
+        if id(iter_expr) in flagged:  # one finding per expression
+            return
+        flagged.add(id(iter_expr))
+        yield self.finding(
+            module, iter_expr,
+            "iterating a set — order is hash-dependent and feeds "
+            "simulated outcomes; wrap in sorted(...)")

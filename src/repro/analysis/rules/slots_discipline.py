@@ -1,0 +1,233 @@
+"""Rule ``slots-discipline``: view-handle classes keep a closed attribute set.
+
+``ServingRequest`` (PR 6) is a ``__slots__`` view handle over the columnar
+request store: its attribute surface *is* its contract with the vectorized
+engine.  An attribute write outside the declared surface either raises
+``AttributeError`` at runtime (on the class itself) or — worse, on a
+future un-slotted refactor — silently grows per-instance dicts back onto
+the hot path.  This rule makes the surface machine-checked:
+
+* inside a slotted class, ``self.x = ...`` must target a declared slot, a
+  class-level descriptor (the ``_int_column`` properties) or a property
+  setter;
+* outside, writes through a variable whose class is statically known
+  (``x = ServingRequest(...)``, ``x: ServingRequest`` annotations,
+  annotated parameters) are held to the same surface, including literal
+  ``setattr(x, "name", ...)`` spellings.
+
+``__slots__`` values are resolved statically, following module- and
+class-level name constants and tuple concatenation (the
+``RequestColumns.__slots__ = _INT_COLUMNS + _FLOAT_COLUMNS + (...)``
+idiom).  A class whose slots cannot be fully resolved, or that has bases,
+is left unchecked rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, Rule, register
+
+
+def _constant_tuples(body: List[ast.stmt]) -> Dict[str, ast.expr]:
+    """Simple ``NAME = <expr>`` bindings in a statement list."""
+    table: Dict[str, ast.expr] = {}
+    for stmt in body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            table[stmt.targets[0].id] = stmt.value
+    return table
+
+
+def _resolve_strings(expr: ast.expr,
+                     tables: List[Dict[str, ast.expr]],
+                     depth: int = 0) -> Optional[Tuple[str, ...]]:
+    """Evaluate a tuple-of-strings expression statically, or None."""
+    if depth > 8:
+        return None
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return (expr.value,)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in expr.elts:
+            resolved = _resolve_strings(elt, tables, depth + 1)
+            if resolved is None:
+                return None
+            out.extend(resolved)
+        return tuple(out)
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        left = _resolve_strings(expr.left, tables, depth + 1)
+        right = _resolve_strings(expr.right, tables, depth + 1)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(expr, ast.Name):
+        for table in tables:
+            if expr.id in table:
+                return _resolve_strings(table[expr.id], tables, depth + 1)
+        return None
+    return None
+
+
+class _SlottedClass:
+    """Statically resolved attribute surface of one slotted class."""
+
+    def __init__(self, name: str, writable: Set[str]) -> None:
+        self.name = name
+        self.writable = writable
+
+
+@register
+class SlotsDisciplineRule(Rule):
+    id = "slots-discipline"
+    summary = "attribute writes outside a slotted class's declared surface"
+    rationale = (
+        "A __slots__ view handle's attribute set is its contract with the "
+        "columnar store: an out-of-surface write is an AttributeError "
+        "today and a silent per-instance dict after a careless refactor.")
+
+    def __init__(self) -> None:
+        #: class name -> surface, across every collected module.
+        self._classes: Dict[str, _SlottedClass] = {}
+
+    # ------------------------------------------------------------------
+    # pass 1: build the cross-module slotted-class registry
+    # ------------------------------------------------------------------
+
+    def collect(self, module: Module) -> None:
+        module_table = _constant_tuples(module.tree.body)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.bases or node.keywords:
+                continue  # inheritance: surface not statically known
+            class_table = _constant_tuples(node.body)
+            slots: Optional[Tuple[str, ...]] = None
+            writable: Set[str] = set()
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if not isinstance(target, ast.Name):
+                            continue
+                        if target.id == "__slots__":
+                            slots = _resolve_strings(
+                                stmt.value, [class_table, module_table])
+                        else:
+                            # Class-level descriptor (property factories
+                            # like `_int_column(...)`) or constant.
+                            writable.add(target.id)
+                elif isinstance(stmt, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    # Methods and decorated properties/setters.
+                    writable.add(stmt.name)
+            if slots is None:
+                continue  # not slotted, or slots not statically resolvable
+            writable.update(slots)
+            self._classes[node.name] = _SlottedClass(node.name, writable)
+
+    # ------------------------------------------------------------------
+    # pass 2: check writes against the surface
+    # ------------------------------------------------------------------
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) \
+                    and node.name in self._classes:
+                yield from self._check_self_writes(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_typed_locals(module, node)
+
+    def _check_self_writes(self, module: Module,
+                           cls: ast.ClassDef) -> Iterable[Finding]:
+        surface = self._classes[cls.name].writable
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(method):
+                for target, attr in self._write_targets(node):
+                    if isinstance(target, ast.Name) \
+                            and target.id == "self" \
+                            and attr not in surface:
+                        yield self.finding(
+                            module, node,
+                            f"write to self.{attr} outside "
+                            f"{cls.name}'s declared __slots__ surface")
+
+    def _check_typed_locals(self, module: Module,
+                            func: ast.AST) -> Iterable[Finding]:
+        # Variable -> slotted class name, from annotations and constructor
+        # calls; a rebind to anything else forgets the type.
+        typed: Dict[str, str] = {}
+        for arg in list(func.args.args) + list(func.args.kwonlyargs):
+            cls = self._annotation_class(arg.annotation)
+            if cls is not None:
+                typed[arg.arg] = cls
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                typed.pop(node.targets[0].id, None)
+                cls = self._constructed_class(node.value)
+                if cls is not None:
+                    typed[node.targets[0].id] = cls
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                cls = self._annotation_class(node.annotation)
+                if cls is not None:
+                    typed[node.target.id] = cls
+        if not typed:
+            return
+        for node in ast.walk(func):
+            for target, attr in self._write_targets(node):
+                if isinstance(target, ast.Name) and target.id != "self":
+                    cls = typed.get(target.id)
+                    if cls is not None \
+                            and attr not in self._classes[cls].writable:
+                        yield self.finding(
+                            module, node,
+                            f"write to {target.id}.{attr} outside "
+                            f"{cls}'s declared __slots__ surface")
+
+    # ------------------------------------------------------------------
+
+    def _write_targets(self, node: ast.AST):
+        """(receiver, attribute-name) pairs this statement writes."""
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    yield target.value, target.attr
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node.target, ast.Attribute):
+                yield node.target.value, node.target.attr
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id == "setattr" and len(node.args) >= 2 \
+                and isinstance(node.args[1], ast.Constant) \
+                and isinstance(node.args[1].value, str):
+            yield node.args[0], node.args[1].value
+
+    def _annotation_class(self,
+                          annotation: Optional[ast.expr]) -> Optional[str]:
+        if annotation is None:
+            return None
+        name = None
+        if isinstance(annotation, ast.Name):
+            name = annotation.id
+        elif isinstance(annotation, ast.Attribute):
+            name = annotation.attr
+        elif isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str):
+            name = annotation.value.rsplit(".", 1)[-1]
+        return name if name in self._classes else None
+
+    def _constructed_class(self, value: ast.expr) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        name = None
+        if isinstance(value.func, ast.Name):
+            name = value.func.id
+        elif isinstance(value.func, ast.Attribute):
+            name = value.func.attr
+        return name if name in self._classes else None

@@ -1,0 +1,205 @@
+"""Rule ``telemetry-guard``: every emission site behind one None check.
+
+The zero-overhead-when-off contract (CONTRIBUTING, PR 7): with
+``telemetry=None`` the hot path must execute the exact pre-telemetry
+instruction stream, so every ``recorder.event(...)`` /
+``recorder.window_step(...)`` call site must be *dominated* by an
+``X is None`` / ``X is not None`` check on the same receiver.
+
+The dominance analysis understands the idioms the codebase uses::
+
+    if rec is not None:
+        rec.event(...)                      # guarded (branch)
+
+    if recorder is not None and blocks:
+        recorder.event(...)                 # guarded (and-clause)
+
+    if rec is None:
+        return
+    rec.event(...)                          # guarded (early exit)
+
+    assert rec is not None
+    rec.event(...)                          # guarded (assert)
+
+Rebinding the receiver name drops its guard.  Receivers are recognised by
+name (``rec``, ``recorder``, ``*_rec``, ``telemetry``, ``self.recorder``,
+…), which is also the naming convention the telemetry layer documents.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.names import dotted_name
+from repro.analysis.registry import Module, Rule, register
+
+_EMIT_METHODS = {"event", "window_step"}
+_RECEIVER_RE = re.compile(r"(^|_)(rec|recorder|telemetry)$")
+
+
+def _receiver_key(node: ast.AST) -> Optional[str]:
+    """Stable key for a recorder-ish receiver expression, else None."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    terminal = dotted.rsplit(".", 1)[-1]
+    if _RECEIVER_RE.search(terminal):
+        return dotted
+    return None
+
+
+def _guards_from_test(test: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """(non-None-in-body, non-None-in-orelse) receiver keys of a test."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+            and isinstance(test.comparators[0], ast.Constant) \
+            and test.comparators[0].value is None:
+        key = _receiver_key(test.left)
+        if key is None:
+            return set(), set()
+        if isinstance(test.ops[0], ast.IsNot):
+            return {key}, set()
+        if isinstance(test.ops[0], ast.Is):
+            return set(), {key}
+        return set(), set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        body: Set[str] = set()
+        for value in test.values:
+            body |= _guards_from_test(value)[0]
+        return body, set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        orelse: Set[str] = set()
+        for value in test.values:
+            orelse |= _guards_from_test(value)[1]
+        return set(), orelse
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        body, orelse = _guards_from_test(test.operand)
+        return orelse, body
+    return set(), set()
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+@register
+class TelemetryGuardRule(Rule):
+    id = "telemetry-guard"
+    summary = ("recorder emission sites must be dominated by an "
+               "`is (not) None` guard")
+    rationale = (
+        "telemetry=None must cost nothing: one `recorder is not None` "
+        "check and no other work. An unguarded emission either crashes "
+        "with None or sneaks formatting/clock work onto the disabled "
+        "hot path.")
+    scope = ("*serving*", "*kvstore*", "*cluster*")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        self._walk_body(module, list(ast.iter_child_nodes(module.tree)),
+                        set(), findings)
+        yield from findings
+
+    # ------------------------------------------------------------------
+    # statement walk with a set of receiver keys known to be non-None
+    # ------------------------------------------------------------------
+
+    def _walk_body(self, module: Module, body: List[ast.AST],
+                   guarded: Set[str], findings: List[Finding]) -> None:
+        guarded = set(guarded)
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                self._scan_expr(module, stmt.value, guarded, findings)
+                for target in stmt.targets:
+                    key = dotted_name(target)
+                    if key is not None:
+                        guarded.discard(key)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                if stmt.value is not None:
+                    self._scan_expr(module, stmt.value, guarded, findings)
+            elif isinstance(stmt, ast.Assert):
+                self._scan_expr(module, stmt.test, guarded, findings)
+                guarded |= _guards_from_test(stmt.test)[0]
+            elif isinstance(stmt, ast.If):
+                self._scan_expr(module, stmt.test, guarded, findings)
+                body_g, else_g = _guards_from_test(stmt.test)
+                self._walk_body(module, stmt.body, guarded | body_g,
+                                findings)
+                self._walk_body(module, stmt.orelse, guarded | else_g,
+                                findings)
+                # `if x is None: return` guards the rest of this block.
+                if _terminates(stmt.body):
+                    guarded |= else_g
+                if stmt.orelse and _terminates(stmt.orelse):
+                    guarded |= body_g
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(module, stmt.iter, guarded, findings)
+                self._walk_body(module, stmt.body, guarded, findings)
+                self._walk_body(module, stmt.orelse, guarded, findings)
+            elif isinstance(stmt, ast.While):
+                self._scan_expr(module, stmt.test, guarded, findings)
+                self._walk_body(module, stmt.body, guarded, findings)
+                self._walk_body(module, stmt.orelse, guarded, findings)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._scan_expr(module, item.context_expr, guarded,
+                                    findings)
+                self._walk_body(module, stmt.body, guarded, findings)
+            elif isinstance(stmt, ast.Try):
+                self._walk_body(module, stmt.body, guarded, findings)
+                for handler in stmt.handlers:
+                    self._walk_body(module, handler.body, guarded,
+                                    findings)
+                self._walk_body(module, stmt.orelse, guarded, findings)
+                self._walk_body(module, stmt.finalbody, guarded, findings)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                # Nested scope: enclosing guards do not dominate calls that
+                # may run later, start clean.
+                self._walk_body(module, stmt.body, set(), findings)
+            else:
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        self._scan_expr(module, child, guarded, findings)
+
+    # ------------------------------------------------------------------
+    # guard-aware expression scan (short-circuit and conditional forms)
+    # ------------------------------------------------------------------
+
+    def _scan_expr(self, module: Module, expr: ast.AST,
+                   guarded: Set[str], findings: List[Finding]) -> None:
+        if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.And):
+            running = set(guarded)
+            for value in expr.values:
+                self._scan_expr(module, value, running, findings)
+                running |= _guards_from_test(value)[0]
+            return
+        if isinstance(expr, ast.IfExp):
+            self._scan_expr(module, expr.test, guarded, findings)
+            body_g, else_g = _guards_from_test(expr.test)
+            self._scan_expr(module, expr.body, guarded | body_g, findings)
+            self._scan_expr(module, expr.orelse, guarded | else_g,
+                            findings)
+            return
+        if isinstance(expr, ast.Call):
+            self._check_call(module, expr, guarded, findings)
+        for child in ast.iter_child_nodes(expr):
+            self._scan_expr(module, child, guarded, findings)
+
+    def _check_call(self, module: Module, call: ast.Call,
+                    guarded: Set[str], findings: List[Finding]) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute) \
+                or func.attr not in _EMIT_METHODS:
+            return
+        key = _receiver_key(func.value)
+        if key is None:
+            return
+        if key not in guarded:
+            findings.append(self.finding(
+                module, call,
+                f"emission `{key}.{func.attr}(...)` is not dominated by a "
+                f"`{key} is not None` guard (zero-overhead-when-off rule)"))

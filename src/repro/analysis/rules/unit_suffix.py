@@ -1,0 +1,73 @@
+"""Rule ``unit-suffix``: don't add seconds to bytes.
+
+The cost-model code carries units in names — ``_s`` / ``_ns`` / ``_ms`` /
+``_bytes`` / ``_tokens`` / ``_qps`` — which makes the cheapest unit-bug
+net an AST walk: an ``x_s + y_bytes`` (or ``x_s += y_tokens``, or a bare
+``x_s = y_ns`` rebinding) is almost certainly a dropped conversion.
+Multiplication and division are untouched (that *is* how units convert),
+as is arithmetic where either side has no unit suffix.
+
+A deliberate mixed-unit identity (rare, e.g. re-interpreting a field)
+takes an inline ``# repro-lint: ignore[unit-suffix]`` with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, Rule, register
+
+_UNITS = {"s", "ns", "ms", "us", "bytes", "tokens", "qps"}
+
+
+def _unit_of(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    head, sep, suffix = name.rpartition("_")
+    if sep and head and suffix in _UNITS:
+        return suffix
+    return None
+
+
+@register
+class UnitSuffixRule(Rule):
+    id = "unit-suffix"
+    summary = "+/-/= arithmetic mixing _s/_bytes/_tokens/_qps quantities"
+    rationale = (
+        "Unit suffixes are the cost model's type system. Adding or "
+        "assigning across different suffixes without an explicit "
+        "conversion factor is the classic silent unit bug.")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) \
+                    and isinstance(node.op, (ast.Add, ast.Sub)):
+                left, right = _unit_of(node.left), _unit_of(node.right)
+                if left and right and left != right:
+                    yield self.finding(
+                        module, node,
+                        f"`_{left}` {'+' if isinstance(node.op, ast.Add) else '-'} "
+                        f"`_{right}` mixes units — convert explicitly")
+            elif isinstance(node, ast.AugAssign) \
+                    and isinstance(node.op, (ast.Add, ast.Sub)):
+                left, right = _unit_of(node.target), _unit_of(node.value)
+                if left and right and left != right:
+                    yield self.finding(
+                        module, node,
+                        f"`_{left}` {'+=' if isinstance(node.op, ast.Add) else '-='} "
+                        f"`_{right}` mixes units — convert explicitly")
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                left = _unit_of(node.targets[0])
+                right = _unit_of(node.value)
+                if left and right and left != right:
+                    yield self.finding(
+                        module, node,
+                        f"assigning a `_{right}` quantity to a `_{left}` "
+                        "name — unit mismatch, convert or rename")

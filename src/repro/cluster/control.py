@@ -582,7 +582,8 @@ class ClusterControlLoop:
                         config.feedback_alpha * measured
                         + (1.0 - config.feedback_alpha) * runtime.tokens_per_s)
                 for request, (owner_name, _) in zip(runtime.state.requests,
-                                                    runtime.feed):
+                                                    runtime.feed,
+                                                    strict=True):
                     if request.state in (RequestState.FINISHED,
                                          RequestState.REJECTED):
                         continue
@@ -738,7 +739,7 @@ class ClusterControlLoop:
         # (aliased copies are indistinguishable, arrival included), so each
         # identity maps to a *queue* of indices consumed per occurrence.
         index_queues: Dict[int, Deque[int]] = {}
-        for (query, _), index in zip(window, window_indices):
+        for (query, _), index in zip(window, window_indices, strict=True):
             index_queues.setdefault(id(query), deque()).append(index)
         for replica_id, assigned in plan.assignments.items():
             runtime = live[replica_id]
@@ -878,7 +879,8 @@ class ClusterControlLoop:
     ) -> float:
         """SLA-compliant decode tokens of ``runtime`` finishing in the window."""
         total = 0.0
-        for request, (owner, _) in zip(runtime.state.requests, runtime.feed):
+        for request, (owner, _) in zip(runtime.state.requests, runtime.feed,
+                                       strict=True):
             total += window_decode_tokens(
                 [request], start_s, end_s, sla_latency_s=sla_by_name[owner])
         return total

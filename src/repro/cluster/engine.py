@@ -324,9 +324,9 @@ class ClusterEngine:
         tenant_replicas: Dict[str, List[int]] = {t.name: [] for t in self.tenants}
         for replica_id, run in runs.items():
             owners = [name for name, _ in routing.assignments[replica_id]]
-            for owner, request in zip(owners, run.requests):
+            for owner, request in zip(owners, run.requests, strict=True):
                 tenant_requests[owner].append(request)
-            for owner in set(owners):
+            for owner in sorted(set(owners)):
                 tenant_replicas[owner].append(replica_id)
 
         # Requests refused at the cluster's admission cap never reached an

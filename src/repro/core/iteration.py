@@ -223,7 +223,12 @@ class IterationCostModel:
         contexts = list(context_lengths)
         if not contexts:
             return 0.0
-        mean_block_ns = sum(self.block_latency_ns(c) for c in contexts) / len(contexts)
+        # Explicit left-to-right fold: the batch entry points reproduce this
+        # accumulation order bit-exactly (float-fold rule).
+        total_block_ns = 0.0
+        for context in contexts:
+            total_block_ns += self.block_latency_ns(context)
+        mean_block_ns = total_block_ns / len(contexts)
         return self.effective_layers * mean_block_ns * 1e-9
 
     def prefill_chunk_s(self, num_tokens: int, context_length: int) -> float:

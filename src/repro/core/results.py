@@ -368,7 +368,7 @@ class ServingResult:
             return float(timeline[-1][1])
         weighted = 0.0
         for (t, queued, _), (t_next, _, _) in zip(
-                timeline, list(timeline[1:]) + [(end, 0, 0)]):
+                timeline, list(timeline[1:]) + [(end, 0, 0)], strict=True):
             weighted += queued * (t_next - t)
         return weighted / span
 

@@ -34,10 +34,10 @@ def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths, strict=True)))
     lines.append("  ".join("-" * width for width in widths))
     for line in table:
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths, strict=True)))
     return "\n".join(lines)
 
 

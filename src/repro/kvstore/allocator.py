@@ -238,7 +238,7 @@ class KvAllocator:
             return False
         tokens_map = self._tokens
         blocks_map = self._blocks
-        for owner, tokens, need in zip(owners, targets, needs):
+        for owner, tokens, need in zip(owners, targets, needs, strict=True):
             tokens_map[owner] = tokens
             if need > 0:
                 blocks_map[owner] += need

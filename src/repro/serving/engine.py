@@ -721,7 +721,7 @@ class ServingEngine:
                         dtype=np.int64, count=len(new)),
             state.kv_budget,
         )
-        batch = sorted(zip(new, servable.tolist()),
+        batch = sorted(zip(new, servable.tolist(), strict=True),
                        key=lambda pair: pair[0].arrival_time_s)
         accepted: List[ServingRequest] = []
         rec = state.recorder
@@ -1390,7 +1390,7 @@ class ServingEngine:
                             # extend at C speed.
                             queue_depth_timeline.extend(
                                 zip(tops.tolist(), queued,
-                                    repeat(n_running)))
+                                    repeat(n_running), strict=False))
                         else:  # zero-span iteration: keep the exact guard
                             for index, top in enumerate(tops.tolist()):
                                 sample = (top, queued[index], n_running)
@@ -1403,7 +1403,7 @@ class ServingEngine:
                                  - cols.last_token_time_s[rows]).tolist()
                     shared_tail = (clocks[2:k_eff + 1]
                                    - clocks[1:k_eff]).tolist()
-                    for request, gap in zip(running, first_gap):
+                    for request, gap in zip(running, first_gap, strict=True):
                         samples = request.tbt_samples_s
                         samples.append(gap)
                         samples.extend(shared_tail)
@@ -1498,7 +1498,7 @@ class ServingEngine:
                     np.asarray(chunk_midpoints, dtype=np.int64))
             else:
                 prefill_s = 0.0
-                for tokens, midpoint in zip(chunk_sizes, chunk_midpoints):
+                for tokens, midpoint in zip(chunk_sizes, chunk_midpoints, strict=True):
                     prefill_s += cost.prefill_chunk_s(tokens, midpoint)
             batch_rows: Optional[np.ndarray] = None
             if vectorize and len(decode_batch) >= 8:
@@ -1575,7 +1575,7 @@ class ServingEngine:
                 # Time between tokens, including any prefill stalls since
                 # each request's previous token.
                 gaps = (clock - cols.last_token_time_s[batch_rows]).tolist()
-                for request, gap in zip(decode_batch, gaps):
+                for request, gap in zip(decode_batch, gaps, strict=True):
                     request.tbt_samples_s.append(gap)
                 cols.last_token_time_s[batch_rows] = clock
             else:
@@ -1828,7 +1828,7 @@ class ServingEngine:
             np.fromiter((q.total_context for q in queries),
                         dtype=np.int64, count=len(queries)),
             kv_budget)
-        servable = [q for q, ok in zip(queries, mask.tolist()) if ok]
+        servable = [q for q, ok in zip(queries, mask.tolist(), strict=True) if ok]
         if servable:
             queries = servable
         mean_prompt = sum(q.prompt_tokens for q in queries) / len(queries)

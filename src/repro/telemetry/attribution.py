@@ -459,7 +459,8 @@ def _request_rows(events: Sequence[Event]) -> List[Dict[str, Any]]:
         first = seen.get("request.first_token")
         preempted = 0.0
         for start, stop in zip(preempts.get(key, []),
-                               resumes.get(key, []) + [closed]):
+                               resumes.get(key, []) + [closed],
+                               strict=False):
             preempted += max(stop - start, 0.0)
         rows.append({
             "scope": scope,
@@ -542,7 +543,7 @@ def attribution_table(events: Iterable[Event], *, top: int = 15) -> str:
         rows, key=lambda row: -(row["queued_s"] + row["prefill_s"]
                                 + row["decode_s"]))
     lines = [f"{len(rows)} request lifecycles "
-             f"({sum(r['finished'] for r in rows)} finished); "
+             f"({sum(1 for r in rows if r['finished'])} finished); "
              f"slowest {min(top, len(ranked))} by wall time:",
              f"  {'scope':<14} {'req':>4}  {'queued':>9} {'prefill':>9} "
              f"{'decode':>9} {'preempted':>9}  total"]
@@ -580,7 +581,10 @@ def utilization_summary(events: Iterable[Event]) -> str:
         lines.append("KV block-pool occupancy (fraction of pool blocks):")
         for scope in sorted(attribution.kv_occupancy):
             timeline = attribution.kv_occupancy[scope]
-            mean = sum(f for _, f in timeline) / len(timeline)
+            total = 0.0
+            for _, fraction in timeline:  # explicit left fold (float-fold)
+                total += fraction
+            mean = total / len(timeline)
             peak = max(f for _, f in timeline)
             lines.append(f"  {scope:<14} {len(timeline):>5} samples  "
                          f"mean {mean:>6.1%}  peak {peak:>6.1%}")

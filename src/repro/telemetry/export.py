@@ -96,7 +96,8 @@ def _request_slices(scope: ScopedRecorder) -> List[Dict[str, Any]]:
         phase("prefill", admitted, first if first is not None else end)
         phase("decode", first if first is not None else admitted, end)
         for start, stop in zip(preempts.get(rid, []),
-                               resumes.get(rid, []) + [end]):
+                               resumes.get(rid, []) + [end],
+                               strict=False):
             phase("preempted", start, stop)
     return slices
 

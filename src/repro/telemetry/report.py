@@ -108,7 +108,7 @@ def _sparkline(points: Sequence[Tuple[float, float]], *, width: int = 640,
     coords = " ".join(
         f"{4 + (width - 8) * (x - x0) / span:.1f},"
         f"{height - 4 - (height - 12) * min(y / top, 1.0):.1f}"
-        for x, y in zip(xs, ys))
+        for x, y in zip(xs, ys, strict=True))
     return (
         f'<svg width="{width}" height="{height}" '
         f'viewBox="0 0 {width} {height}">'

@@ -116,7 +116,7 @@ def sharegpt_like_queries(
     prompts = lengths(mean_prompt_tokens)
     outputs = lengths(mean_decode_tokens)
     queries = []
-    for prompt, output in zip(prompts, outputs):
+    for prompt, output in zip(prompts, outputs, strict=True):
         prompt = int(min(prompt, max_context - 1))
         output = int(min(output, max_context - prompt))
         queries.append(Query(max(prompt, 1), max(output, 1)))
@@ -181,7 +181,8 @@ def prefix_reuse_queries(
     suffixes = lengths(mean_suffix_tokens)
     outputs = lengths(mean_decode_tokens)
     queries = []
-    for tenant, reuse, suffix, output in zip(tenants, reuses, suffixes, outputs):
+    for tenant, reuse, suffix, output in zip(tenants, reuses, suffixes,
+                                             outputs, strict=True):
         if reuse:
             prefix = int(prefix_lengths[tenant])
             prompt = min(prefix + int(suffix), max_context - 1)
@@ -296,4 +297,4 @@ def with_arrivals(queries: Sequence[Query], arrival_times_s: Sequence[float]) ->
         )
     validate_arrivals(arrival_times_s)
     return [dataclasses.replace(query, arrival_time_s=float(time))
-            for query, time in zip(queries, arrival_times_s)]
+            for query, time in zip(queries, arrival_times_s, strict=True)]

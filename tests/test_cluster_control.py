@@ -109,7 +109,7 @@ class TestReplicaFeedback:
 def make_placement(model, tenant_names, sizes):
     replicas = []
     offset = 0
-    for index, (names, size) in enumerate(zip(tenant_names, sizes)):
+    for index, (names, size) in enumerate(zip(tenant_names, sizes, strict=True)):
         replicas.append(ReplicaSpec(replica_id=index, tenant_names=names,
                                     model=model, num_devices=size,
                                     first_device=offset))
@@ -333,7 +333,7 @@ class TestSegmentedEngine:
         assert list(segmented.queue_depth_timeline) == \
             list(whole.queue_depth_timeline)
         assert segmented.preemption_log == whole.preemption_log
-        for ours, theirs in zip(state.requests, whole.requests):
+        for ours, theirs in zip(state.requests, whole.requests, strict=True):
             assert ours.state is theirs.state
             assert ours.finish_time_s == theirs.finish_time_s
             assert ours.first_token_time_s == theirs.first_token_time_s

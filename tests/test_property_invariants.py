@@ -207,7 +207,8 @@ def test_kv_blocks_conserved_across_preemption_and_swap(num_blocks, ops):
                 held[owner] = (destination, current)
 
         # ---- the conservation laws, after every single operation ----
-        for side, (pool, allocator) in enumerate(zip(pools, allocators)):
+        for side, (pool, allocator) in enumerate(zip(pools, allocators,
+                                                     strict=True)):
             owners = [o for o, (s, _) in held.items() if s == side]
             assert pool.free_blocks + pool.used_blocks == pool.num_blocks
             assert pool.used_blocks == sum(
@@ -322,7 +323,8 @@ def test_prefix_chain_blocks_and_refcounts_conserved(num_blocks, ops):
                 held[owner] = (destination, current)
 
         # ---- the conservation laws, after every single operation ----
-        for where, (pool, allocator) in enumerate(zip(pools, allocators)):
+        for where, (pool, allocator) in enumerate(zip(pools, allocators,
+                                                      strict=True)):
             owners = [o for o, (s, _) in held.items() if s == where]
             pinned = [o for o, s in parked.items() if s == where]
             assert pool.free_blocks + pool.used_blocks == pool.num_blocks

@@ -440,7 +440,7 @@ class TestClusterTrace:
         epochs = [e for e in control.events if e.name == "cluster.epoch"]
         assert len(epochs) == len(result.epoch_timeline)
         for event, (start_s, goodput, backlog) in zip(
-                epochs, result.epoch_timeline):
+                epochs, result.epoch_timeline, strict=True):
             assert event.ts_s == start_s
             assert event.args["goodput_tokens_per_s"] == goodput
             assert event.args["backlog"] == backlog

@@ -181,7 +181,7 @@ class TestBatchCostModel:
         contexts = np.array([1, 7, 511, 512, 513, 1024, 1999,
                              small_model.max_context + 50])
         batch = cost.block_latency_batch_ns(contexts)
-        for context, latency in zip(contexts.tolist(), batch.tolist()):
+        for context, latency in zip(contexts.tolist(), batch.tolist(), strict=True):
             assert latency == cost.block_latency_ns(context)
 
     def test_decode_iteration_batch_matches_scalar(self, cost):
@@ -203,7 +203,7 @@ class TestBatchCostModel:
         tokens = np.array([512, 100, 0, 37, 512])
         contexts = np.array([256, 900, 1, 1500, 2048])
         fold = 0.0
-        for num, context in zip(tokens.tolist(), contexts.tolist()):
+        for num, context in zip(tokens.tolist(), contexts.tolist(), strict=True):
             fold += cost.prefill_chunk_s(num, context)
         assert cost.prefill_chunk_batch_s(tokens, contexts) == fold
 

@@ -81,7 +81,7 @@ class TestArrivals:
         assert len(times) / times[-1] == pytest.approx(5.0, rel=0.15)
 
         def cv2(ts):
-            gaps = [b - a for a, b in zip(ts, ts[1:])]
+            gaps = [b - a for a, b in zip(ts, ts[1:], strict=False)]
             mean = sum(gaps) / len(gaps)
             var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
             return var / mean**2
